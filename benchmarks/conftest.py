@@ -1,0 +1,61 @@
+"""Benchmark harness plumbing.
+
+Each benchmark file regenerates one of the paper's tables/figures through
+``repro.bench`` and prints the result table (run pytest with ``-s`` to see
+them inline; they are also appended to ``benchmarks/results.txt``).
+
+Set ``REPRO_BENCH_PRESET=full`` for paper-shaped (slower) runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.registry import run_experiment
+from repro.bench.scenario import PRESETS
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    preset = os.environ.get("REPRO_BENCH_PRESET", "fast")
+    return PRESETS[preset]()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if RESULTS_FILE.exists():
+        RESULTS_FILE.unlink()
+    yield
+
+
+@pytest.fixture
+def run_and_report(benchmark, scenario):
+    """Run one experiment under pytest-benchmark; print + persist the table."""
+
+    def runner(name: str):
+        table = benchmark.pedantic(
+            run_experiment, args=(name, scenario), rounds=1, iterations=1
+        )
+        text = table.render()
+        print()
+        print(text)
+        with RESULTS_FILE.open("a") as fh:
+            fh.write(text + "\n\n")
+        return table
+
+    return runner
+
+
+def as_floats(table, column):
+    """Parse a table column to floats ('-' cells dropped)."""
+    out = []
+    for cell in table.column_values(column):
+        if cell in ("-", ""):
+            continue
+        out.append(float(cell))
+    return out

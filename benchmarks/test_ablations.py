@@ -1,0 +1,16 @@
+"""Design-choice ablations (DESIGN.md §4)."""
+
+
+def test_ablations(run_and_report):
+    table = run_and_report("ablations")
+    ratios = {row[0]: float(row[4]) for row in table.rows}
+
+    # Cooling as aggressively as pages qualify under-estimates the hot set.
+    assert ratios["cooling at hot threshold (8)"] < 0.7
+    # The redundancy findings: these knobs do not move steady workloads.
+    assert 0.9 < ratios["write-priority off"] < 1.1
+    assert 0.9 < ratios["small-bypass off (silo)"] < 1.1
+    # ... but the bypass is what keeps ephemeral buffers out of NVM.
+    assert ratios["small-bypass off (ephemeral)"] < 0.6
+    # Copy threads never beat the DMA engine.
+    assert ratios["dma off (4 copy threads)"] <= 1.02

@@ -1,0 +1,15 @@
+"""DMA configuration sweep (paper §3.2: batch 4, 2 channels)."""
+
+
+def test_dma_sweep(run_and_report):
+    table = run_and_report("dma")
+    rows = {int(row[0]): [float(c) for c in row[1:]] for row in table.rows}
+
+    # Two channels saturate the NVM-bound migration path: ch=4 adds nothing.
+    batch4 = rows[4]  # columns: ch=1, ch=2, ch=4, ch=8
+    assert batch4[1] > batch4[0] * 1.2
+    assert batch4[2] <= batch4[1] * 1.01
+
+    # Batching amortises the ioctl; at 2 MB copies batch 4 is within 1% of
+    # batch 32 (the knee is early, as the paper found).
+    assert rows[4][1] > rows[32][1] * 0.99

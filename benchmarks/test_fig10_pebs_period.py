@@ -1,0 +1,16 @@
+"""Fig 10: PEBS sampling-period sensitivity."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig10(run_and_report):
+    table = run_and_report("fig10")
+    avg = as_floats(table, "gups(avg)")
+    dropped = as_floats(table, "dropped%")
+
+    # Periods: 100, 1k, 5k, 20k, 100k, 1M.
+    # The 5k-100k plateau outperforms the 1M extreme.
+    plateau = max(avg[2:5])
+    assert plateau >= avg[-1]
+    # Drops concentrate at the lowest periods.
+    assert dropped[0] >= max(dropped[2:5])

@@ -1,0 +1,13 @@
+"""Fig 11: hot read threshold sensitivity."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig11(run_and_report):
+    table = run_and_report("fig11")
+    gups = as_floats(table, "gups")
+    # Thresholds: 2, 4, 8, 12, 16, 20, 26, 32.
+    mid = max(gups[2:6])  # 8..20
+    # The mid plateau is at least as good as both extremes.
+    assert mid >= gups[0]
+    assert mid >= gups[-1]

@@ -1,0 +1,15 @@
+"""Fig 12: cooling threshold sensitivity through a hot-set shift."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig12(run_and_report):
+    table = run_and_report("fig12")
+    post = as_floats(table, "post-shift")
+    recovered = as_floats(table, "recovered/pre")
+
+    # Cooling thresholds: 8, 13, 18, 24, 30.  The default (18) adapts well.
+    assert recovered[2] > 0.85
+    # The default's post-shift throughput is at least as good as the
+    # too-aggressive extreme (cooling == hot threshold).
+    assert post[2] >= post[0] * 0.95

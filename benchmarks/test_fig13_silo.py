@@ -1,0 +1,25 @@
+"""Fig 13: Silo TPC-C warehouse scalability."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig13(run_and_report):
+    table = run_and_report("fig13")
+    hemem = as_floats(table, "hemem")
+    mm = as_floats(table, "mm")
+    nimble = as_floats(table, "nimble")
+    xmem = as_floats(table, "xmem")
+
+    # Warehouses: 216, 432, 648, 864, 1200, 1728 (DRAM boundary at 864).
+    # In DRAM, HeMem at or above MM and Nimble.
+    for i in range(3):
+        assert hemem[i] >= mm[i] * 0.98
+        assert hemem[i] >= nimble[i] * 0.98
+    # X-Mem (heap in NVM) far below HeMem while HeMem's data fits DRAM,
+    # and still below it once both spill to NVM.
+    assert all(x < 0.7 * h for x, h in zip(xmem[:4], hemem[:4]))
+    assert all(x < h for x, h in zip(xmem, hemem))
+    # Past DRAM, MM competitive with (paper: ahead of) HeMem.
+    assert mm[-1] > 0.85 * hemem[-1]
+    # Throughput declines past the DRAM boundary for HeMem.
+    assert hemem[-1] < hemem[0]

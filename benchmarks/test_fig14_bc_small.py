@@ -1,0 +1,14 @@
+"""Fig 14: BC on 2^28 vertices (fits DRAM)."""
+
+
+def test_fig14(run_and_report):
+    table = run_and_report("fig14")
+    means = {row[0]: float(row[-1]) for row in table.rows}
+    iters = {row[0]: int(row[1]) for row in table.rows}
+
+    # Everyone finishes.
+    assert all(n >= 8 for n in iters.values())
+    # HeMem tracks DRAM-only closely.
+    assert means["hemem"] < means["dram"] * 1.15
+    # MM pays for conflict misses + NVM write-backs (paper: ~93% slower).
+    assert means["mm"] > means["hemem"] * 1.2

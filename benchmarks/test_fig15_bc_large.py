@@ -1,0 +1,17 @@
+"""Fig 15: BC on 2^29 vertices (exceeds DRAM)."""
+
+
+def test_fig15(run_and_report):
+    table = run_and_report("fig15")
+    rows = {row[0]: row for row in table.rows}
+    means = {row[0]: float(row[-1]) for row in table.rows}
+
+    # HeMem well ahead of MM (paper: 58%) and ahead of Nimble (paper: 36%).
+    assert means["mm"] > means["hemem"] * 1.3
+    assert means["nimble"] > means["hemem"] * 1.05
+
+    # HeMem's later iterations are no slower than its first (migration
+    # settles).
+    first = float(rows["hemem"][2])
+    last = float(rows["hemem"][9])
+    assert last <= first * 1.05

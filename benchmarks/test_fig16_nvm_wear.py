@@ -1,0 +1,19 @@
+"""Fig 16: NVM writes during BC (device wear)."""
+
+
+def test_fig16(run_and_report):
+    table = run_and_report("fig16")
+    rows = {row[0]: row for row in table.rows}
+
+    def writes(system):
+        return [float(c) for c in rows[system][1:9] if c != "-"]
+
+    mm = writes("mm")
+    hemem = writes("hemem")
+
+    # MM writes a roughly constant volume every iteration.
+    assert max(mm) < min(mm) * 1.3
+    # HeMem's writes decline as the write-hot set reaches DRAM, ending
+    # well below MM (paper: ~10x fewer).
+    assert hemem[-1] < hemem[0]
+    assert hemem[-1] < 0.5 * mm[-1]

@@ -1,0 +1,17 @@
+"""Fig 1: thread-scaling curves of both devices."""
+
+
+def test_fig1(run_and_report):
+    table = run_and_report("fig1")
+    rows = {tuple(r[:3]): [float(c) for c in r[3:]] for r in table.rows}
+
+    # DRAM sequential read scales with threads.
+    dram_seq = rows[("dram", "read", "seq")]
+    assert dram_seq[-1] > 3 * dram_seq[0]
+
+    # Optane write saturates by 4 threads (column order: 1,2,4,8,16,24).
+    opt_wr = rows[("optane", "write", "seq")]
+    assert opt_wr[-1] <= opt_wr[2] * 1.1
+
+    # Optane sequential read beats DRAM random at full thread count.
+    assert rows[("optane", "read", "seq")][-1] > rows[("dram", "read", "rand")][-1]

@@ -1,0 +1,18 @@
+"""Fig 2: access-size sensitivity at 16 threads."""
+
+
+def test_fig2(run_and_report):
+    table = run_and_report("fig2")
+    rows = {tuple(r[:3]): [float(c) for c in r[3:]] for r in table.rows}
+
+    # Optane sequential read is size-insensitive once saturated.
+    opt_seq = rows[("optane", "read", "seq")]
+    assert max(opt_seq[1:]) <= min(opt_seq[1:]) * 1.3
+
+    # Small random reads are slow on both; large blocks close the gap.
+    dram_rand = rows[("dram", "read", "rand")]
+    assert dram_rand[-1] > 2 * dram_rand[0]
+
+    # Optane write stays pinned at low bandwidth for all sizes.
+    opt_wr = rows[("optane", "write", "rand")]
+    assert max(opt_wr) < 5.0

@@ -1,0 +1,18 @@
+"""Fig 3: page-table scan cost growth."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig3(run_and_report):
+    table = run_and_report("fig3")
+    base = as_floats(table, "4KB")
+    huge = as_floats(table, "2MB")
+    giga = as_floats(table, "1GB")
+
+    # Terabyte-scale base-page scans take seconds.
+    assert base[-2] > 1.0  # 1 TB row
+    # Huge pages are orders of magnitude cheaper, giga cheaper still.
+    assert all(b / h > 300 for b, h in zip(base, huge))
+    assert all(h > g for h, g in zip(huge, giga))
+    # Small capacities scan fast at every page size.
+    assert base[0] < 0.1

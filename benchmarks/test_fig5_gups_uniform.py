@@ -1,0 +1,22 @@
+"""Fig 5: uniform GUPS vs working set size."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig5(run_and_report):
+    table = run_and_report("fig5")
+    dram = as_floats(table, "dram")
+    mm = as_floats(table, "mm")
+    hemem = as_floats(table, "hemem")
+    nvm = as_floats(table, "nvm")
+
+    # While fitting comfortably (first rows), HeMem and MM track DRAM.
+    assert hemem[0] > 0.95 * dram[0]
+    assert mm[0] > 0.95 * dram[0]
+
+    # Near DRAM capacity (128 GB row, index 4) MM sags well below HeMem.
+    assert hemem[4] > 1.8 * mm[4]
+
+    # Beyond DRAM everything is far below DRAM and above raw NVM.
+    assert hemem[-1] < 0.6 * dram[-1]
+    assert mm[-1] >= nvm[-1] * 0.9

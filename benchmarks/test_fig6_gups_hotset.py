@@ -1,0 +1,21 @@
+"""Fig 6: GUPS vs hot set size at 512 GB working set."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_fig6(run_and_report):
+    table = run_and_report("fig6")
+    hemem = as_floats(table, "hemem")
+    mm = as_floats(table, "mm")
+    nimble = as_floats(table, "nimble")
+
+    # HeMem at or above MM for every hot set size that fits DRAM.
+    assert all(h >= m * 0.95 for h, m in zip(hemem, mm))
+    # Peak advantage well above MM somewhere mid-range.
+    assert max(h / m for h, m in zip(hemem, mm)) > 1.3
+    # Nimble far below both while MM is healthy (paper: ~25% of MM); it
+    # stays below MM even once MM degrades.
+    assert all(n < 0.45 * m for n, m in zip(nimble[:3], mm[:3]))
+    assert all(n < m for n, m in zip(nimble, mm))
+    # Convergence once the hot set exceeds DRAM (last row).
+    assert hemem[-1] < 1.25 * mm[-1]

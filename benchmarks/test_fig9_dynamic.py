@@ -1,0 +1,20 @@
+"""Fig 9: instantaneous GUPS through a hot-set shift."""
+
+
+def test_fig9(run_and_report):
+    table = run_and_report("fig9")
+    rows = {row[0]: row for row in table.rows}
+
+    def col(system, name):
+        return float(rows[system][table.columns.index(name)])
+
+    # HeMem dips at the shift, then fully recovers.
+    assert col("hemem", "dip") < 0.9 * col("hemem", "pre-shift")
+    assert col("hemem", "recovered/pre") > 0.9
+
+    # MM recovers too, with a dip no deeper than proportional.
+    assert col("mm", "recovered/pre") > 0.9
+
+    # HeMem-PT-Async does not recover (paper: stays at ~54% of HeMem).
+    assert col("hemem-pt-async", "recovered/pre") < 0.8
+    assert col("hemem-pt-async", "recovered") < 0.7 * col("hemem", "recovered")

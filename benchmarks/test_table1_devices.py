@@ -1,0 +1,11 @@
+"""Table 1: device model calibration vs the paper's quoted numbers."""
+
+from benchmarks.conftest import as_floats
+
+
+def test_table1(run_and_report):
+    table = run_and_report("table1")
+    read_lat = as_floats(table, "R lat (ns)")
+    assert read_lat == [82.0, 175.0]
+    write_lat = as_floats(table, "W lat (ns)")
+    assert write_lat == [82.0, 94.0]

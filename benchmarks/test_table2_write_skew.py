@@ -1,0 +1,12 @@
+"""Table 2: asymmetric read/write GUPS."""
+
+
+def test_table2(run_and_report):
+    table = run_and_report("table2")
+    ratios = {row[0]: float(row[2]) for row in table.rows}
+
+    # HeMem's write-awareness wins; the others trail (paper: MM 0.86x,
+    # Nimble 0.36x).
+    assert ratios["hemem"] == 1.0
+    assert ratios["mm"] < 0.95
+    assert ratios["nimble"] < ratios["mm"]

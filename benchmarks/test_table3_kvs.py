@@ -1,0 +1,22 @@
+"""Table 3: FlexKVS throughput and latency."""
+
+
+def test_table3(run_and_report):
+    table = run_and_report("table3")
+    rows = {row[0]: row for row in table.rows}
+
+    def col(system, name):
+        cell = rows[system][table.columns.index(name)]
+        return float(cell) if cell != "-" else None
+
+    # Parity while fitting DRAM (16 GB working set).
+    assert abs(col("hemem", "16GB") - col("mm", "16GB")) < 0.1 * col("mm", "16GB")
+
+    # At 700 GB HeMem leads MM, Nimble, and NVM placement.
+    assert col("hemem", "700GB") > col("mm", "700GB")
+    assert col("hemem", "700GB") > col("nimble", "700GB")
+    assert col("hemem", "700GB") > col("nvm", "700GB")
+
+    # Latency: HeMem at or below MM at every percentile.
+    for percentile in ("p50", "p90", "p99", "p99.9"):
+        assert col("hemem", percentile) <= col("mm", percentile)

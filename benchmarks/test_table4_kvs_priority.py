@@ -1,0 +1,16 @@
+"""Table 4: FlexKVS latency under performance isolation."""
+
+
+def test_table4(run_and_report):
+    table = run_and_report("table4")
+    rows = {row[0]: row for row in table.rows}
+
+    def col(system, name):
+        return float(rows[system][table.columns.index(name)])
+
+    # HeMem's pinned priority instance beats MM's at p50 and p99.
+    assert col("hemem", "prio p50") < col("mm", "prio p50")
+    assert col("hemem", "prio p99") <= col("mm", "prio p99")
+
+    # Without tangible harm to the regular instance (within 15%).
+    assert col("hemem", "reg p50") < col("mm", "reg p50") * 1.15

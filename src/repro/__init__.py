@@ -1,0 +1,22 @@
+"""repro — a reproduction of HeMem (SOSP 2021) on a simulated DRAM+NVM machine.
+
+Quickstart::
+
+    from repro import run_gups
+    from repro.core import HeMemManager
+    from repro.workloads import GupsConfig
+    from repro.sim.units import GB
+
+    result = run_gups(HeMemManager(), GupsConfig(working_set=8 * GB,
+                                                 hot_set=1 * GB), scale=16)
+    print(result["gups"])
+
+See :mod:`repro.bench` for the harnesses that regenerate every table and
+figure of the paper's evaluation.
+"""
+
+from repro.api import make_engine, run_gups, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = ["make_engine", "run_gups", "run_workload", "__version__"]

@@ -1,0 +1,66 @@
+"""Top-level convenience API: build a machine+manager+workload and run it."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.machine import Machine, MachineSpec
+from repro.sim.engine import Engine, EngineConfig
+from repro.workloads.base import Workload
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+
+def make_engine(
+    manager,
+    workload: Workload,
+    spec: Optional[MachineSpec] = None,
+    scale: float = 1.0,
+    seed: int = 42,
+    tick: float = 0.01,
+) -> Engine:
+    """Wire a manager and workload onto a (possibly scaled) machine."""
+    spec = spec or MachineSpec()
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    machine = Machine(spec, seed=seed)
+    config = EngineConfig(tick=tick, seed=seed)
+    return Engine(machine, manager, workload, config)
+
+
+def run_workload(
+    manager,
+    workload: Workload,
+    duration: float,
+    spec: Optional[MachineSpec] = None,
+    scale: float = 1.0,
+    seed: int = 42,
+    tick: float = 0.01,
+) -> dict:
+    """Run ``workload`` under ``manager`` for ``duration`` virtual seconds."""
+    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed, tick=tick)
+    result = engine.run(duration)
+    result["engine"] = engine
+    return result
+
+
+def run_gups(
+    manager,
+    config: GupsConfig,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    scale: float = 1.0,
+    spec: Optional[MachineSpec] = None,
+    seed: int = 42,
+    tick: float = 0.01,
+) -> dict:
+    """Run the GUPS microbenchmark; adds the measured GUPS to the result.
+
+    Note: ``config`` sizes must already be expressed at the same ``scale``
+    as the machine (the bench scenarios handle this).
+    """
+    workload = GupsWorkload(config, warmup=warmup)
+    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed, tick=tick)
+    result = engine.run(duration)
+    result["gups"] = workload.gups(engine.clock.now)
+    result["engine"] = engine
+    return result

@@ -1,0 +1,26 @@
+"""Baseline tiered memory managers the paper compares HeMem against.
+
+- :mod:`repro.baselines.static` — fixed placements: DRAM-only (upper
+  bound), NVM-only (lower bound), and the X-Mem emulation (large heap
+  objects placed in NVM, no migration), mirroring §5.1's methodology.
+- :mod:`repro.baselines.memory_mode` — Intel Optane DC memory mode: DRAM
+  as a hardware direct-mapped cache over NVM.
+- :mod:`repro.baselines.nimble` — Linux kernel NUMA tiering with Nimble's
+  migration extensions: one sequential kernel thread scanning page tables
+  and exchanging pages via copy threads.
+
+HeMem's own page-table ablations (HeMem-PT sync/async) live with HeMem in
+:mod:`repro.core.hemem` since they share all of its machinery.
+"""
+
+from repro.baselines.memory_mode import MemoryModeManager
+from repro.baselines.nimble import NimbleManager
+from repro.baselines.static import DramOnlyManager, NvmOnlyManager, XMemManager
+
+__all__ = [
+    "DramOnlyManager",
+    "MemoryModeManager",
+    "NimbleManager",
+    "NvmOnlyManager",
+    "XMemManager",
+]

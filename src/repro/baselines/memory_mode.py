@@ -1,0 +1,193 @@
+"""Intel Optane DC memory mode: hardware-managed DRAM cache over NVM.
+
+Software sees one flat pool; the hardware runs DRAM as a direct-mapped
+64 B-block cache over NVM (§2.4).  There is no hot/cold policy: any touched
+line lands in DRAM, evicting whatever aliased there.  Consequences the
+paper measures, all reproduced here through the statistical cache model:
+
+- near-DRAM performance while occupancy is low,
+- conflict misses as the working set approaches DRAM capacity (Figs 5-6),
+- no prioritisation and no write-awareness (Tables 2 and 4),
+- every dirty eviction is a random 64 B write-back to NVM — the constant,
+  high NVM write rate of Fig 16.
+
+The cache adapts fast (line-grained fills), which is also why MM dips less
+than HeMem right after a hot-set shift (Fig 9): we model the hit rate
+relaxing toward its steady state with a fill-bandwidth time constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import TieredMemoryManager
+from repro.mem.access import AccessStream, StreamResult, TierSplit
+from repro.mem.cache import CacheClass, DirectMappedCacheModel, smooth_toward
+from repro.mem.page import Tier
+from repro.mem.region import Region, RegionKind
+from repro.sim.rng import make_rng
+from repro.sim.units import CACHE_LINE, MB
+
+
+class MemoryModeManager(TieredMemoryManager):
+    """Hardware tiering: no software policy, no visibility, no control."""
+
+    name = "mm"
+
+    def __init__(self, mc_samples: int = 4096):
+        super().__init__()
+        self._mc_samples = mc_samples
+        self._model: Optional[DirectMappedCacheModel] = None
+        # Per-stream adaptive state: smoothed hit rate keyed by stream name.
+        self._hit: Dict[str, float] = {}
+        # Last tick's observed access rates, for weighting the joint model.
+        self._last_rates: Dict[str, Tuple[float, float]] = {}  # name -> (reads/s, writes/s)
+        self._targets: Dict[str, float] = {}
+        self._model_tick: float = -1.0
+        self._pending_streams: List[AccessStream] = []
+        self._snapshot: List[AccessStream] = []
+        self._fill_bw: float = 0.0
+
+    def _on_attach(self) -> None:
+        self._model = DirectMappedCacheModel(
+            capacity=self.machine.spec.dram_capacity,
+            block_size=CACHE_LINE,
+            rng=make_rng(self.machine.seed, "mm_cache"),
+            mc_samples=self._mc_samples,
+        )
+
+    # -- allocation: one flat pool ------------------------------------------------
+    def mmap(self, size: int, name: str = "", pinned_tier: Optional[Tier] = None) -> Region:
+        # Memory mode cannot honour placement requests — that is the point
+        # of the priority experiment (Table 4): pinning is silently a no-op.
+        region = self.machine.make_region(size, kind=RegionKind.HEAP, name=name)
+        region.managed = False
+        region.tier[:] = Tier.NVM  # home location; DRAM acts as a cache
+        self.syscalls.address_space.insert(region)
+        return region
+
+    # -- placement: the cache model ---------------------------------------------
+    def split_by_tier(self, stream: AccessStream, now: float) -> TierSplit:
+        if now != self._model_tick:
+            self._model_tick = now
+            # Last tick's full stream set becomes this tick's joint-model
+            # snapshot (the engine calls us stream by stream, so the current
+            # tick's set is not complete until the tick ends).
+            self._snapshot = self._pending_streams
+            self._pending_streams = []
+        self._pending_streams.append(stream)
+        hit = self._hit_rate_for(stream, now)
+        reads = max(stream.reads_per_op, 0.0)
+        writes = max(stream.writes_per_op, 0.0)
+        accesses = reads + writes
+        dirty_frac = writes / accesses if accesses > 0 else 0.0
+        misses_per_op = accesses * (1.0 - hit)
+        return TierSplit(
+            dram_read_frac=hit,
+            # Stores complete against the DRAM cache; their miss cost is the
+            # fill/write-back traffic modelled below.
+            dram_write_frac=1.0,
+            # Write misses must fetch the block before overwriting part of it.
+            extra_nvm_read_bytes_per_op=writes * (1.0 - hit) * CACHE_LINE,
+            # Any miss evicts a victim; dirty victims write back 64 B to NVM.
+            extra_nvm_write_bytes_per_op=misses_per_op * dirty_frac * CACHE_LINE,
+        )
+
+    def _hit_rate_for(self, stream: AccessStream, now: float) -> float:
+        if stream.content_shift > 0 and stream.name in self._hit:
+            # Newly-hot content is not yet cached: those accesses miss until
+            # the fill traffic brings it in (the Fig 9 transient).
+            self._hit[stream.name] = self._hit[stream.name] * (
+                1.0 - min(stream.content_shift, 1.0)
+            )
+        # The Monte-Carlo steady state is stable tick to tick; refresh it on
+        # a 100 ms cadence (or when the stream's weights object changes).
+        cached = self._targets.get(stream.name)
+        key = id(stream.weights)
+        if cached is not None and cached[2] == key and now - cached[0] < 0.1:
+            target = cached[1]
+        else:
+            target = self._steady_state_target(stream)
+            self._targets[stream.name] = (now, target, key)
+        current = self._hit.get(stream.name)
+        if current is None:
+            # First sight of this stream: assume a warmed cache.
+            self._hit[stream.name] = target
+            return target
+        tau = self._model.adaptation_tau(
+            self._stream_footprint(stream), max(self._fill_bw, 64 * MB)
+        )
+        dt = self.engine.config.tick if self.engine is not None else 0.01
+        new = smooth_toward(current, target, dt, tau)
+        self._hit[stream.name] = new
+        return new
+
+    def _steady_state_target(self, stream: AccessStream) -> float:
+        """Joint steady-state hit rate for ``stream`` given all live streams."""
+        streams = self._snapshot
+        if not any(s.name == stream.name for s in streams):
+            streams = self._pending_streams
+        classes: List[CacheClass] = []
+        owner_slices: Dict[str, List[int]] = {}
+        total_rate = sum(self._rate_of(s) for s in streams) or float(len(streams))
+        for s in streams:
+            share = (self._rate_of(s) or 1.0) / total_rate
+            slices = owner_slices.setdefault(s.name, [])
+            for rate_frac, footprint in self._classes_of(s):
+                slices.append(len(classes))
+                classes.append(CacheClass(
+                    rate_fraction=share * rate_frac,
+                    footprint=int(footprint),
+                    write_fraction=self._write_frac(s),
+                ))
+        hits = self._model.steady_state_hit_rates(classes)
+        my = owner_slices.get(stream.name, [])
+        if not my:
+            return 1.0
+        # Weight the stream's class hit rates by class access share.
+        weight = sum(classes[i].rate_fraction for i in my)
+        if weight <= 0:
+            return 1.0
+        return sum(hits[i] * classes[i].rate_fraction for i in my) / weight
+
+    @staticmethod
+    def _classes_of(stream: AccessStream) -> List[Tuple[float, int]]:
+        if stream.cache_classes:
+            return [(float(f), int(b)) for f, b in stream.cache_classes]
+        return [(1.0, MemoryModeManager._stream_footprint(stream))]
+
+    @staticmethod
+    def _stream_footprint(stream: AccessStream) -> int:
+        if stream.cache_classes:
+            return int(max(b for _f, b in stream.cache_classes))
+        if stream.weights is None:
+            return stream.region.size
+        # Effective footprint of a non-uniform distribution (inverse
+        # Simpson index x page size).
+        concentration = float((stream.weights ** 2).sum())
+        if concentration <= 0:
+            return stream.region.size
+        return int(stream.region.page_size / concentration)
+
+    def _rate_of(self, stream: AccessStream) -> float:
+        reads, writes = self._last_rates.get(stream.name, (0.0, 0.0))
+        return reads + writes
+
+    @staticmethod
+    def _write_frac(stream: AccessStream) -> float:
+        total = stream.reads_per_op + stream.writes_per_op
+        return stream.writes_per_op / total if total > 0 else 0.0
+
+    # -- feedback -------------------------------------------------------------
+    def observe(self, stream: AccessStream, split: TierSplit,
+                result: StreamResult, now: float, dt: float) -> None:
+        reads = result.ops * stream.reads_per_op / dt
+        writes = result.ops * stream.writes_per_op / dt
+        self._last_rates[stream.name] = (reads, writes)
+        # Fill bandwidth = NVM read traffic (demand misses + write-miss
+        # fills); drives how fast the cache adapts to shifts.
+        self._fill_bw = result.nvm_read_bytes / dt
+
+    def hit_rate(self, stream_name: str) -> float:
+        """Introspection for tests: current smoothed hit rate."""
+        return self._hit.get(stream_name, 1.0)

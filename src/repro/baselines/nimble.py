@@ -1,0 +1,288 @@
+"""Nimble: kernel NUMA tiered memory management (Yan et al., ASPLOS'19).
+
+NVM is a CPU-less NUMA node; a kernel daemon manages placement.  The
+properties the paper holds against it (§2.4, §5):
+
+- **Sequential**: scanning, statistics and migration share one kernel
+  thread, so long-running migrations delay scans and statistics go stale.
+- **Page-table based**: hotness comes from accessed bits gathered by LRU
+  scans at base-page granularity — slow over big memory (Fig 3) and binary,
+  so the hot set is over-estimated.
+- **Copy threads**: migration uses parallel kernel threads (4 is best),
+  which burn cores the application could use.
+- **Not write-aware**: read- and write-heavy pages are treated alike
+  (Table 2).
+
+The daemon loop: scan (busy for the Fig-3 scan time at 4 KB granularity,
+holding one core) -> classify -> exchange hot-NVM pages against cold-DRAM
+pages through the copy engine -> wait for the copies -> repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import TieredMemoryManager
+from repro.kernel.numa import NumaTopology
+from repro.mem.dma import CopyRequest, ThreadCopyEngine
+from repro.mem.page import BASE_PAGE, Tier
+from repro.mem.region import Region, RegionKind
+from repro.sim.service import Service
+from repro.sim.units import GB, gbps
+
+
+@dataclass(frozen=True)
+class NimbleConfig:
+    """Daemon tunables."""
+
+    copy_threads: int = 4
+    per_thread_copy_bw: float = gbps(1.6)
+    #: upper bound on bytes exchanged per scan cycle
+    exchange_budget: int = 4 * GB
+    #: pause between cycles when there was nothing to do
+    idle_period: float = 0.1
+    #: kernel LRU scans walk base-page structures even under THP
+    scan_page_size: int = BASE_PAGE
+    #: the kernel keeps free-memory watermarks on node 0; first-touch spills
+    #: to the NVM node once DRAM free falls below this fraction — which is
+    #: why Nimble trails even when the working set nominally fits DRAM
+    #: (Fig 5: at most 78% of MM's GUPS).
+    dram_reserve_frac: float = 0.12
+
+    def scaled(self, factor: float) -> "NimbleConfig":
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor}")
+        from dataclasses import replace
+
+        return replace(self, exchange_budget=max(int(self.exchange_budget / factor), 1))
+
+
+class NimbleManager(TieredMemoryManager):
+    """Kernel-managed NUMA memory with Nimble migration extensions."""
+
+    name = "nimble"
+
+    def __init__(self, config: Optional[NimbleConfig] = None):
+        super().__init__()
+        self.config = config or NimbleConfig()
+        self.numa: Optional[NumaTopology] = None
+        self.mover: Optional[ThreadCopyEngine] = None
+        self._regions: List[Region] = []
+
+    def _on_attach(self) -> None:
+        machine = self.machine
+        if machine.spec.scale != 1.0:
+            self.config = self.config.scaled(machine.spec.scale)
+        self.numa = NumaTopology(machine.spec.dram_capacity, machine.spec.nvm_capacity)
+        self.mover = ThreadCopyEngine(
+            machine.stats,
+            n_threads=self.config.copy_threads,
+            per_thread_bw=self.config.per_thread_copy_bw,
+        )
+        machine.register_mover(self.mover)
+        self.engine.add_service(_NimbleDaemon(self))
+
+    # -- allocation: first-touch NUMA policy --------------------------------------
+    def mmap(self, size: int, name: str = "", pinned_tier: Optional[Tier] = None) -> Region:
+        # The kernel offers no pinning interface to unmodified applications;
+        # pinned_tier is ignored (cf. the priority experiment).
+        region = self.machine.make_region(size, kind=RegionKind.HEAP, name=name)
+        region.managed = True
+        self._regions.append(region)
+        self.syscalls.address_space.insert(region)
+        return region
+
+    def prefault(self, region: Region, now: float = 0.0) -> None:
+        """First-touch: DRAM while node 0 is above its watermark, then NVM."""
+        page_bytes = region.page_size
+        reserve = int(self.machine.spec.dram_capacity * self.config.dram_reserve_frac)
+        dram_node = self.numa.node(Tier.DRAM)
+        for page in range(region.n_pages):
+            if region.mapped[page]:
+                continue
+            preferred = Tier.DRAM if dram_node.free_bytes - page_bytes >= reserve else Tier.NVM
+            tier = self.numa.alloc(page_bytes, preferred=preferred)
+            region.tier[page] = tier
+            region.mapped[page] = True
+
+    def managed_regions(self) -> List[Region]:
+        return list(self._regions)
+
+
+class _NimbleDaemon(Service):
+    """The sequential scan-then-migrate kernel thread."""
+
+    SCANNING = "scanning"
+    MIGRATING = "migrating"
+    IDLE = "idle"
+
+    def __init__(self, manager: NimbleManager):
+        super().__init__("nimble_daemon", period=0.0)
+        self.manager = manager
+        self.state = self.IDLE
+        self._busy_remaining = 0.0
+        self._idle_until = 0.0
+        self.cycles = 0
+        self._victim_cursor = {}
+
+    # -- helpers --------------------------------------------------------------
+    def _scan_cost(self) -> float:
+        machine = self.manager.machine
+        total = sum(r.size for r in self.manager.managed_regions())
+        # The kernel walks the logical (unscaled) amount of memory.
+        logical = int(total * machine.spec.scale)
+        return machine.pagetable.scan_time(logical, self.manager.config.scan_page_size)
+
+    def run(self, engine, now, dt) -> float:
+        if self.state == self.IDLE:
+            if now < self._idle_until or not self.manager.managed_regions():
+                return 0.0
+            self.state = self.SCANNING
+            self._busy_remaining = self._scan_cost()
+
+        if self.state == self.SCANNING:
+            busy = min(dt, self._busy_remaining)
+            self._busy_remaining -= busy
+            if self._busy_remaining <= 1e-12:
+                self._finish_scan(engine, now)
+            return busy
+
+        # MIGRATING: the copy threads do the work (charged by the machine);
+        # the daemon blocks until they drain.
+        if not self.manager.mover.busy:
+            self.state = self.IDLE
+            self._idle_until = now + self.manager.config.idle_period
+            self.cycles += 1
+        return 0.0
+
+    def _finish_scan(self, engine, now: float) -> None:
+        manager = self.manager
+        machine = manager.machine
+        promote: List[tuple] = []  # (region, page)
+        demote: List[tuple] = []
+        cleared = 0
+        budget = manager.config.exchange_budget
+        fidelity = 1.0 / machine.spec.scale
+        for region in manager.managed_regions():
+            accessed, _dirty = machine.pagetable.scan_bits(
+                region, clear=True, fidelity=fidelity
+            )
+            cleared += region.n_pages
+            # Only material up to the exchange budget can move this cycle.
+            cap = budget // region.page_size + 1
+            nvm_pages = region.tier == Tier.NVM
+            hot_nvm = np.nonzero(accessed & nvm_pages)[0][:cap]
+            cold_dram = np.nonzero(~accessed & ~nvm_pages & region.mapped)[0][:cap]
+            promote.extend((region, int(p)) for p in hot_nvm)
+            demote.extend((region, int(p)) for p in cold_dram)
+        if len(demote) < len(promote):
+            # Access bits saturate over long scan intervals, so the kernel
+            # LRU rarely finds truly idle DRAM pages; it still rotates the
+            # inactive list and evicts by age.  Model: round-robin over DRAM
+            # pages — the churn that often throws out hot data (§2.4, §5).
+            demote.extend(self._rotate_dram_victims(len(promote) - len(demote)))
+
+        # Clearing access bits costs TLB shootdowns, like any PT scanner
+        # (charged at logical page counts on scaled machines).
+        app_threads = getattr(engine, "last_app_threads", 0)
+        machine.add_interference(
+            machine.tlb.shootdown_core_seconds(
+                int(cleared * machine.spec.scale), app_threads
+            )
+        )
+
+        self._submit_exchanges(promote, demote, now)
+        self.cycles += 1
+        if manager.mover.busy:
+            self.state = self.MIGRATING
+        else:
+            self.state = self.IDLE
+            self._idle_until = now + manager.config.idle_period
+
+    def _rotate_dram_victims(self, n: int) -> List[tuple]:
+        """Pick ``n`` DRAM pages round-robin across managed regions."""
+        victims: List[tuple] = []
+        for region in self.manager.managed_regions():
+            if len(victims) >= n:
+                break
+            dram_pages = np.nonzero((region.tier == Tier.DRAM) & region.mapped)[0]
+            if len(dram_pages) == 0:
+                continue
+            cursor = self._victim_cursor.get(region.region_id, 0)
+            take = min(n - len(victims), len(dram_pages))
+            for i in range(take):
+                victims.append((region, int(dram_pages[(cursor + i) % len(dram_pages)])))
+            self._victim_cursor[region.region_id] = (cursor + take) % max(len(dram_pages), 1)
+        return victims
+
+    def _submit_exchanges(self, promote, demote, now: float) -> None:
+        """Exchange hot-NVM pages against DRAM victims, budget-bounded."""
+        manager = self.manager
+        budget = manager.config.exchange_budget
+        numa = manager.numa
+
+        # kswapd-style reclaim: keep the node-0 watermark free by demoting
+        # (rotated) DRAM pages.  Together with promotion filling that space
+        # back up, this is the steady migration churn Nimble pays whenever
+        # the working set presses against DRAM (Figs 5-6, 13).
+        reserve = int(
+            manager.machine.spec.dram_capacity * manager.config.dram_reserve_frac
+        )
+        deficit = reserve - numa.node(Tier.DRAM).free_bytes
+        if deficit > 0:
+            for region, page in self._rotate_dram_victims(
+                -(-deficit // manager.machine.spec.page_size)
+            ):
+                if budget < region.page_size:
+                    break
+                if not numa.migrate_accounting(region.page_size, Tier.DRAM, Tier.NVM):
+                    break
+                self._submit_copy(region, page, Tier.NVM)
+                budget -= region.page_size
+
+        free_dram = numa.node(Tier.DRAM).free_bytes
+        d_idx = 0
+        for region, page in promote:
+            page_bytes = region.page_size
+            if budget < page_bytes:
+                break
+            if free_dram >= page_bytes:
+                free_dram -= page_bytes
+                if not numa.migrate_accounting(page_bytes, Tier.NVM, Tier.DRAM):
+                    break
+                self._submit_copy(region, page, Tier.DRAM)
+                budget -= page_bytes
+                continue
+            if d_idx >= len(demote):
+                break
+            vregion, vpage = demote[d_idx]
+            d_idx += 1
+            # Exchange: demote the victim, promote the hot page.
+            if not numa.migrate_accounting(vregion.page_size, Tier.DRAM, Tier.NVM):
+                break
+            self._submit_copy(vregion, vpage, Tier.NVM)
+            budget -= vregion.page_size
+            if budget < page_bytes:
+                break
+            if not numa.migrate_accounting(page_bytes, Tier.NVM, Tier.DRAM):
+                break
+            self._submit_copy(region, page, Tier.DRAM)
+            budget -= page_bytes
+
+    def _submit_copy(self, region: Region, page: int, dst: Tier) -> None:
+        src = Tier(region.tier[page])
+
+        def complete(request: CopyRequest, when: float, _region=region, _page=page, _dst=dst):
+            _region.tier[_page] = _dst
+
+        self.manager.mover.submit(
+            CopyRequest(
+                nbytes=region.page_size,
+                src_tier=src,
+                dst_tier=dst,
+                on_complete=complete,
+            )
+        )

@@ -1,0 +1,99 @@
+"""Static-placement managers: DRAM-only, NVM-only, and the X-Mem emulation.
+
+The paper uses "DRAM" and "NVM" curves as bounds, and emulates X-Mem [17]
+by mapping large heap data structures from the NVM DAX file (§5.1): X-Mem
+profiles applications offline and places large randomly-accessed
+structures in NVM, small ones in DRAM, with no runtime migration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import TieredMemoryManager
+from repro.mem.page import Tier
+from repro.mem.region import Region, RegionKind
+from repro.sim.units import GB
+
+
+class _FixedPlacementManager(TieredMemoryManager):
+    """Places every page at mmap time and never migrates."""
+
+    def __init__(self, enforce_capacity: bool = True):
+        super().__init__()
+        self.enforce_capacity = enforce_capacity
+        self._used = {Tier.DRAM: 0, Tier.NVM: 0}
+
+    def _place(self, size: int, name: str) -> Tier:
+        raise NotImplementedError
+
+    def mmap(self, size: int, name: str = "", pinned_tier: Optional[Tier] = None) -> Region:
+        tier = pinned_tier if pinned_tier is not None else self._place(size, name)
+        if self.enforce_capacity:
+            capacity = (
+                self.machine.spec.dram_capacity
+                if tier == Tier.DRAM
+                else self.machine.spec.nvm_capacity
+            )
+            if self._used[tier] + size > capacity:
+                raise MemoryError(
+                    f"{self.name}: {size} bytes do not fit in {tier.name} "
+                    f"({self._used[tier]}/{capacity} used)"
+                )
+        region = self.machine.make_region(size, kind=RegionKind.HEAP, name=name)
+        region.managed = False  # nothing tracks or migrates it
+        region.tier[:] = tier
+        self._used[tier] += region.size
+        self.syscalls.address_space.insert(region)
+        return region
+
+    def munmap(self, region: Region) -> None:
+        tier = Tier(region.tier[0]) if region.n_pages else Tier.DRAM
+        self._used[tier] -= region.size
+        super().munmap(region)
+
+
+class DramOnlyManager(_FixedPlacementManager):
+    """Everything in DRAM — the paper's 'DRAM' upper-bound line.
+
+    By default capacity is *not* enforced so the bound can be plotted past
+    physical DRAM, exactly as the paper's dashed reference line is.
+    """
+
+    name = "dram"
+
+    def __init__(self, enforce_capacity: bool = False):
+        super().__init__(enforce_capacity=enforce_capacity)
+
+    def _place(self, size: int, name: str) -> Tier:
+        return Tier.DRAM
+
+
+class NvmOnlyManager(_FixedPlacementManager):
+    """Everything in NVM — the paper's 'NVM' lower-bound line."""
+
+    name = "nvm"
+
+    def _place(self, size: int, name: str) -> Tier:
+        return Tier.NVM
+
+
+class XMemManager(_FixedPlacementManager):
+    """X-Mem emulation: large heap structures to NVM, small data in DRAM."""
+
+    name = "xmem"
+
+    def __init__(self, large_threshold: int = 1 * GB, enforce_capacity: bool = True):
+        super().__init__(enforce_capacity=enforce_capacity)
+        if large_threshold <= 0:
+            raise ValueError(f"threshold must be positive: {large_threshold}")
+        self.large_threshold = large_threshold
+
+    def _on_attach(self) -> None:
+        if self.machine.spec.scale != 1.0:
+            self.large_threshold = max(
+                int(self.large_threshold / self.machine.spec.scale), 1
+            )
+
+    def _place(self, size: int, name: str) -> Tier:
+        return Tier.NVM if size >= self.large_threshold else Tier.DRAM

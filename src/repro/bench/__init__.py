@@ -1,0 +1,18 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment module exposes ``run(scenario) -> Table``; the registry
+maps experiment ids (``fig5``, ``table3``, ...) to them.  Run from the
+command line::
+
+    python -m repro.bench fig5 --scale 32 --preset fast
+    python -m repro.bench all --preset fast
+
+or through pytest-benchmark (one file per experiment under
+``benchmarks/``).
+"""
+
+from repro.bench.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+
+__all__ = ["EXPERIMENTS", "Scenario", "Table", "get_experiment", "run_experiment"]

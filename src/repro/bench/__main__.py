@@ -1,0 +1,48 @@
+"""CLI: python -m repro.bench <experiment|all> [--preset fast|full] [--scale N]."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.bench.scenario import PRESETS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate HeMem (SOSP'21) evaluation tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help=f"experiment id or 'all': {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="fast")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override capacity scale divisor")
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    scenario = PRESETS[args.preset]()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = scenario.with_(**overrides)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        table = run_experiment(name, scenario)
+        print(table.render())
+        print(f"[{name}: {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""One module per paper table/figure; see :mod:`repro.bench.registry`."""

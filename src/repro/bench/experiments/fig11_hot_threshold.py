@@ -1,0 +1,50 @@
+"""Fig 11: hot-memory read threshold sensitivity (write = read / 2).
+
+Expected shapes: very low thresholds over-estimate the hot set (cold data
+clogs DRAM); 6-20 accesses work well; above ~20 the hot set is
+under-estimated (pages take too long to qualify).
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups_common import run_gups_case, window_mean
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.core.config import HeMemConfig
+from repro.core.hemem import HeMemManager
+from repro.workloads.gups import GupsConfig
+from repro.sim.units import GB
+
+THRESHOLDS = (2, 4, 8, 12, 16, 20, 26, 32)
+
+
+def run(scenario: Scenario) -> Table:
+    table = Table(
+        "Fig 11 — hot read threshold sensitivity",
+        ["read_threshold", "write_threshold", "gups"],
+        expectation="low thresholds over-estimate; 6-20 good; >20 under-estimate",
+    )
+    # Low thresholds hurt through cold pages slowly accumulating stray
+    # samples — visible only once the run approaches the cold-page sample
+    # period (the paper's runs are ~300 s).  High thresholds hurt through
+    # identification latency.  Both need a long run + steady-state window.
+    duration = scenario.duration * 6
+    for threshold in THRESHOLDS:
+        write_threshold = max(threshold // 2, 1)
+        config = HeMemConfig(
+            hot_read_threshold=threshold,
+            hot_write_threshold=write_threshold,
+            cooling_threshold=max(18, threshold + 2),
+        )
+        gups = GupsConfig(
+            working_set=scenario.size(512 * GB),
+            hot_set=scenario.size(16 * GB),
+            threads=16,
+        )
+        result = run_gups_case(
+            scenario, "hemem", gups, manager=HeMemManager(config),
+            duration=duration,
+        )
+        steady = window_mean(result["engine"], duration * 0.5, duration) / 1e9
+        table.row(threshold, write_threshold, f"{steady:.4f}")
+    return table

@@ -1,0 +1,50 @@
+"""Fig 12: memory cooling threshold sensitivity through a hot-set shift.
+
+Expected shapes: cooling threshold equal to the hot threshold (8) cools too
+aggressively and under-estimates the hot set; higher thresholds adapt
+faster to the shift; too high (~30) marks too many pages hot and they
+compete for DRAM.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups_common import run_gups_case, window_mean
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.core.config import HeMemConfig
+from repro.core.hemem import HeMemManager
+from repro.workloads.gups import GupsConfig
+from repro.sim.units import GB
+
+COOLING = (8, 13, 18, 24, 30)
+
+
+def run(scenario: Scenario) -> Table:
+    shift_time = scenario.warmup + (scenario.duration - scenario.warmup) * 0.4
+    end = scenario.duration
+    table = Table(
+        "Fig 12 — cooling threshold sensitivity (instantaneous GUPS)",
+        ["cooling", "pre-shift", "post-shift", "recovered/pre"],
+        expectation=(
+            "cooling == hot threshold (8) too aggressive; 13-24 adapt well; "
+            "30 marks too much hot"
+        ),
+    )
+    for cooling in COOLING:
+        config = HeMemConfig(cooling_threshold=cooling)
+        gups = GupsConfig(
+            working_set=scenario.size(512 * GB),
+            hot_set=scenario.size(16 * GB),
+            threads=16,
+            shift_time=shift_time,
+            shift_bytes=scenario.size(4 * GB),
+        )
+        result = run_gups_case(
+            scenario, "hemem", gups, manager=HeMemManager(config)
+        )
+        engine = result["engine"]
+        pre = window_mean(engine, shift_time - 3.0, shift_time) / 1e9
+        post = window_mean(engine, end - 3.0, end) / 1e9
+        table.row(cooling, f"{pre:.4f}", f"{post:.4f}",
+                  f"{(post / pre if pre else 0):.2f}")
+    return table

@@ -1,0 +1,34 @@
+"""Fig 15: GAP betweenness centrality, 2^29 vertices (exceeds DRAM).
+
+Expected shapes: HeMem identifies hot/written data and migrates it —
+early iterations slower, then steady; HeMem ~58% faster than MM and ~36%
+faster than Nimble; HeMem-PT-Async pays extra early migrations (the paper:
+first iterations up to 3x slower than PEBS) then converges to HeMem.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.fig14_bc_small import run_bc_case
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+
+SYSTEMS = ("hemem", "hemem-pt-async", "nimble", "mm")
+LOGICAL_VERTICES = 1 << 29
+
+
+def run(scenario: Scenario) -> Table:
+    table = Table(
+        "Fig 15 — BC runtime per iteration, 2^29 vertices (seconds; lower is better)",
+        ["system", "iterations"] + [f"it{i}" for i in range(1, 9)] + ["mean"],
+        expectation=(
+            "HeMem improves over early iterations then steadies; ~58% faster "
+            "than MM, ~36% faster than Nimble; PT-Async converges to HeMem"
+        ),
+    )
+    for system in SYSTEMS:
+        workload = run_bc_case(scenario, system, LOGICAL_VERTICES)
+        times = workload.iteration_times[:8]
+        cells = [f"{t:.2f}" for t in times] + ["-"] * (8 - len(times))
+        mean = sum(times) / len(times) if times else 0.0
+        table.row(system, workload.iterations_done, *cells, f"{mean:.2f}")
+    return table

@@ -1,0 +1,44 @@
+"""Fig 1: memory access throughput scalability vs thread count.
+
+256 B cached accesses, sequential/random x read/write on DRAM and Optane.
+Expected shapes: DRAM scales with threads in every mode; Optane write
+bandwidth saturates by ~4 threads regardless of pattern; Optane sequential
+read beats DRAM random access at scale.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.mem.devices import RAND, READ, SEQ, WRITE, ddr4_spec, optane_spec
+from repro.sim.units import GB
+
+THREADS = (1, 2, 4, 8, 16, 24)
+ACCESS_SIZE = 256
+
+
+def run(scenario: Scenario) -> Table:
+    devices = {"dram": ddr4_spec(), "optane": optane_spec()}
+    table = Table(
+        "Fig 1 — throughput scalability (GB/s, 256 B accesses)",
+        ["device", "op", "pattern"] + [f"t={t}" for t in THREADS],
+        expectation=(
+            "DRAM scales with threads; Optane writes saturate at ~4 threads; "
+            "Optane seq read tops DRAM random by ~14% at scale"
+        ),
+    )
+    for dev_name, spec in devices.items():
+        for op in (READ, WRITE):
+            for pattern in (SEQ, RAND):
+                bws = [
+                    spec.microbench_bw(op, pattern, ACCESS_SIZE, t) / GB
+                    for t in THREADS
+                ]
+                table.row(dev_name, op, pattern, *[f"{b:.1f}" for b in bws])
+
+    opt_seq = devices["optane"].microbench_bw(READ, SEQ, ACCESS_SIZE, 24)
+    dram_rand = devices["dram"].microbench_bw(READ, RAND, ACCESS_SIZE, 24)
+    table.note(
+        f"Optane seq read / DRAM rand read at 24 threads = {opt_seq / dram_rand:.2f}x"
+    )
+    return table

@@ -1,0 +1,29 @@
+"""Fig 3: page-table access-bit scan time vs capacity and page size.
+
+Expected: small memory scans fast regardless of page size; terabytes of
+base pages take seconds; huge/giga pages orders of magnitude cheaper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.mem.page import BASE_PAGE, GIGA_PAGE, HUGE_PAGE
+from repro.mem.pagetable import PageTable
+from repro.sim.units import GB, TB
+
+CAPACITIES = (16 * GB, 64 * GB, 256 * GB, 1 * TB, 4 * TB)
+PAGE_SIZES = ((BASE_PAGE, "4KB"), (HUGE_PAGE, "2MB"), (GIGA_PAGE, "1GB"))
+
+
+def run(scenario: Scenario) -> Table:
+    pt = PageTable()
+    table = Table(
+        "Fig 3 — page table scan time (seconds)",
+        ["capacity"] + [label for _s, label in PAGE_SIZES],
+        expectation="base-page scans of TBs take seconds; huge pages ~500x cheaper",
+    )
+    for capacity in CAPACITIES:
+        cells = [f"{pt.scan_time(capacity, size):.4g}" for size, _l in PAGE_SIZES]
+        table.row(f"{capacity // GB}GB", *cells)
+    return table

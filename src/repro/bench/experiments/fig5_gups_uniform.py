@@ -1,0 +1,39 @@
+"""Fig 5: uniform-random GUPS over working set sizes (system overhead).
+
+Expected shapes: HeMem and MM track DRAM while the working set fits; MM
+degrades from conflict misses as the working set approaches DRAM capacity
+(3.2x gap at 128 GB); Nimble tops out near 78% of MM; beyond DRAM all
+systems converge to NVM-resident GUPS.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups_common import run_gups_case
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.workloads.gups import GupsConfig
+from repro.sim.units import GB
+
+WORKING_SETS_GB = (8, 16, 32, 64, 128, 192, 256)
+SYSTEMS = ("dram", "mm", "hemem", "nimble", "nvm")
+
+
+def run(scenario: Scenario, threads: int = 16) -> Table:
+    table = Table(
+        f"Fig 5 — uniform GUPS vs working set ({threads} threads)",
+        ["ws"] + list(SYSTEMS),
+        expectation=(
+            "HeMem == MM == DRAM while fitting; MM sags near 192 GB "
+            "(HeMem ~3x MM at 128 GB); all converge to NVM beyond DRAM"
+        ),
+    )
+    for ws_gb in WORKING_SETS_GB:
+        cells = []
+        for system in SYSTEMS:
+            gups = GupsConfig(
+                working_set=scenario.size(ws_gb * GB), threads=threads
+            )
+            result = run_gups_case(scenario, system, gups)
+            cells.append(f"{result['gups']:.4f}")
+        table.row(f"{ws_gb}GB", *cells)
+    return table

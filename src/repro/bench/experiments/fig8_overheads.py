@@ -1,0 +1,86 @@
+"""Fig 8: HeMem overhead breakdown (512 GB working set, 16 GB hot).
+
+Configurations, cumulative from an oracle:
+
+- **Opt** — hot set manually placed in DRAM, no tracking, no migration.
+- **PEBS** — Opt placement + the PEBS thread running (shows sampling is
+  nearly free).
+- **PT Scan** — Opt placement + page-table scanning instead of PEBS
+  (TLB shootdowns cost ~18%).
+- **PEBS + Migrate** — full HeMem, no oracle (within ~6% of Opt).
+- **PT + M. Async** — page-table HeMem, separate scan thread (~43% of Opt).
+- **PT + M. Sync** — scan and migration sharing one thread (~18% of Opt).
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups_common import run_gups_case
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.core.hemem import HeMemManager, hemem_pt_async, hemem_pt_sync
+from repro.mem.page import Tier
+from repro.workloads.gups import GupsConfig
+from repro.sim.units import GB
+
+
+def _gups_config(scenario: Scenario) -> GupsConfig:
+    return GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(16 * GB),
+        threads=16,
+    )
+
+
+def _oracle_placement(engine) -> None:
+    """Place the hot set in DRAM by fiat (the 'Opt' baseline)."""
+    workload = engine.workload
+    region = workload.region
+    region.tier[:] = Tier.NVM
+    region.tier[workload._hot_pages] = Tier.DRAM
+
+
+def _disable(engine, *service_names) -> None:
+    for service in list(engine.services):
+        if service.name in service_names:
+            engine.remove_service(service)
+
+
+def _run_config(scenario: Scenario, label: str, manager_factory, oracle: bool,
+                disable_services=()) -> float:
+    gups = _gups_config(scenario)
+    manager = manager_factory()
+    result = run_gups_case(scenario, label, gups, manager=manager, duration=0.0)
+    engine = result["engine"]
+    if oracle:
+        _oracle_placement(engine)
+    if disable_services:
+        _disable(engine, *disable_services)
+    engine.run(scenario.duration)
+    return result["workload"].gups(engine.clock.now)
+
+
+def run(scenario: Scenario) -> Table:
+    table = Table(
+        "Fig 8 — HeMem overhead breakdown (GUPS)",
+        ["config", "gups", "vs Opt"],
+        expectation=(
+            "PEBS ~= Opt; PT Scan -18% (TLB shootdowns); PEBS+Migrate within "
+            "~6% of Opt; PT+M.Async ~43% of Opt; PT+M.Sync ~18% of Opt"
+        ),
+    )
+    configs = [
+        ("Opt", HeMemManager, True,
+         ("pebs_drain", "hemem_policy", "hemem_fault", "hemem_cooling")),
+        ("PEBS", HeMemManager, True, ("hemem_policy",)),
+        ("PT Scan", hemem_pt_async, True, ("hemem_policy",)),
+        ("PEBS + Migrate", HeMemManager, False, ()),
+        ("PT + M. Async", hemem_pt_async, False, ()),
+        ("PT + M. Sync", hemem_pt_sync, False, ()),
+    ]
+    results = {}
+    for label, factory, oracle, disabled in configs:
+        results[label] = _run_config(scenario, label, factory, oracle, disabled)
+    opt = results["Opt"] or 1e-12
+    for label, _f, _o, _d in configs:
+        table.row(label, f"{results[label]:.4f}", f"{results[label] / opt:.2f}")
+    return table

@@ -1,0 +1,49 @@
+"""Fig 9: instantaneous GUPS through a hot-set shift.
+
+At mid-run, 4 GB of the 16 GB hot set goes cold and 4 GB of cold data
+becomes hot.  Expected shapes: HeMem and MM dip then recover (the paper's
+testbed recovers within ~20 s; on a capacity-scaled machine migration is
+scale-x faster so the dip is shorter); MM's line-grained fills dip least;
+HeMem-PT-Async cannot re-identify the hot set and stays depressed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups_common import run_gups_case, window_mean
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.workloads.gups import GupsConfig
+from repro.sim.units import GB
+
+SYSTEMS = ("hemem", "mm", "hemem-pt-async")
+
+
+def run(scenario: Scenario) -> Table:
+    shift_time = scenario.warmup + (scenario.duration - scenario.warmup) * 0.4
+    end = scenario.duration
+    table = Table(
+        "Fig 9 — instantaneous GUPS through a hot set shift",
+        ["system", "pre-shift", "dip", "recovered", "recovered/pre"],
+        expectation=(
+            "HeMem & MM dip then recover (paper: within 20 s); MM dips least; "
+            "HeMem-PT-Async stays depressed (no recovery)"
+        ),
+    )
+    for system in SYSTEMS:
+        gups = GupsConfig(
+            working_set=scenario.size(512 * GB),
+            hot_set=scenario.size(16 * GB),
+            threads=16,
+            shift_time=shift_time,
+            shift_bytes=scenario.size(4 * GB),
+        )
+        result = run_gups_case(scenario, system, gups)
+        engine = result["engine"]
+        pre = window_mean(engine, shift_time - 3.0, shift_time) / 1e9
+        dip = window_mean(engine, shift_time, shift_time + 1.0) / 1e9
+        recovered = window_mean(engine, end - 3.0, end) / 1e9
+        ratio = recovered / pre if pre else 0.0
+        table.row(system, f"{pre:.4f}", f"{dip:.4f}", f"{recovered:.4f}", f"{ratio:.2f}")
+        series = engine.stats.series("app.ops_per_sec")
+        table.add_series(system, zip(series.times, series.values))
+    return table

@@ -1,0 +1,70 @@
+"""Table 3: FlexKVS throughput across working sets, plus latency at 700 GB.
+
+Expected shapes: parity while the working set fits DRAM (<= 128 GB); at
+700 GB (hot 140 GB still fits DRAM) HeMem ~14-15% over MM/Nimble and ~18%
+over NVM placement; at 30% load HeMem's latency percentiles sit below MM's
+at every quantile.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.bench.managers import make_manager
+from repro.mem.machine import Machine
+from repro.sim.engine import Engine, EngineConfig
+from repro.workloads.kvs import KvsConfig, KvsWorkload
+from repro.sim.units import GB, MB
+
+WORKING_SETS_GB = (16, 128, 700)
+SYSTEMS = ("mm", "hemem", "nimble", "nvm")
+PERCENTILES = (50, 90, 99, 99.9)
+
+
+def run_kvs_case(scenario: Scenario, system: str, ws_gb: int,
+                 load=None) -> dict:
+    config = KvsConfig(
+        working_set=scenario.size(ws_gb * GB),
+        head_bytes=scenario.size(128 * MB),
+        load=load,
+    )
+    workload = KvsWorkload(config, warmup=scenario.warmup)
+    machine = Machine(scenario.machine_spec(), seed=scenario.seed)
+    manager = make_manager(system)
+    engine = Engine(machine, manager, workload,
+                    EngineConfig(tick=scenario.tick, seed=scenario.seed))
+    engine.run(scenario.duration)
+    return {"workload": workload, "engine": engine, "manager": manager}
+
+
+def _hit_fraction(system: str, case: dict) -> float:
+    workload = case["workload"]
+    if system == "mm":
+        return case["manager"].hit_rate(workload.config.instance + "_items")
+    return workload.dram_hit_fraction()
+
+
+def run(scenario: Scenario) -> Table:
+    table = Table(
+        "Table 3 — FlexKVS throughput (Mops/s) and latency at 700 GB (us)",
+        ["system", "16GB", "128GB", "700GB", "p50", "p90", "p99", "p99.9"],
+        expectation=(
+            "parity <= 128 GB; at 700 GB HeMem ~+14% over MM/Nimble, +18% over "
+            "NVM; HeMem latency below MM at every percentile"
+        ),
+    )
+    for system in SYSTEMS:
+        throughputs = []
+        latency_cells = ["-"] * len(PERCENTILES)
+        for ws_gb in WORKING_SETS_GB:
+            case = run_kvs_case(scenario, system, ws_gb)
+            workload = case["workload"]
+            throughputs.append(workload.throughput(case["engine"].clock.now) / 1e6)
+            if ws_gb == 700 and system in ("mm", "hemem"):
+                lat_case = run_kvs_case(scenario, system, 700, load=0.3)
+                lat_wl = lat_case["workload"]
+                hit = _hit_fraction(system, lat_case)
+                lat = lat_wl.latency_percentiles(PERCENTILES, dram_fraction=hit)
+                latency_cells = [f"{lat[p] * 1e6:.1f}" for p in PERCENTILES]
+        table.row(system, *[f"{t:.2f}" for t in throughputs], *latency_cells)
+    return table

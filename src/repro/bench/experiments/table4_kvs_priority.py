@@ -1,0 +1,88 @@
+"""Table 4: FlexKVS latency with a prioritised instance.
+
+Two FlexKVS instances share the machine: a priority instance (16 GB, one
+client) whose key-value pairs HeMem pins in DRAM, and a regular instance
+(500 GB, uniform access) using both tiers.  Expected: HeMem improves the
+priority instance's latency (paper: -47% median, -16% p99) without
+materially hurting the regular instance; MM cannot prioritise.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+from repro.bench.managers import make_manager
+from repro.mem.machine import Machine
+from repro.sim.engine import Engine, EngineConfig
+from repro.workloads.kvs import KvsConfig, KvsWorkload
+from repro.workloads.multi import MultiWorkload
+from repro.sim.units import GB, MB
+
+PERCENTILES = (50, 99, 99.9)
+SYSTEMS = ("hemem", "mm")
+
+
+def run_priority_case(scenario: Scenario, system: str) -> dict:
+    priority = KvsWorkload(KvsConfig(
+        working_set=scenario.size(16 * GB),
+        head_bytes=scenario.size(64 * MB),
+        pinned=True,
+        load=0.5,
+        base_rtt=60e-6,  # Linux TCP stack in this experiment
+        instance="prio",
+    ), warmup=scenario.warmup)
+    regular = KvsWorkload(KvsConfig(
+        working_set=scenario.size(500 * GB),
+        head_bytes=scenario.size(128 * MB),
+        uniform=True,
+        load=0.5,
+        base_rtt=60e-6,
+        instance="reg",
+    ), warmup=scenario.warmup)
+    workload = MultiWorkload([priority, regular])
+    machine = Machine(scenario.machine_spec(), seed=scenario.seed)
+    manager = make_manager(system)
+    engine = Engine(machine, manager, workload,
+                    EngineConfig(tick=scenario.tick, seed=scenario.seed))
+    engine.run(scenario.duration)
+
+    # NVM congestion from the regular instance's misses inflates every
+    # NVM access; a shared hardware cache cannot shield the priority
+    # instance from this, pinned DRAM can.
+    duration = engine.clock.now or 1.0
+    nvm = machine.nvm
+    demand = (nvm.bytes_read + nvm.bytes_written) / duration
+    capacity = nvm.capacity_bw("read", "rand") + nvm.capacity_bw("write", "rand")
+    rho = min(demand / capacity, 0.85)
+    inflation = 1.0 / (1.0 - rho)
+
+    out = {}
+    for label, part in (("priority", priority), ("regular", regular)):
+        if system == "mm":
+            hit = manager.hit_rate(part.config.instance + "_items")
+        else:
+            hit = part.dram_hit_fraction()
+        out[label] = part.latency_percentiles(
+            PERCENTILES, dram_fraction=hit, nvm_wait_inflation=inflation
+        )
+    return out
+
+
+def run(scenario: Scenario) -> Table:
+    table = Table(
+        "Table 4 — FlexKVS latency with priority (us)",
+        ["system", "prio p50", "prio p99", "prio p99.9",
+         "reg p50", "reg p99", "reg p99.9"],
+        expectation=(
+            "HeMem pins the priority instance in DRAM: better priority "
+            "latency at every percentile vs MM, regular instance unharmed"
+        ),
+    )
+    for system in SYSTEMS:
+        lat = run_priority_case(scenario, system)
+        table.row(
+            system,
+            *[f"{lat['priority'][p] * 1e6:.0f}" for p in PERCENTILES],
+            *[f"{lat['regular'][p] * 1e6:.0f}" for p in PERCENTILES],
+        )
+    return table

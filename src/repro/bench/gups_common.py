@@ -1,0 +1,47 @@
+"""Shared plumbing for the GUPS-based experiments (Figs 5-12, Table 2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.managers import make_manager
+from repro.bench.scenario import Scenario
+from repro.mem.machine import Machine, MachineSpec
+from repro.sim.engine import Engine, EngineConfig
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+
+def run_gups_case(
+    scenario: Scenario,
+    manager_name: str,
+    gups: GupsConfig,
+    duration: Optional[float] = None,
+    spec: Optional[MachineSpec] = None,
+    manager=None,
+    seed: Optional[int] = None,
+) -> dict:
+    """Run one GUPS configuration; returns gups + counters + engine."""
+    spec = spec or scenario.machine_spec()
+    machine = Machine(spec, seed=seed if seed is not None else scenario.seed)
+    manager = manager if manager is not None else make_manager(manager_name)
+    workload = GupsWorkload(gups, warmup=scenario.warmup)
+    engine = Engine(
+        machine, manager, workload,
+        EngineConfig(tick=scenario.tick, seed=seed if seed is not None else scenario.seed),
+    )
+    engine.run(duration if duration is not None else scenario.duration)
+    return {
+        "gups": workload.gups(engine.clock.now),
+        "counters": machine.stats.counters(),
+        "engine": engine,
+        "workload": workload,
+    }
+
+
+def window_mean(engine, start: float, end: float) -> float:
+    """Mean ops/s over [start, end) from the engine's throughput series."""
+    series = engine.stats.series("app.ops_per_sec")
+    values = [v for t, v in zip(series.times, series.values) if start <= t < end]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

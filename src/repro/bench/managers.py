@@ -1,0 +1,40 @@
+"""Manager registry: every tiered-memory system the paper compares."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines import (
+    DramOnlyManager,
+    MemoryModeManager,
+    NimbleManager,
+    NvmOnlyManager,
+    XMemManager,
+)
+from repro.core import HeMemConfig, HeMemManager
+from repro.core.hemem import hemem_pt_async, hemem_pt_sync
+
+MANAGERS: Dict[str, Callable[[], object]] = {
+    "hemem": HeMemManager,
+    "hemem-threads": lambda: HeMemManager(HeMemConfig(use_dma=False)),
+    "hemem-pt-async": hemem_pt_async,
+    "hemem-pt-sync": hemem_pt_sync,
+    "mm": MemoryModeManager,
+    "nimble": NimbleManager,
+    "xmem": XMemManager,
+    "dram": DramOnlyManager,
+    "nvm": NvmOnlyManager,
+}
+
+
+def make_manager(name: str):
+    try:
+        return MANAGERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown manager {name!r}; choose from {sorted(MANAGERS)}"
+        ) from None
+
+
+def manager_names() -> List[str]:
+    return sorted(MANAGERS)

@@ -1,0 +1,90 @@
+"""Plain-text result tables with paper-expectation annotations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class Table:
+    """A fixed-column table plus free-form notes.
+
+    ``expectation`` carries the paper's qualitative claim for the
+    experiment so the printed output reads as paper-vs-measured.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str],
+                 expectation: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.expectation = expectation
+        self.rows: List[List[str]] = []
+        self.notes: List[str] = []
+        self.series: Dict[str, list] = {}
+
+    def row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def add_series(self, name: str, values) -> None:
+        """Attach a raw series (instantaneous throughput etc.) for plotting."""
+        self.series[name] = list(values)
+
+    def cell(self, row: int, column: str) -> str:
+        return self.rows[row][self.columns.index(column)]
+
+    def column_values(self, column: str) -> List[str]:
+        idx = self.columns.index(column)
+        return [r[idx] for r in self.rows]
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (header row + data rows)."""
+        def esc(cell: str) -> str:
+            if "," in cell or '"' in cell:
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(esc(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(esc(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path) -> None:
+        """Write the table as CSV (for external plotting)."""
+        with open(path, "w") as fh:
+            fh.write(self.to_csv())
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        if self.expectation:
+            lines.append(f"paper: {self.expectation}")
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,56 @@
+"""Scenarios: how big and how long each experiment runs.
+
+All paper-scale byte sizes pass through :meth:`Scenario.size` so one knob
+(``scale``) shrinks the machine, the working sets, and HeMem's byte-sized
+thresholds coherently.  Durations are in virtual seconds; the scaled
+machine's dynamics (migration, detection) run ``scale`` x faster for
+capacity-bound phases while sampling-based detection keeps real-time
+constants, so the presets pick durations long enough for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.mem.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment sizing."""
+
+    scale: float = 32.0
+    seed: int = 42
+    duration: float = 30.0
+    warmup: float = 8.0
+    tick: float = 0.01
+    repeats: int = 1
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive: {self.scale}")
+        if self.duration <= self.warmup:
+            raise ValueError("duration must exceed warmup")
+
+    def size(self, paper_bytes: int) -> int:
+        """Scale a paper-quoted size down to this scenario's machine."""
+        return max(int(paper_bytes / self.scale), 1)
+
+    def machine_spec(self) -> MachineSpec:
+        return MachineSpec().scaled(self.scale)
+
+    def with_(self, **kw) -> "Scenario":
+        return replace(self, **kw)
+
+
+def fast() -> Scenario:
+    """CI-sized: scale 64, short runs.  Shapes hold, absolute values noisy."""
+    return Scenario(scale=64.0, duration=24.0, warmup=8.0)
+
+
+def full() -> Scenario:
+    """Paper-shaped: scale 16, longer runs (minutes of wall time each)."""
+    return Scenario(scale=16.0, duration=60.0, warmup=15.0)
+
+
+PRESETS = {"fast": fast, "full": full}

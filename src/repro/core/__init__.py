@@ -1,0 +1,24 @@
+"""HeMem: the paper's contribution — a user-level tiered memory manager.
+
+The manager is assembled from the same pieces the paper describes in §3:
+
+- :mod:`repro.core.config` — all tunables (hot thresholds, cooling
+  threshold, policy period, watermark, migration rate, sampling source).
+- :mod:`repro.core.alloc` — mmap interception and the small-vs-large
+  allocation policy with growth tracking.
+- :mod:`repro.core.tracking` — per-page read/write counters, hot/cold FIFO
+  lists per tier, the lazy cooling clock, write-heavy classification.
+- :mod:`repro.core.sources` — access-information sources: PEBS sampling
+  (HeMem proper) and page-table scanning (the HeMem-PT ablations).
+- :mod:`repro.core.migrate` — write-protected page migration through the
+  DMA engine or copy threads.
+- :mod:`repro.core.policy` — the 10 ms policy thread: promotion, demotion,
+  free-DRAM watermark, write-heavy priority.
+- :mod:`repro.core.hemem` — the assembled manager.
+"""
+
+from repro.core.base import TieredMemoryManager
+from repro.core.config import HeMemConfig
+from repro.core.hemem import HeMemManager
+
+__all__ = ["HeMemConfig", "HeMemManager", "TieredMemoryManager"]

@@ -1,0 +1,51 @@
+"""Allocation policy: which mmaps does HeMem manage, and where do pages go.
+
+HeMem intercepts mmap and manages only allocations that tend to grow large
+and live long (§3.2-3.3):
+
+- allocations below the management threshold (1 GB) are forwarded to the
+  kernel — they stay in DRAM, unmanaged, which automatically keeps small
+  and ephemeral data in fast memory;
+- regions that *grow* through repeated small allocations are promoted to
+  managed status once their cumulative size crosses the threshold;
+- managed pages are faulted in from DRAM while free DRAM remains above the
+  watermark, then from NVM — the PEBS/policy machinery later pulls hot NVM
+  pages up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import HeMemConfig
+
+
+class AllocationPolicy:
+    """Decides managed-vs-kernel for each allocation request."""
+
+    def __init__(self, config: HeMemConfig):
+        self.config = config
+        self._growth: Dict[str, int] = {}
+
+    def should_manage(self, size: int, name: str = "") -> bool:
+        """True if HeMem should claim this mmap."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        if not self.config.small_bypass:
+            return True
+        if size >= self.config.manage_threshold:
+            return True
+        if name:
+            # Track growth of named arenas: a heap that expands through
+            # many small mmaps becomes managed once it crosses the
+            # threshold.
+            grown = self._growth.get(name, 0) + size
+            self._growth[name] = grown
+            return grown >= self.config.manage_threshold
+        return False
+
+    def grown_bytes(self, name: str) -> int:
+        return self._growth.get(name, 0)
+
+    def reset_growth(self, name: str) -> None:
+        self._growth.pop(name, None)

@@ -1,0 +1,70 @@
+"""HeMem configuration: every tunable the paper names, with its default.
+
+Paper defaults (§3, §4, §5.1):
+
+- PEBS sample period ~5,000 accesses (machine-level, see
+  :class:`repro.mem.pebs.PebsSpec`),
+- hot threshold: 8 loads or 4 stores,
+- cooling threshold: 18 accumulated samples,
+- policy thread period: 10 ms,
+- DRAM free watermark: 1 GB,
+- management threshold: 1 GB (smaller allocations stay kernel/DRAM),
+- migration rate cap: 10 GB/s,
+- DMA: batches of 4 on 2 channels; fallback: 4 copy threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.units import GB
+
+
+@dataclass(frozen=True)
+class HeMemConfig:
+    hot_read_threshold: int = 8
+    hot_write_threshold: int = 4
+    cooling_threshold: int = 18
+    policy_period: float = 0.010
+    dram_free_watermark: int = 1 * GB
+    manage_threshold: int = 1 * GB
+    migration_max_rate: float = 10 * GB  # bytes/second
+    use_dma: bool = True
+    copy_threads: int = 4
+    #: max bytes the policy thread keeps queued at the mover (bounds the
+    #: migration backlog to roughly one policy period at full rate)
+    migration_queue_limit: int = 2 * GB
+    #: write-heavy pages are promoted before read-heavy ones (§3.3);
+    #: switchable for the write-awareness ablation.
+    write_priority: bool = True
+    #: small/ephemeral allocations bypass management (§3.3); switchable for
+    #: the manage-everything ablation (the X-Mem/HeteroOS contrast).
+    small_bypass: bool = True
+
+    def __post_init__(self):
+        if self.hot_read_threshold <= 0 or self.hot_write_threshold <= 0:
+            raise ValueError("hot thresholds must be positive")
+        if self.cooling_threshold < max(self.hot_read_threshold, self.hot_write_threshold):
+            raise ValueError(
+                "cooling threshold below the hot threshold would cool pages "
+                "before they can ever become hot"
+            )
+        if self.policy_period <= 0:
+            raise ValueError(f"policy period must be positive: {self.policy_period}")
+        if self.dram_free_watermark < 0 or self.manage_threshold < 0:
+            raise ValueError("watermark/threshold cannot be negative")
+        if self.migration_max_rate <= 0:
+            raise ValueError("migration rate cap must be positive")
+        if self.copy_threads <= 0:
+            raise ValueError("need at least one copy thread")
+
+    def scaled(self, factor: float) -> "HeMemConfig":
+        """Shrink byte-sized knobs alongside a scaled machine."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor}")
+        return replace(
+            self,
+            dram_free_watermark=max(int(self.dram_free_watermark / factor), 0),
+            manage_threshold=max(int(self.manage_threshold / factor), 1),
+            migration_queue_limit=max(int(self.migration_queue_limit / factor), 1),
+        )

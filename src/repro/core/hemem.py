@@ -1,0 +1,205 @@
+"""The assembled HeMem manager.
+
+Wires the allocation policy, tracker, access source (PEBS or page-table
+scanning), migrator and policy thread together behind the
+:class:`~repro.core.base.TieredMemoryManager` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.alloc import AllocationPolicy
+from repro.core.base import TieredMemoryManager
+from repro.core.config import HeMemConfig
+from repro.core.migrate import Migrator
+from repro.core.policy import PolicyService
+from repro.core.sources import AccessSource, PebsSource, PtScanSource, SpinningService
+from repro.core.tracking import HotColdTracker
+from repro.kernel.dax import DaxFile
+from repro.kernel.fault import FaultCostModel
+from repro.kernel.userfaultfd import FaultKind, UserFaultFd
+from repro.mem.dma import ThreadCopyEngine
+from repro.mem.page import Tier
+from repro.mem.region import Region, RegionKind
+from repro.sim.rng import make_rng
+
+
+class HeMemManager(TieredMemoryManager):
+    """HeMem: user-level tiered memory management via PEBS + userfaultfd."""
+
+    name = "hemem"
+
+    def __init__(
+        self,
+        config: Optional[HeMemConfig] = None,
+        source_factory: Optional[Callable[["HeMemManager"], AccessSource]] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__()
+        self.config = config or HeMemConfig()
+        self._source_factory = source_factory
+        if name is not None:
+            self.name = name
+        # populated in _on_attach
+        self.dax: Dict[Tier, DaxFile] = {}
+        self.uffd: Optional[UserFaultFd] = None
+        self.tracker: Optional[HotColdTracker] = None
+        self.source: Optional[AccessSource] = None
+        self.migrator: Optional[Migrator] = None
+        self.fault_costs = FaultCostModel()
+        self._managed: List[Region] = []
+        self._offsets: Dict[int, np.ndarray] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def _on_attach(self) -> None:
+        machine = self.machine
+        if machine.spec.scale != 1.0:
+            # Configs are always written at paper scale; byte-sized knobs
+            # (watermark, manage threshold, queue bound) shrink with the
+            # machine's capacities.
+            self.config = self.config.scaled(machine.spec.scale)
+        page = machine.spec.page_size
+        self.dax = {
+            Tier.DRAM: DaxFile(Tier.DRAM, machine.spec.dram_capacity, page),
+            Tier.NVM: DaxFile(Tier.NVM, machine.spec.nvm_capacity, page),
+        }
+        self.uffd = UserFaultFd(machine.stats)
+        self.tracker = HotColdTracker(self.config, machine.stats)
+
+        if self.config.use_dma:
+            mover = machine.dma
+            mover.max_rate = self.config.migration_max_rate
+        else:
+            mover = ThreadCopyEngine(
+                machine.stats,
+                n_threads=self.config.copy_threads,
+                max_rate=self.config.migration_max_rate,
+            )
+            machine.register_mover(mover)
+        self.migrator = Migrator(
+            mover, self.dax, self.uffd, self.tracker, machine, self.fault_costs
+        )
+
+        if self._source_factory is not None:
+            self.source = self._source_factory(self)
+        else:
+            self.source = PebsSource(self, make_rng(machine.seed, "pebs_source"))
+
+        self.alloc_policy = AllocationPolicy(self.config)
+        self.syscalls.set_interceptor(self._intercept_mmap)
+
+        for service in self.source.services():
+            self.engine.add_service(service)
+        self.engine.add_service(PolicyService(self))
+        # Dedicated page-fault and cooling threads (each burns a core;
+        # cf. §5.1 "enables the policy and cooling threads" and Fig 7).
+        self.engine.add_service(SpinningService("hemem_fault"))
+        self.engine.add_service(SpinningService("hemem_cooling"))
+
+    # -- allocation -------------------------------------------------------------
+    def _intercept_mmap(self, size: int, name: str) -> Optional[Region]:
+        if not self.alloc_policy.should_manage(size, name):
+            return None
+        return self._make_managed_region(size, name)
+
+    def _make_managed_region(self, size: int, name: str,
+                             pinned_tier: Optional[Tier] = None) -> Region:
+        region = self.machine.make_region(size, kind=RegionKind.HEAP, name=name)
+        region.managed = True
+        region.pinned_tier = pinned_tier
+        self.uffd.register(region)
+        self._managed.append(region)
+        self._offsets[region.region_id] = np.full(region.n_pages, -1, dtype=np.int64)
+        self.migrator.bind_offsets(region.region_id, self._offsets[region.region_id])
+        return region
+
+    def mmap(self, size: int, name: str = "", pinned_tier: Optional[Tier] = None) -> Region:
+        if pinned_tier is not None:
+            # Priority instances bypass the size policy: the user asked for
+            # this data to live in a specific tier (§5.2.2).
+            region = self._make_managed_region(size, name, pinned_tier)
+            self.syscalls.address_space.insert(region)
+            return region
+        return self.syscalls.mmap(size, name)
+
+    def munmap(self, region: Region) -> None:
+        if region in self._managed:
+            offsets = self._offsets.pop(region.region_id)
+            for page in range(region.n_pages):
+                if offsets[page] >= 0:
+                    tier = Tier(region.tier[page])
+                    self.dax[tier].free_page(int(offsets[page]))
+                self.tracker.untrack_page(region, page)
+            self.uffd.unregister(region)
+            self._managed.remove(region)
+        super().munmap(region)
+
+    def prefault(self, region: Region, now: float = 0.0) -> None:
+        """Fault in every page, DRAM-first (§3.3), and start tracking it."""
+        if not region.managed or region not in self._managed:
+            region.mapped[:] = True
+            return
+        offsets = self._offsets[region.region_id]
+        dram = self.dax[Tier.DRAM]
+        nvm = self.dax[Tier.NVM]
+        watermark_pages = self.config.dram_free_watermark // region.page_size
+        for page in range(region.n_pages):
+            if region.mapped[page]:
+                continue
+            if region.pinned_tier is not None:
+                tier = region.pinned_tier
+            elif dram.free_pages > watermark_pages:
+                tier = Tier.DRAM
+            else:
+                tier = Tier.NVM
+            dax = dram if tier == Tier.DRAM else nvm
+            offsets[page] = dax.alloc_page()
+            region.tier[page] = tier
+            region.mapped[page] = True
+            self.uffd.post_fault(FaultKind.PAGE_MISSING, region, page, now)
+            if region.pinned_tier is None:
+                self.tracker.track_page(region, page)
+        # The page-fault thread resolves the queued missing faults; big-data
+        # apps pre-fill, so we model resolution as immediate and just drain.
+        self.uffd.read_events()
+
+    # -- engine callbacks ----------------------------------------------------------
+    def observe(self, stream, split, result, now, dt) -> None:
+        if stream.region.pinned_tier is not None:
+            return  # pinned data is never a migration candidate
+        self.source.on_traffic(stream, split, result, now, dt)
+
+    # -- introspection -------------------------------------------------------------
+    def managed_regions(self) -> Iterable[Region]:
+        return list(self._managed)
+
+    def dram_free_bytes(self) -> int:
+        return self.dax[Tier.DRAM].free_bytes
+
+    def offsets(self, region: Region) -> np.ndarray:
+        return self._offsets[region.region_id]
+
+
+def hemem_pt_async(config: Optional[HeMemConfig] = None,
+                   scan_period: float = 0.1) -> HeMemManager:
+    """HeMem with asynchronous page-table scanning instead of PEBS."""
+    return HeMemManager(
+        config=config,
+        source_factory=lambda mgr: PtScanSource(mgr, scan_period=scan_period,
+                                                sync_with_migration=False),
+        name="hemem-pt-async",
+    )
+
+
+def hemem_pt_sync(config: Optional[HeMemConfig] = None,
+                  scan_period: float = 0.1) -> HeMemManager:
+    """HeMem with page-table scanning sharing the migration thread."""
+    return HeMemManager(
+        config=config,
+        source_factory=lambda mgr: PtScanSource(mgr, scan_period=scan_period,
+                                                sync_with_migration=True),
+        name="hemem-pt-sync",
+    )

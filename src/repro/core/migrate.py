@@ -1,0 +1,129 @@
+"""Asynchronous page migration with write-protection (§3.2).
+
+To migrate a page HeMem:
+
+1. write-protects it through userfaultfd (reads proceed; writes fault and
+   wait until the copy finishes — measured at < 0.00013% of writes),
+2. submits the copy to the I/OAT DMA engine (or copy threads if no DMA),
+3. on completion remaps the virtual page to the new tier's DAX offset,
+   restores access rights, and wakes any stalled writers.
+
+The migrator owns DAX offset accounting: the destination page is reserved
+at submit time and the source page freed at completion, so a migration
+transiently holds both (copy-then-remap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.tracking import HotColdTracker, PageNode
+from repro.kernel.dax import DaxFile
+from repro.kernel.fault import FaultCostModel
+from repro.kernel.userfaultfd import UserFaultFd
+from repro.mem.dma import CopyEngine, CopyRequest
+from repro.mem.page import Tier
+
+
+class Migrator:
+    """Submits and completes write-protected page copies."""
+
+    def __init__(
+        self,
+        mover: CopyEngine,
+        dax: Dict[Tier, DaxFile],
+        uffd: UserFaultFd,
+        tracker: HotColdTracker,
+        machine,
+        fault_costs: Optional[FaultCostModel] = None,
+    ):
+        self.mover = mover
+        self.dax = dax
+        self.uffd = uffd
+        self.tracker = tracker
+        self.machine = machine
+        self.fault_costs = fault_costs or FaultCostModel()
+        self._offsets = {}  # region_id -> offset array (owned by manager)
+        self._migrated = machine.stats.counter("hemem.pages_migrated")
+        self._promoted = machine.stats.counter("hemem.pages_promoted")
+        self._demoted = machine.stats.counter("hemem.pages_demoted")
+        self._wp_stalls = machine.stats.counter("hemem.wp_write_stalls")
+
+    def bind_offsets(self, region_id: int, offsets) -> None:
+        """Manager hands us the region's per-page DAX offset array."""
+        self._offsets[region_id] = offsets
+
+    # -- queue state -----------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self.mover.busy
+
+    @property
+    def queued_bytes(self) -> int:
+        return self.mover.pending_bytes
+
+    # -- migration -------------------------------------------------------------
+    def can_reserve(self, dst: Tier) -> bool:
+        return self.dax[dst].free_pages > 0
+
+    def migrate(self, node: PageNode, dst: Tier, now: float) -> bool:
+        """Begin migrating ``node`` to ``dst``; False if no space there."""
+        region = node.region
+        if node.under_migration:
+            return False
+        if Tier(region.tier[node.page]) == dst:
+            raise ValueError(f"{node!r} is already in {dst.name}")
+        if region.pinned_tier is not None:
+            raise ValueError(f"{region.name} is pinned to {region.pinned_tier.name}")
+        dax_dst = self.dax[dst]
+        if dax_dst.free_pages == 0:
+            return False
+        new_offset = dax_dst.alloc_page()
+
+        # Write-protect: stores to the page now wait on the copy.
+        self.uffd.write_protect(region, [node.page])
+        node.under_migration = True
+        if node.owner is not None:
+            node.owner.remove(node)
+        writes_at_submit = float(region.pending_writes[node.page])
+
+        src = Tier(region.tier[node.page])
+        request = CopyRequest(
+            nbytes=region.page_size,
+            src_tier=src,
+            dst_tier=dst,
+            tag=(node, new_offset, writes_at_submit),
+            on_complete=self._complete,
+        )
+        self.mover.submit(request)
+        return True
+
+    def _complete(self, request: CopyRequest, now: float) -> None:
+        node, new_offset, writes_at_submit = request.tag
+        region = node.region
+        src = Tier(region.tier[node.page])
+        dst = request.dst_tier
+
+        # Remap: free the old DAX page, install the new one.
+        offsets = self._offsets.get(region.region_id)
+        if offsets is None:
+            raise RuntimeError(f"no DAX offsets bound for {region.name}")
+        self.dax[src].free_page(int(offsets[node.page]))
+        offsets[node.page] = new_offset
+
+        region.tier[node.page] = dst
+        self.uffd.write_unprotect(region, [node.page])
+        node.under_migration = False
+        self.tracker.page_migrated(node)
+
+        # Writers that hit the page while protected stalled until now.
+        stalled = max(float(region.pending_writes[node.page]) - writes_at_submit, 0.0)
+        if stalled > 0:
+            self._wp_stalls.add(stalled)
+            self.machine.add_interference(stalled * self.fault_costs.wp_resolution)
+
+        self._migrated.add(1)
+        if dst == Tier.DRAM:
+            self._promoted.add(1)
+        else:
+            self._demoted.add(1)

@@ -1,0 +1,116 @@
+"""The HeMem policy thread (§3.3): runs every 10 ms.
+
+Per activation the policy:
+
+1. *Promotes* — pops the NVM hot list (write-heavy pages sit at its front)
+   and migrates pages to DRAM, using free DRAM above the watermark first
+   and swapping against DRAM cold-list victims otherwise.  If DRAM holds
+   no cold page and no free space, promotion stops: the hot set exceeds
+   DRAM and migrating would only thrash.
+2. *Enforces the free-DRAM watermark* — demotes DRAM cold pages (or, if
+   none are cold, the oldest hot pages, HeMem's stand-in for "random
+   data") until the configured amount of DRAM is free for new allocations.
+
+The amount of work queued per activation is bounded so the migration
+backlog never exceeds ``migration_queue_limit`` bytes.
+"""
+
+from __future__ import annotations
+
+from repro.mem.page import Tier
+from repro.sim.service import Service
+
+
+class PolicyService(Service):
+    """HeMem's policy thread: a dedicated core, acting every 10 ms.
+
+    The thread exists (and occupies a core) continuously; the *policy*
+    decisions fire once per period.  Charging the full tick models the
+    dedicated thread, which is what contends with the application at high
+    thread counts (Fig 7).
+    """
+
+    def __init__(self, manager):
+        super().__init__("hemem_policy", period=0.0)
+        self.manager = manager
+        self._next_decision = 0.0
+
+    def run(self, engine, now, dt) -> float:
+        if now + 1e-12 >= self._next_decision:
+            self._promote(now)
+            self._enforce_watermark(now)
+            self._next_decision = now + self.manager.config.policy_period
+        return dt
+
+    # -- promotion ------------------------------------------------------------
+    def _promote(self, now: float) -> int:
+        manager = self.manager
+        config = manager.config
+        tracker = manager.tracker
+        migrator = manager.migrator
+        nvm_hot = tracker.list_for(Tier.NVM, hot=True)
+        dram_cold = tracker.list_for(Tier.DRAM, hot=False)
+        dram_dax = manager.dax[Tier.DRAM]
+        count = 0
+        while nvm_hot and migrator.queued_bytes < config.migration_queue_limit:
+            node = nvm_hot.front
+            # Freshness check: cool before spending migration bandwidth.
+            tracker.cool_if_stale(node)
+            if node.owner is not nvm_hot:
+                continue  # cooled below hot; it moved to the cold list
+            have_free = dram_dax.free_bytes - node.nbytes >= config.dram_free_watermark
+            if have_free:
+                if not migrator.migrate(node, Tier.DRAM, now):
+                    break
+                count += 1
+                continue
+            victim = self._pick_demotion_victim(dram_cold, tracker)
+            if victim is None:
+                # Hot set exceeds DRAM: stop migrating (§3.3).
+                break
+            if not migrator.migrate(victim, Tier.NVM, now):
+                break
+            count += 1
+            if not migrator.migrate(node, Tier.DRAM, now):
+                break
+            count += 1
+        return count
+
+    # -- watermark ------------------------------------------------------------
+    def _enforce_watermark(self, now: float) -> int:
+        manager = self.manager
+        config = manager.config
+        tracker = manager.tracker
+        migrator = manager.migrator
+        dram_dax = manager.dax[Tier.DRAM]
+        dram_cold = tracker.list_for(Tier.DRAM, hot=False)
+        dram_hot = tracker.list_for(Tier.DRAM, hot=True)
+        count = 0
+        while (
+            dram_dax.free_bytes < config.dram_free_watermark
+            and migrator.queued_bytes < config.migration_queue_limit
+        ):
+            victim = self._pick_demotion_victim(dram_cold, tracker)
+            if victim is None:
+                # No cold data: demote the oldest resident hot page
+                # ("migrates random data to NVM until the threshold amount
+                # of DRAM is free").
+                victim = dram_hot.front
+            if victim is None:
+                break
+            if not migrator.migrate(victim, Tier.NVM, now):
+                break
+            count += 1
+        return count
+
+    # -- helpers --------------------------------------------------------------
+    @staticmethod
+    def _pick_demotion_victim(dram_cold, tracker):
+        """Front of the DRAM cold list, skipping freshly-hot entries."""
+        while dram_cold:
+            node = dram_cold.front
+            tracker.cool_if_stale(node)
+            if node.owner is dram_cold:
+                return node
+            # cool_if_stale re-homed it (it had become hot); try the next.
+        return None

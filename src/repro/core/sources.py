@@ -1,0 +1,252 @@
+"""Access-information sources feeding HeMem's tracker.
+
+HeMem proper uses PEBS sampling (:class:`PebsSource`).  The paper's
+ablations replace it with page-table scanning, either on its own thread
+(*PT Scan + M. Async*) or sharing the policy/migration thread
+(*PT Scan + M. Sync*) — :class:`PtScanSource` implements both.
+
+The central fidelity difference the paper measures: PEBS records carry
+*frequency* information (every period-th access), while access bits are
+*binary* per scan interval — over any non-trivial interval nearly every
+page of a big working set gets touched at least once, so page-table
+tracking systematically over-estimates the hot set, and clearing the bits
+costs TLB shootdowns that stall the application.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from repro.mem.access import AccessStream, StreamResult, TierSplit
+from repro.mem.page import Tier
+from repro.mem.pebs import PebsEventKind, PebsRecord
+from repro.mem.sampling import WeightedSampler
+from repro.sim.service import Service
+
+
+class AccessSource(ABC):
+    """Strategy interface: turn achieved traffic into tracker updates."""
+
+    def __init__(self, manager):
+        self.manager = manager  # HeMemManager; provides tracker/machine
+
+    @abstractmethod
+    def services(self) -> List[Service]:
+        """Background services this source needs registered."""
+
+    def on_traffic(
+        self,
+        stream: AccessStream,
+        split: TierSplit,
+        result: StreamResult,
+        now: float,
+        dt: float,
+    ) -> None:
+        """Called for every stream each tick (default: nothing)."""
+
+
+# ---------------------------------------------------------------------------
+# PEBS sampling (HeMem proper)
+# ---------------------------------------------------------------------------
+
+class PebsSource(AccessSource):
+    """Feeds the machine's PEBS unit and drains it on a dedicated service."""
+
+    def __init__(self, manager, rng: np.random.Generator):
+        super().__init__(manager)
+        self._sampler = WeightedSampler(rng)
+        self._drain_service = _PebsDrainService(self)
+
+    def services(self) -> List[Service]:
+        return [self._drain_service]
+
+    def on_traffic(self, stream, split, result, now, dt) -> None:
+        region = stream.region
+        if not region.managed:
+            return
+        pebs = self.manager.machine.pebs
+        loads = result.ops * stream.reads_per_op
+        stores = result.ops * stream.writes_per_op
+        dram_loads = loads * split.dram_read_frac
+        nvm_loads = loads - dram_loads
+        if dram_loads > 0:
+            pebs.feed(
+                PebsEventKind.DRAM_READ,
+                dram_loads,
+                lambda n: self._tier_records(PebsEventKind.DRAM_READ, stream, Tier.DRAM, n),
+            )
+        if nvm_loads > 0:
+            pebs.feed(
+                PebsEventKind.NVM_READ,
+                nvm_loads,
+                lambda n: self._tier_records(PebsEventKind.NVM_READ, stream, Tier.NVM, n),
+            )
+        if stores > 0:
+            pebs.feed(
+                PebsEventKind.STORE,
+                stores,
+                lambda n: self._store_records(stream, n),
+            )
+
+    # -- samplers ------------------------------------------------------------
+    def _tier_records(self, kind: PebsEventKind, stream: AccessStream,
+                      tier: Tier, n: int) -> List[PebsRecord]:
+        """Draw load records conditioned on the serving tier.
+
+        Rejection sampling against the unconditional distribution: the
+        acceptance rate equals the tier fraction, and the number of records
+        requested is proportional to the same fraction, so expected work per
+        tick stays bounded.
+        """
+        region = stream.region
+        in_tier = region.tier == tier
+        records: List[PebsRecord] = []
+        attempts = 0
+        while len(records) < n and attempts < 8:
+            want = (n - len(records)) * 2 + 8
+            draw = self._sampler.sample(region.n_pages, stream.weights, want)
+            accepted = draw[in_tier[draw]]
+            for page in accepted[: n - len(records)]:
+                records.append(PebsRecord(kind, region, int(page)))
+            attempts += 1
+        return records
+
+    def _store_records(self, stream: AccessStream, n: int) -> List[PebsRecord]:
+        region = stream.region
+        weights = stream.write_weights if stream.write_weights is not None else stream.weights
+        draw = self._sampler.sample(region.n_pages, weights, n)
+        return [PebsRecord(PebsEventKind.STORE, region, int(p)) for p in draw]
+
+
+class _PebsDrainService(Service):
+    """HeMem's PEBS thread: a dedicated core polling the buffer.
+
+    The real thread busy-reads the PEBS buffer in a loop, so it occupies a
+    full core whether or not records arrive — the source of HeMem's thread
+    contention at high application thread counts (Fig 7).
+    """
+
+    #: simulator shortcut: beyond this many applied records per tick the
+    #: marginal sample is informationally redundant (every page is already
+    #: sampled many times over), so the remainder is drained (freeing the
+    #: buffer, like the real thread) without per-record tracker updates.
+    APPLY_CAP_PER_TICK = 2000
+
+    def __init__(self, source: PebsSource):
+        super().__init__("pebs_drain", period=0.0)
+        self.source = source
+
+    def run(self, engine, now, dt) -> float:
+        pebs = engine.machine.pebs
+        spec = pebs.spec
+        # One thread can process at most dt / cost-per-record records.
+        budget = int(dt / (spec.drain_ns_per_record * 1e-9))
+        records = pebs.drain(budget)
+        tracker = self.source.manager.tracker
+        for rec in records[: self.APPLY_CAP_PER_TICK]:
+            tracker.record_sample(rec.region, rec.page, rec.kind.is_store)
+        return dt  # busy-polling: the whole tick, records or not
+
+
+class SpinningService(Service):
+    """A dedicated thread that burns its core (fault/cooling threads)."""
+
+    def __init__(self, name: str):
+        super().__init__(name, period=0.0)
+
+    def run(self, engine, now, dt) -> float:
+        return dt
+
+
+# ---------------------------------------------------------------------------
+# Page-table scanning (HeMem-PT ablations)
+# ---------------------------------------------------------------------------
+
+class PtScanSource(AccessSource):
+    """Access/dirty-bit scanning in place of PEBS.
+
+    ``sync_with_migration=True`` models the *M. Sync* configuration: the
+    scanner shares its thread with migration, so scans stall while copies
+    are in flight, statistics go stale, and the hot set balloons.
+    """
+
+    def __init__(self, manager, scan_period: float = 0.1,
+                 sync_with_migration: bool = False):
+        super().__init__(manager)
+        if scan_period <= 0:
+            raise ValueError(f"scan period must be positive: {scan_period}")
+        self.scan_period = scan_period
+        self.sync_with_migration = sync_with_migration
+        self._service = _PtScanService(self)
+        self.scans_completed = 0
+
+    def services(self) -> List[Service]:
+        return [self._service]
+
+    # the traffic ground truth accumulates on regions automatically; no
+    # per-tick work is needed here.
+
+    def apply_scan(self, now: float) -> int:
+        """Read + clear access bits over all managed regions.
+
+        Returns the number of pages whose bits were cleared (drives the TLB
+        shootdown charge).
+        """
+        manager = self.manager
+        tracker = manager.tracker
+        machine = manager.machine
+        cleared = 0
+        fidelity = 1.0 / machine.spec.scale
+        for region in manager.managed_regions():
+            accessed, dirty = machine.pagetable.scan_bits(
+                region, clear=True, fidelity=fidelity
+            )
+            touched = np.nonzero(accessed | dirty)[0]
+            for page in touched:
+                tracker.record_scan_hit(region, int(page), bool(accessed[page]), bool(dirty[page]))
+            cleared += region.n_pages
+        self.scans_completed += 1
+        return cleared
+
+
+class _PtScanService(Service):
+    """Periodic scan thread; busy time follows the Fig-3 cost model."""
+
+    def __init__(self, source: PtScanSource):
+        super().__init__("pt_scan", period=0.0)
+        self.source = source
+        self._busy_remaining = 0.0
+        self._next_scan_start = 0.0
+
+    def run(self, engine, now, dt) -> float:
+        manager = self.source.manager
+        machine = engine.machine
+        if self._busy_remaining <= 0:
+            if now < self._next_scan_start:
+                return 0.0
+            if self.source.sync_with_migration and manager.migrator.busy:
+                # Shared thread: migration in flight blocks scanning.
+                return 0.0
+            regions = list(manager.managed_regions())
+            if not regions:
+                return 0.0
+            # On a capacity-scaled machine each region stands for scale x
+            # as much real memory; the scanner walks the *logical* table.
+            self._busy_remaining = (
+                machine.pagetable.scan_time_regions(regions) * machine.spec.scale
+            )
+        busy = min(dt, self._busy_remaining)
+        self._busy_remaining -= busy
+        if self._busy_remaining <= 1e-12:
+            self._busy_remaining = 0.0
+            cleared = self.source.apply_scan(now)
+            app_threads = getattr(engine, "last_app_threads", 0)
+            # Shootdowns hit every logical page cleared (scale x modelled).
+            logical_cleared = int(cleared * machine.spec.scale)
+            stall = machine.tlb.shootdown_core_seconds(logical_cleared, app_threads)
+            machine.add_interference(stall)
+            self._next_scan_start = now + self.source.scan_period
+        return busy

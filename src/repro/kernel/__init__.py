@@ -1,0 +1,33 @@
+"""OS substrate: address spaces, syscalls, page faults, userfaultfd, DAX, NUMA.
+
+This package models the slice of Linux that HeMem interacts with:
+
+- :mod:`repro.kernel.vma` — per-process address space of mapped regions.
+- :mod:`repro.kernel.syscalls` — mmap/munmap/madvise entry points that a
+  user-level manager (HeMem) can intercept, mirroring libsyscall_intercept.
+- :mod:`repro.kernel.userfaultfd` — fault forwarding to user space,
+  including the write-protection support HeMem's kernel patch adds.
+- :mod:`repro.kernel.fault` — page-fault cost model.
+- :mod:`repro.kernel.dax` — DAX files backing each memory tier.
+- :mod:`repro.kernel.numa` — NUMA nodes + migrate_pages, the substrate the
+  Nimble baseline manages memory through.
+"""
+
+from repro.kernel.dax import DaxFile
+from repro.kernel.fault import FaultCostModel
+from repro.kernel.numa import NumaNode, NumaTopology
+from repro.kernel.syscalls import SyscallLayer
+from repro.kernel.userfaultfd import FaultEvent, FaultKind, UserFaultFd
+from repro.kernel.vma import AddressSpace
+
+__all__ = [
+    "AddressSpace",
+    "DaxFile",
+    "FaultCostModel",
+    "FaultEvent",
+    "FaultKind",
+    "NumaNode",
+    "NumaTopology",
+    "SyscallLayer",
+    "UserFaultFd",
+]

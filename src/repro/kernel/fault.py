@@ -1,0 +1,28 @@
+"""Page-fault cost model.
+
+The paper measures userfaultfd overhead and finds it irrelevant for its
+workloads because big-data applications pre-fault their heaps precisely to
+avoid faults at runtime.  We still model the costs so the pre-fault phase
+and any residual runtime faults (e.g. write-protection faults hitting pages
+under migration) are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultCostModel:
+    """Latency constants (seconds) for the fault paths."""
+
+    kernel_fault: float = 1.5e-6  # anonymous page fault handled in-kernel
+    uffd_forward: float = 6.0e-6  # round trip to a user-level handler
+    wp_resolution: float = 4.0e-6  # write-protect fault wake-up
+
+    def prefault_time(self, n_pages: int, forwarded: bool) -> float:
+        """Wall time to populate ``n_pages`` by touching them once each."""
+        if n_pages < 0:
+            raise ValueError(f"negative page count: {n_pages}")
+        per_fault = self.uffd_forward if forwarded else self.kernel_fault
+        return n_pages * per_fault

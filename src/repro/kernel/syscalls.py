@@ -1,0 +1,65 @@
+"""Memory-management syscall layer with user-level interception.
+
+HeMem is linked into applications via LD_PRELOAD and intercepts memory
+management calls (mmap, munmap, madvise) with libsyscall_intercept; calls it
+chooses not to handle are forwarded to the kernel.  The model mirrors that:
+an interceptor may claim an mmap, otherwise the kernel maps a plain
+anonymous region (which, on this machine, means DRAM-backed and unmanaged).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel.vma import AddressSpace
+from repro.mem.machine import Machine
+from repro.mem.page import Tier
+from repro.mem.region import Region, RegionKind
+
+#: An interceptor receives (size, name) and returns a Region to claim the
+#: call, or None to forward it to the kernel.
+Interceptor = Callable[[int, str], Optional[Region]]
+
+
+class SyscallLayer:
+    """mmap/munmap/madvise entry points for one simulated process."""
+
+    def __init__(self, machine: Machine, address_space: Optional[AddressSpace] = None):
+        self.machine = machine
+        self.address_space = address_space or AddressSpace()
+        self._interceptor: Optional[Interceptor] = None
+
+    def set_interceptor(self, interceptor: Optional[Interceptor]) -> None:
+        """Install (or remove) the LD_PRELOAD-style mmap interceptor."""
+        self._interceptor = interceptor
+
+    # -- syscalls -------------------------------------------------------------
+    def mmap(self, size: int, name: str = "") -> Region:
+        """Anonymous mapping; may be claimed by the interceptor."""
+        if size <= 0:
+            raise ValueError(f"mmap size must be positive: {size}")
+        if self._interceptor is not None:
+            region = self._interceptor(size, name)
+            if region is not None:
+                self.address_space.insert(region)
+                return region
+        return self._kernel_mmap(size, name)
+
+    def munmap(self, region: Region) -> None:
+        self.address_space.remove(region)
+        region.mapped[:] = False
+
+    def madvise_dontneed(self, region: Region) -> None:
+        """Discard contents (pages become unmapped; next touch refaults)."""
+        region.mapped[:] = False
+        region.clear_access_bits()
+
+    # -- kernel path ------------------------------------------------------------
+    def _kernel_mmap(self, size: int, name: str) -> Region:
+        """Plain kernel anonymous memory: DRAM-backed, not tier-managed."""
+        region = self.machine.make_region(size, kind=RegionKind.SMALL, name=name)
+        region.managed = False
+        region.tier[:] = Tier.DRAM
+        region.mapped[:] = True  # faulted in lazily; modelled as immediate
+        self.address_space.insert(region)
+        return region

@@ -1,0 +1,47 @@
+"""Per-process address space: the set of mapped regions."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.mem.region import Region
+
+
+class AddressSpace:
+    """Tracks the regions mapped into one simulated process."""
+
+    def __init__(self, name: str = "proc"):
+        self.name = name
+        self._regions: List[Region] = []
+
+    def insert(self, region: Region) -> Region:
+        for existing in self._regions:
+            if region.start < existing.end and existing.start < region.end:
+                raise ValueError(
+                    f"mapping {region.name} overlaps {existing.name} "
+                    f"([{region.start:#x},{region.end:#x}) vs "
+                    f"[{existing.start:#x},{existing.end:#x}))"
+                )
+        self._regions.append(region)
+        return region
+
+    def remove(self, region: Region) -> None:
+        if region not in self._regions:
+            raise KeyError(f"{region.name} is not mapped in {self.name}")
+        self._regions.remove(region)
+
+    def find(self, va: int) -> Optional[Region]:
+        for region in self._regions:
+            if region.contains(va):
+                return region
+        return None
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(r.size for r in self._regions)

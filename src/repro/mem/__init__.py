@@ -1,0 +1,32 @@
+"""Hardware substrate: memory devices, page tables, TLB, PEBS, DMA, caches.
+
+Everything the real HeMem gets from the Cascade Lake + Optane DC platform is
+modelled here:
+
+- :mod:`repro.mem.devices` — DRAM and Optane DC device models with
+  asymmetric read/write bandwidth, latency, media access granularity and
+  thread-scaling behaviour (calibrated to the paper's Table 1, Figs 1-2).
+- :mod:`repro.mem.pagetable` — multi-level page-table scan cost and
+  access/dirty bit behaviour (Fig 3).
+- :mod:`repro.mem.tlb` — TLB shootdown interference.
+- :mod:`repro.mem.pebs` — processor event-based sampling unit.
+- :mod:`repro.mem.dma` — I/OAT-style DMA engine and copy-thread fallback.
+- :mod:`repro.mem.cache` — direct-mapped DRAM cache model (Memory Mode).
+- :mod:`repro.mem.machine` — the composed machine.
+"""
+
+from repro.mem.access import AccessStream, Pattern, StreamResult, TierSplit
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.mem.region import Region
+
+__all__ = [
+    "AccessStream",
+    "Machine",
+    "MachineSpec",
+    "Pattern",
+    "Region",
+    "StreamResult",
+    "Tier",
+    "TierSplit",
+]

@@ -1,0 +1,200 @@
+"""Memory device models: DDR4 DRAM and Intel Optane DC NVM.
+
+Calibration comes from the paper's Table 1 and the microbenchmark
+observations around Figs 1-2:
+
+- DRAM: 82 ns load latency, ~107 / 80 GB/s peak sequential read/write,
+  scales nearly linearly with threads up to the socket.
+- Optane DC: 175 / 94 ns read/write latency, asymmetric bandwidth, 256 B
+  media access granularity, *write bandwidth saturates at ~4 threads*.
+- With the paper's 256 B cached-access microbenchmark: DRAM random and
+  sequential write throughput are 10.7x and 16.5x Optane's; DRAM random
+  read is 2.7x Optane random read; Optane sequential read beats DRAM
+  random access by 14%.
+
+Two views of the same constants are exposed:
+
+- ``capacity_bw(op, pattern)`` — the media bytes/s ceiling the performance
+  model charges demand against,
+- ``microbench_bw(...)`` — the per-thread latency/bandwidth curve used to
+  regenerate Figs 1-2 directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.mem.page import Tier
+from repro.sim.units import CACHE_LINE, gbps, ns
+
+#: (operation, pattern) keys.  Operations are "read"/"write"; patterns are
+#: "seq"/"rand" (matching :class:`repro.mem.access.Pattern` values).
+READ = "read"
+WRITE = "write"
+SEQ = "seq"
+RAND = "rand"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static performance characteristics of one memory device."""
+
+    name: str
+    read_latency: float  # seconds, idle random load-to-use
+    write_latency: float  # seconds, store commit (mostly hidden by buffers)
+    media_granularity: int  # bytes, smallest efficient media access
+    line_size: int  # bytes, interconnect transfer unit
+    #: peak media bandwidth (bytes/s) per (op, pattern)
+    peak_bw: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: single-thread streaming bandwidth (bytes/s) per (op, pattern) — the
+    #: rate one thread sustains before the device-level peak binds.
+    thread_bw: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: write endurance proxy: wear is reported as media bytes written.
+    wearable: bool = False
+
+    def __post_init__(self):
+        for key in ((READ, SEQ), (READ, RAND), (WRITE, SEQ), (WRITE, RAND)):
+            if key not in self.peak_bw:
+                raise ValueError(f"{self.name}: missing peak_bw for {key}")
+            if key not in self.thread_bw:
+                raise ValueError(f"{self.name}: missing thread_bw for {key}")
+
+    def latency(self, op: str) -> float:
+        return self.read_latency if op == READ else self.write_latency
+
+    def media_bytes(self, op: str, pattern: str, access_size: int) -> float:
+        """Media traffic per access of ``access_size`` payload bytes.
+
+        Sequential runs amortise the media granule across neighbouring
+        accesses, so media traffic equals payload (rounded up to a line for
+        sub-line payloads only when isolated, which sequential runs are not).
+        Random accesses pay the full media granule (NVM: 256 B; DRAM: one
+        64 B line) per touched granule.
+        """
+        if access_size <= 0:
+            raise ValueError(f"access size must be positive: {access_size}")
+        if pattern == SEQ:
+            return float(access_size)
+        granule = max(self.media_granularity, self.line_size)
+        # ceil(access_size / granule) granules per access
+        granules = -(-access_size // granule)
+        return float(granules * granule)
+
+    def capacity_bw(self, op: str, pattern: str) -> float:
+        """Aggregate media bytes/s ceiling for this op/pattern."""
+        return self.peak_bw[(op, pattern)]
+
+    def microbench_bw(self, op: str, pattern: str, access_size: int, threads: int) -> float:
+        """Achievable *payload* bytes/s for a simple access loop (Figs 1-2).
+
+        Per-thread rate for random access is latency-limited:
+        ``size / (latency + size / stream_rate)``; sequential access hides
+        latency behind prefetch and runs at the thread streaming rate.  The
+        aggregate is capped by the device peak, derated by media efficiency
+        for payloads under the media granule.
+        """
+        if threads <= 0:
+            return 0.0
+        stream = self.thread_bw[(op, pattern)]
+        if pattern == RAND:
+            lat = self.latency(op)
+            per_thread = access_size / (lat + access_size / stream)
+        else:
+            # Prefetchers need a few lines of run length to reach full rate.
+            warm = min(1.0, access_size / (2 * self.line_size))
+            per_thread = stream * (0.5 + 0.5 * warm)
+        media = self.media_bytes(op, pattern, access_size)
+        efficiency = access_size / media if media > 0 else 1.0
+        peak_payload = self.peak_bw[(op, pattern)] * efficiency
+        return min(threads * per_thread, peak_payload)
+
+
+def ddr4_spec() -> DeviceSpec:
+    """Six-channel DDR4-2666 socket (paper testbed: 6 DIMMs/socket)."""
+    return DeviceSpec(
+        name="DDR4 DRAM",
+        read_latency=ns(82),
+        write_latency=ns(82),
+        media_granularity=CACHE_LINE,
+        line_size=CACHE_LINE,
+        peak_bw={
+            (READ, SEQ): gbps(107.0),
+            (READ, RAND): gbps(26.0),
+            (WRITE, SEQ): gbps(80.0),
+            (WRITE, RAND): gbps(28.0),
+        },
+        thread_bw={
+            (READ, SEQ): gbps(6.0),
+            (READ, RAND): gbps(6.0),
+            (WRITE, SEQ): gbps(4.5),
+            (WRITE, RAND): gbps(4.5),
+        },
+        wearable=False,
+    )
+
+
+def optane_spec() -> DeviceSpec:
+    """Intel Optane DC persistent memory, 6 modules/socket.
+
+    Random-pattern peaks reflect the paper's 256 B cached-access
+    microbenchmark ratios: DRAM rand read 2.7x Optane (26/2.7 = 9.6),
+    DRAM seq write 16.5x Optane (80/16.5 = 4.8), DRAM rand write 10.7x
+    Optane (28/10.7 = 2.6).  Optane seq read 1.14x DRAM rand read = 29.6.
+    """
+    return DeviceSpec(
+        name="Optane DC",
+        read_latency=ns(175),
+        write_latency=ns(94),
+        media_granularity=256,
+        line_size=CACHE_LINE,
+        peak_bw={
+            (READ, SEQ): gbps(29.6),
+            (READ, RAND): gbps(9.6),
+            (WRITE, SEQ): gbps(4.8),
+            (WRITE, RAND): gbps(2.6),
+        },
+        thread_bw={
+            (READ, SEQ): gbps(8.0),
+            (READ, RAND): gbps(1.5),
+            # Write bandwidth saturates at ~4 threads regardless of pattern.
+            (WRITE, SEQ): gbps(1.3),
+            (WRITE, RAND): gbps(0.9),
+        },
+        wearable=True,
+    )
+
+
+class MemoryDevice:
+    """A device instance: spec + capacity + traffic/wear accounting."""
+
+    def __init__(self, spec: DeviceSpec, capacity: int, tier: Tier, stats):
+        if capacity <= 0:
+            raise ValueError(f"{spec.name}: capacity must be positive")
+        self.spec = spec
+        self.capacity = int(capacity)
+        self.tier = tier
+        self._read_ctr = stats.counter(f"{tier.name.lower()}.read_bytes")
+        self._write_ctr = stats.counter(f"{tier.name.lower()}.write_bytes")
+
+    def record_traffic(self, read_bytes: float, write_bytes: float) -> None:
+        if read_bytes:
+            self._read_ctr.add(read_bytes)
+        if write_bytes:
+            self._write_ctr.add(write_bytes)
+
+    @property
+    def bytes_written(self) -> float:
+        """Lifetime media bytes written — the wear metric (Fig 16)."""
+        return self._write_ctr.value
+
+    @property
+    def bytes_read(self) -> float:
+        return self._read_ctr.value
+
+    def __getattr__(self, item):
+        # Delegate read-only spec queries (latency, capacity_bw, ...).
+        return getattr(self.spec, item)
+
+    def __repr__(self) -> str:
+        return f"MemoryDevice({self.spec.name}, capacity={self.capacity})"

@@ -1,0 +1,68 @@
+"""Pages, tiers, and physical frame accounting."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.sim.units import GB, KB, MB
+
+
+class Tier(IntEnum):
+    """Physical memory tier a page lives in."""
+
+    DRAM = 0
+    NVM = 1
+
+
+#: Hardware page sizes (bytes).  HeMem tracks and migrates at huge-page
+#: granularity; the page-table model supports all three (Fig 3).
+BASE_PAGE = 4 * KB
+HUGE_PAGE = 2 * MB
+GIGA_PAGE = 1 * GB
+
+PAGE_SIZES = (BASE_PAGE, HUGE_PAGE, GIGA_PAGE)
+
+
+class FrameAllocator:
+    """Tracks free physical capacity of one tier.
+
+    Frames are fungible in the model (copying data is simulated by the DMA
+    engine; there is no per-frame content), so the allocator only needs
+    byte-accurate accounting, not frame numbers.
+    """
+
+    def __init__(self, tier: Tier, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity cannot be negative: {capacity}")
+        self.tier = tier
+        self.capacity = int(capacity)
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def alloc(self, nbytes: int) -> bool:
+        """Reserve ``nbytes``; returns False (no side effect) if it won't fit."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes: {nbytes}")
+        if nbytes > self.free:
+            return False
+        self._used += nbytes
+        return True
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"cannot release negative bytes: {nbytes}")
+        if nbytes > self._used:
+            raise ValueError(
+                f"releasing {nbytes} bytes but only {self._used} allocated on {self.tier.name}"
+            )
+        self._used -= nbytes
+
+    def __repr__(self) -> str:
+        return f"FrameAllocator({self.tier.name}, used={self._used}/{self.capacity})"

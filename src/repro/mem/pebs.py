@@ -1,0 +1,152 @@
+"""Processor event-based sampling (PEBS) unit.
+
+HeMem configures three PEBS events and records the virtual address of every
+``period``-th occurrence into a preallocated ring buffer:
+
+- ``MEM_LOAD_RETIRED.LOCAL_PMM``      -> loads served from NVM,
+- ``MEM_LOAD_L3_MISS_RETIRED.LOCAL_DRAM`` -> loads served from DRAM,
+- ``MEM_INST_RETIRED.ALL_STORES``     -> all stores.
+
+The unit is fed aggregate event counts per tick (with a page sampler that
+draws which pages the sampled instructions touched) and exposes a drain
+interface for HeMem's PEBS thread.  When the buffer fills because the drain
+thread lags, new records are *dropped* — the effect behind the high-variance
+left side of the paper's Fig 10.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Deque, List
+
+import numpy as np
+
+from repro.mem.region import Region
+
+
+class PebsEventKind(Enum):
+    """Which performance counter produced a record."""
+
+    DRAM_READ = "dram_read"
+    NVM_READ = "nvm_read"
+    STORE = "store"
+
+    @property
+    def is_store(self) -> bool:
+        return self is PebsEventKind.STORE
+
+
+@dataclass(frozen=True)
+class PebsRecord:
+    """One sampled memory access (virtual address resolved to a page)."""
+
+    kind: PebsEventKind
+    region: Region
+    page: int
+
+
+@dataclass(frozen=True)
+class PebsSpec:
+    """Sampling configuration.
+
+    ``sample_period`` is the counter reload value (one record per that many
+    events; the paper uses ~5000).  ``buffer_capacity`` is the ring buffer
+    size in records.  ``drain_ns_per_record`` is the CPU cost HeMem's PEBS
+    thread pays per record processed.
+    """
+
+    sample_period: int = 5000
+    buffer_capacity: int = 16384
+    drain_ns_per_record: float = 300.0
+
+    def __post_init__(self):
+        if self.sample_period <= 0:
+            raise ValueError(f"sample period must be positive: {self.sample_period}")
+        if self.buffer_capacity <= 0:
+            raise ValueError(f"buffer capacity must be positive: {self.buffer_capacity}")
+
+
+class PebsUnit:
+    """Counter state + ring buffer for all three configured events.
+
+    ``period_scale`` corrects for capacity-scaled machines: each modelled
+    page aggregates ``scale`` real pages' traffic, so sampling every
+    ``period x scale`` events restores the *per-real-page* sample rate
+    that HeMem's thresholds and cooling clock were designed around.
+    """
+
+    def __init__(self, spec: PebsSpec, stats, rng: np.random.Generator,
+                 period_scale: float = 1.0):
+        if period_scale <= 0:
+            raise ValueError(f"period scale must be positive: {period_scale}")
+        self.spec = spec
+        self.period_scale = period_scale
+        self._rng = rng
+        self._buffer: Deque[PebsRecord] = deque()
+        self._carry = {kind: 0.0 for kind in PebsEventKind}
+        self._sampled = stats.counter("pebs.records")
+        self._dropped = stats.counter("pebs.dropped")
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def records_sampled(self) -> float:
+        return self._sampled.value
+
+    @property
+    def records_dropped(self) -> float:
+        return self._dropped.value
+
+    @property
+    def drop_fraction(self) -> float:
+        total = self._sampled.value + self._dropped.value
+        return self._dropped.value / total if total else 0.0
+
+    def feed(
+        self,
+        kind: PebsEventKind,
+        n_events: float,
+        sampler: Callable[[int], List[PebsRecord]],
+    ) -> int:
+        """Account ``n_events`` occurrences; emit every period-th as a record.
+
+        ``sampler(n)`` must return ``n`` records drawn from the access
+        distribution that generated the events.  Returns the number of
+        records actually buffered (excludes drops).
+        """
+        if n_events < 0:
+            raise ValueError(f"negative event count: {n_events}")
+        period = self.spec.sample_period * self.period_scale
+        self._carry[kind] += n_events
+        n_samples = int(self._carry[kind] // period)
+        if n_samples <= 0:
+            return 0
+        self._carry[kind] -= n_samples * period
+        # Records beyond the buffer's free space are dropped by the
+        # hardware; don't bother materialising them.
+        room = self.spec.buffer_capacity - len(self._buffer)
+        n_emit = min(n_samples, max(room, 0))
+        if n_emit < n_samples:
+            self._dropped.add(n_samples - n_emit)
+        if n_emit == 0:
+            return 0
+        records = sampler(n_emit)
+        self._buffer.extend(records)
+        self._sampled.add(len(records))
+        return len(records)
+
+    def drain(self, max_records: int) -> List[PebsRecord]:
+        """Pop up to ``max_records`` records in FIFO order."""
+        if max_records < 0:
+            raise ValueError(f"negative drain budget: {max_records}")
+        out: List[PebsRecord] = []
+        while self._buffer and len(out) < max_records:
+            out.append(self._buffer.popleft())
+        return out
+
+    def drain_cost(self, n_records: int) -> float:
+        """Core-seconds the PEBS thread pays to process ``n_records``."""
+        return n_records * self.spec.drain_ns_per_record * 1e-9

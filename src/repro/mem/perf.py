@@ -1,0 +1,192 @@
+"""Performance model: resolves access streams into achieved throughput.
+
+For each stream the model computes
+
+1. a *latency-limited* operation rate — threads divided by the per-op time
+   (CPU work + tier-weighted memory stalls, derated by memory-level
+   parallelism), then
+2. per-device *bandwidth demand* in media bytes (random accesses pay the
+   media granule: 64 B lines on DRAM, 256 B on Optane), and throttles all
+   streams sharing a device proportionally when demand exceeds the device's
+   pattern-weighted capacity (minus bandwidth reserved for in-flight
+   migrations).
+
+This two-constraint structure is what makes the paper's headline behaviours
+fall out: NVM random writes bind at a tiny fraction of DRAM rates, so
+write-heavy pages left in NVM crater throughput, while read-mostly cold data
+in NVM is nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.mem.access import AccessStream, StreamResult, TierSplit
+from repro.mem.devices import RAND, READ, WRITE, MemoryDevice
+from repro.mem.page import Tier
+
+#: Fraction of the device write latency visible to the pipeline (stores are
+#: posted through the store buffer; they only stall when buffers back up).
+STORE_VISIBLE_FRACTION = 0.25
+
+#: Payload size of the line-granular traffic Memory Mode induces (cache
+#: fills and write-backs move 64 B blocks).
+LINE_PAYLOAD = 64
+
+
+@dataclass
+class _Demand:
+    """Accumulated demand on one (tier, op) channel."""
+
+    total: float = 0.0  # media bytes/s
+    weighted_cap: float = 0.0  # sum(demand * capacity) for pattern weighting
+
+    def capacity(self) -> float:
+        if self.total <= 0:
+            return float("inf")
+        return self.weighted_cap / self.total
+
+
+class PerfModel:
+    """Resolves one tick's streams against the device models."""
+
+    def __init__(self, devices: Dict[Tier, MemoryDevice]):
+        if Tier.DRAM not in devices or Tier.NVM not in devices:
+            raise ValueError("perf model needs both DRAM and NVM devices")
+        self.devices = devices
+
+    # -- per-op cost --------------------------------------------------------
+    def op_time(self, stream: AccessStream, split: TierSplit) -> float:
+        """Seconds per operation for one thread, ignoring device-level caps.
+
+        Two memory components: the *latency* of initiating each access
+        (overlappable, divided by MLP) and, for payloads beyond one cache
+        line, the *transfer* time of streaming the payload at the thread's
+        per-tier streaming rate — a 4 KB value read from NVM takes ~4x as
+        long as from DRAM even though the latencies differ by only ~2x.
+        """
+        dram = self.devices[Tier.DRAM]
+        nvm = self.devices[Tier.NVM]
+        f_r = split.dram_read_frac
+        f_w = split.dram_write_frac
+        read_lat = f_r * dram.latency(READ) + (1.0 - f_r) * nvm.latency(READ)
+        write_lat = (
+            f_w * dram.latency(WRITE) + (1.0 - f_w) * nvm.latency(WRITE)
+        ) * STORE_VISIBLE_FRACTION
+        mem = stream.reads_per_op * read_lat + stream.writes_per_op * write_lat
+
+        transfer = 0.0
+        excess = max(stream.op_size - LINE_PAYLOAD, 0)
+        if excess > 0:
+            pattern = stream.pattern.value
+            read_rate = (
+                f_r / dram.thread_bw[(READ, pattern)]
+                + (1.0 - f_r) / nvm.thread_bw[(READ, pattern)]
+            )
+            write_rate = (
+                f_w / dram.thread_bw[(WRITE, pattern)]
+                + (1.0 - f_w) / nvm.thread_bw[(WRITE, pattern)]
+            )
+            transfer = excess * (
+                stream.reads_per_op * read_rate + stream.writes_per_op * write_rate
+            )
+        return stream.cpu_ns_per_op * 1e-9 + mem / stream.mlp + transfer
+
+    def _demand_bytes_per_op(
+        self, stream: AccessStream, split: TierSplit
+    ) -> Dict[Tuple[Tier, str], Tuple[float, str]]:
+        """Media bytes per op on each (tier, op) channel, with its pattern."""
+        pattern = stream.pattern.value
+        dram = self.devices[Tier.DRAM]
+        nvm = self.devices[Tier.NVM]
+        out: Dict[Tuple[Tier, str], Tuple[float, str]] = {}
+
+        def add(tier: Tier, op: str, payload_accesses: float, device, pat: str, size: int):
+            if payload_accesses <= 0:
+                return
+            media = device.media_bytes(op, pat, size) * payload_accesses
+            prev, prev_pat = out.get((tier, op), (0.0, pat))
+            out[(tier, op)] = (prev + media, prev_pat)
+
+        add(Tier.DRAM, READ, stream.reads_per_op * split.dram_read_frac, dram, pattern, stream.op_size)
+        add(Tier.NVM, READ, stream.reads_per_op * (1 - split.dram_read_frac), nvm, pattern, stream.op_size)
+        add(Tier.DRAM, WRITE, stream.writes_per_op * split.dram_write_frac, dram, pattern, stream.op_size)
+        add(Tier.NVM, WRITE, stream.writes_per_op * (1 - split.dram_write_frac), nvm, pattern, stream.op_size)
+
+        # Manager-induced line-granular NVM traffic (Memory Mode fills and
+        # write-backs).  These are random 64 B block moves.
+        if split.extra_nvm_read_bytes_per_op > 0:
+            n_lines = split.extra_nvm_read_bytes_per_op / LINE_PAYLOAD
+            add(Tier.NVM, READ, n_lines, nvm, RAND, LINE_PAYLOAD)
+        if split.extra_nvm_write_bytes_per_op > 0:
+            n_lines = split.extra_nvm_write_bytes_per_op / LINE_PAYLOAD
+            add(Tier.NVM, WRITE, n_lines, nvm, RAND, LINE_PAYLOAD)
+        return out
+
+    # -- resolution ----------------------------------------------------------
+    def resolve(
+        self,
+        streams: List[AccessStream],
+        splits: List[TierSplit],
+        speed_factor: float,
+        dt: float,
+        reserved_bw: Dict[Tuple[Tier, str], float],
+    ) -> List[StreamResult]:
+        """Compute achieved per-stream throughput for one tick.
+
+        ``reserved_bw`` maps (tier, op) to media bytes/s already claimed by
+        migration traffic this tick.
+        """
+        if len(streams) != len(splits):
+            raise ValueError("streams and splits must align")
+        if not streams:
+            return []
+
+        # Pass 1: unthrottled rates and per-channel demand.
+        rates = []
+        per_stream_demand = []
+        channels: Dict[Tuple[Tier, str], _Demand] = {}
+        for stream, split in zip(streams, splits):
+            op_t = self.op_time(stream, split)
+            rate = stream.threads * speed_factor / op_t if op_t > 0 else 0.0
+            rates.append(rate)
+            demand = self._demand_bytes_per_op(stream, split)
+            per_stream_demand.append(demand)
+            for (tier, op), (bytes_per_op, pat) in demand.items():
+                ch = channels.setdefault((tier, op), _Demand())
+                d = rate * bytes_per_op
+                ch.total += d
+                cap = self.devices[tier].capacity_bw(op, pat)
+                ch.weighted_cap += d * cap
+
+        # Channel throttles after subtracting migration reservations.
+        throttles: Dict[Tuple[Tier, str], float] = {}
+        for key, ch in channels.items():
+            cap = ch.capacity() - reserved_bw.get(key, 0.0)
+            cap = max(cap, 1e-9)
+            throttles[key] = min(1.0, cap / ch.total) if ch.total > 0 else 1.0
+
+        # Pass 2: each stream runs at the pace of its slowest channel.
+        results: List[StreamResult] = []
+        for stream, split, rate, demand in zip(streams, splits, rates, per_stream_demand):
+            factor = min(
+                (throttles[key] for key in demand), default=1.0
+            )
+            achieved = rate * factor
+            ops = achieved * dt
+            res = StreamResult(ops=ops)
+            for (tier, op), (bytes_per_op, _pat) in demand.items():
+                total = ops * bytes_per_op
+                if tier == Tier.DRAM and op == READ:
+                    res.dram_read_bytes += total
+                elif tier == Tier.DRAM and op == WRITE:
+                    res.dram_write_bytes += total
+                elif tier == Tier.NVM and op == READ:
+                    res.nvm_read_bytes += total
+                else:
+                    res.nvm_write_bytes += total
+            op_t = self.op_time(stream, split)
+            res.avg_op_latency = op_t / factor if factor > 0 else float("inf")
+            results.append(res)
+        return results

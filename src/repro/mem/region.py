@@ -1,0 +1,128 @@
+"""Managed memory regions (the unit of mmap).
+
+A :class:`Region` is a contiguous virtual address range whose pages the
+manager under test places in DRAM or NVM.  Per-page state is held in numpy
+arrays so placement queries (the dot product "what fraction of this access
+distribution is in DRAM?") and page-table scans stay vectorised.
+
+Regions also accumulate *ground-truth* expected access counts per page
+(``pending_reads`` / ``pending_writes``) between page-table scans — this is
+the substrate the simulated access/dirty bits are derived from.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.mem.page import HUGE_PAGE, Tier
+
+
+class RegionKind(Enum):
+    """How the allocation was made; drives the allocation policy."""
+
+    HEAP = "heap"  # large anonymous mapping (candidate for tiering)
+    SMALL = "small"  # below the management threshold; kernel keeps it in DRAM
+    FILE = "file"  # file-backed; not managed
+
+
+class Region:
+    """A contiguous virtual range of ``n_pages`` pages of ``page_size`` bytes."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        start: int,
+        size: int,
+        page_size: int = HUGE_PAGE,
+        kind: RegionKind = RegionKind.HEAP,
+        name: str = "",
+    ):
+        if size <= 0:
+            raise ValueError(f"region size must be positive: {size}")
+        if page_size <= 0 or size % page_size != 0:
+            raise ValueError(
+                f"region size {size} must be a positive multiple of page size {page_size}"
+            )
+        self.region_id = Region._next_id
+        Region._next_id += 1
+        self.start = start
+        self.size = size
+        self.page_size = page_size
+        self.kind = kind
+        self.name = name or f"region{self.region_id}"
+        self.n_pages = size // page_size
+
+        # Per-page placement state.
+        self.tier = np.full(self.n_pages, Tier.DRAM, dtype=np.uint8)
+        self.mapped = np.zeros(self.n_pages, dtype=bool)
+
+        # Ground-truth expected access counts per page since the last
+        # page-table clear (used to derive access/dirty bits).
+        self.pending_reads = np.zeros(self.n_pages, dtype=np.float64)
+        self.pending_writes = np.zeros(self.n_pages, dtype=np.float64)
+
+        # Policy annotations.
+        self.pinned_tier: Optional[Tier] = None  # priority instances pin DRAM
+        self.managed = True  # False => manager ignores it (kernel DRAM)
+
+    # -- address helpers ----------------------------------------------------
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, va: int) -> bool:
+        return self.start <= va < self.end
+
+    def page_of(self, va: int) -> int:
+        if not self.contains(va):
+            raise ValueError(f"address {va:#x} not in {self.name}")
+        return (va - self.start) // self.page_size
+
+    # -- placement queries --------------------------------------------------
+    def dram_fraction(self, weights: Optional[np.ndarray] = None) -> float:
+        """Probability an access with ``weights`` lands on a DRAM page."""
+        in_dram = self.tier == Tier.DRAM
+        if weights is None:
+            if self.n_pages == 0:
+                return 1.0
+            return float(in_dram.mean())
+        return float(np.dot(weights, in_dram))
+
+    def bytes_in(self, tier: Tier) -> int:
+        return int((self.tier == tier).sum()) * self.page_size
+
+    def pages_in(self, tier: Tier) -> np.ndarray:
+        """Indices of pages currently placed in ``tier``."""
+        return np.nonzero(self.tier == tier)[0]
+
+    # -- ground-truth access accounting --------------------------------------
+    def accumulate(self, weights: Optional[np.ndarray], reads: float, writes: float) -> None:
+        """Distribute expected access counts over pages per ``weights``."""
+        if reads < 0 or writes < 0:
+            raise ValueError("access counts cannot be negative")
+        if weights is None:
+            if self.n_pages == 0:
+                return
+            per_page_r = reads / self.n_pages
+            per_page_w = writes / self.n_pages
+            self.pending_reads += per_page_r
+            self.pending_writes += per_page_w
+        else:
+            if reads:
+                self.pending_reads += weights * reads
+            if writes:
+                self.pending_writes += weights * writes
+
+    def clear_access_bits(self) -> None:
+        self.pending_reads[:] = 0.0
+        self.pending_writes[:] = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Region({self.name}, start={self.start:#x}, size={self.size}, "
+            f"pages={self.n_pages}x{self.page_size}, kind={self.kind.value})"
+        )

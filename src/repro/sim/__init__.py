@@ -1,0 +1,27 @@
+"""Simulation kernel: virtual time, tick engine, CPU accounting, statistics.
+
+This package provides the discrete-time substrate every other subsystem runs
+on.  The model is epoch (tick) based rather than event based: once per tick
+the engine runs due background services, asks the workload for its memory
+access mix, resolves achieved throughput against the hardware model, and
+feeds observations back to the tiered memory manager under test.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.cpu import Cpu
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.rng import make_rng
+from repro.sim.service import Service
+from repro.sim.stats import Counter, StatsRegistry, TimeSeries
+
+__all__ = [
+    "Counter",
+    "Cpu",
+    "Engine",
+    "EngineConfig",
+    "Service",
+    "StatsRegistry",
+    "TimeSeries",
+    "VirtualClock",
+    "make_rng",
+]

@@ -1,0 +1,30 @@
+"""Virtual wall clock for the simulation."""
+
+
+class VirtualClock:
+    """Monotonically advancing virtual time, in seconds.
+
+    The clock only moves when the engine advances it; background services and
+    the hardware model all read time from here so a simulated second is the
+    same length everywhere.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock backwards: dt={dt}")
+        self._now += dt
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f}s)"

@@ -1,0 +1,69 @@
+"""CPU core accounting.
+
+The paper's evaluation platform is a 24-core Cascade Lake socket.  The only
+CPU effect the paper measures is *core contention*: HeMem's background
+threads (PEBS drain, policy, copy threads) and Nimble's kernel threads steal
+cores from the application once the application wants most of the socket
+(Fig 7).  We model exactly that: a per-tick budget of core-seconds that
+services draw from before the application gets the remainder.
+"""
+
+from __future__ import annotations
+
+
+class Cpu:
+    """Per-tick core-second budget shared by services and the application."""
+
+    def __init__(self, n_cores: int):
+        if n_cores <= 0:
+            raise ValueError(f"need at least one core, got {n_cores}")
+        self.n_cores = n_cores
+        self._tick_budget = 0.0
+        self._remaining = 0.0
+        self._service_used = 0.0
+
+    def begin_tick(self, dt: float) -> None:
+        """Reset the budget for a tick of length ``dt`` seconds."""
+        if dt <= 0:
+            raise ValueError(f"tick length must be positive: {dt}")
+        self._tick_budget = self.n_cores * dt
+        self._remaining = self._tick_budget
+        self._service_used = 0.0
+
+    def consume(self, core_seconds: float) -> float:
+        """Charge background (service) work; returns what was granted.
+
+        Services can never be starved entirely below zero: the grant is
+        clipped to the remaining budget, mirroring a service thread simply
+        not finishing its work inside the tick.
+        """
+        if core_seconds < 0:
+            raise ValueError(f"cannot consume negative time: {core_seconds}")
+        granted = min(core_seconds, self._remaining)
+        self._remaining -= granted
+        self._service_used += granted
+        return granted
+
+    def app_speed_factor(self, app_threads: int, dt: float) -> float:
+        """Fraction of full speed ``app_threads`` runnable threads achieve.
+
+        If the remaining core-seconds cover every application thread for the
+        whole tick the factor is 1.0; otherwise threads time-share the
+        leftover cores.
+        """
+        if app_threads <= 0:
+            return 0.0
+        demanded = app_threads * dt
+        if demanded <= self._remaining:
+            return 1.0
+        return self._remaining / demanded
+
+    @property
+    def service_utilization(self) -> float:
+        """Fraction of this tick's budget consumed by services so far."""
+        if self._tick_budget == 0:
+            return 0.0
+        return self._service_used / self._tick_budget
+
+    def __repr__(self) -> str:
+        return f"Cpu(n_cores={self.n_cores})"

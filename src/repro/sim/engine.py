@@ -1,0 +1,145 @@
+"""The tick engine gluing workload, manager, and machine together.
+
+Per tick the engine:
+
+1. charges due background services against the CPU budget,
+2. asks the workload for its access mix (a set of :class:`AccessStream`s),
+3. asks the memory manager where each stream's accesses land (DRAM vs NVM),
+4. resolves achieved throughput against the hardware performance model,
+5. feeds the resulting access observations back to the manager (PEBS
+   samples, page-table access bits, or cache state depending on the manager),
+6. advances the DMA engine, completing in-flight migrations,
+7. records statistics.
+
+The engine knows nothing about HeMem or any specific policy; managers and
+workloads plug in through small protocols (duck-typed, documented here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import make_rng
+from repro.sim.service import Service
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class EngineConfig:
+    """Engine-level knobs.
+
+    ``tick`` is the simulation quantum; HeMem's policy period is 10 ms so a
+    10 ms tick aligns service activations with the paper.  ``seed`` feeds
+    every stochastic component through named substreams.
+    """
+
+    tick: float = 0.01
+    seed: int = 42
+    max_duration: float = 3600.0
+    warmup: float = 0.0
+
+    def __post_init__(self):
+        if self.tick <= 0:
+            raise ValueError(f"tick must be positive: {self.tick}")
+        if self.max_duration <= 0:
+            raise ValueError(f"max_duration must be positive: {self.max_duration}")
+
+
+class Engine:
+    """Drives one simulation: a workload on a machine under one manager."""
+
+    def __init__(self, machine, manager, workload, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.clock = VirtualClock()
+        self.machine = machine
+        self.manager = manager
+        self.workload = workload
+        self.stats: StatsRegistry = machine.stats
+        self.services: List[Service] = []
+        self.rng = make_rng(self.config.seed, "engine")
+        self.last_app_threads = 0.0
+
+        # Wire components together.  Order matters: the manager must be
+        # attached (so mmap works) before the workload allocates memory.
+        self.machine.attach_engine(self)
+        self.manager.attach(self.machine, self)
+        self.workload.setup(self.manager, self.machine, make_rng(self.config.seed, "workload"))
+
+    # -- service management -------------------------------------------------
+    def add_service(self, service: Service) -> Service:
+        """Register a background service (idempotent per instance)."""
+        if service not in self.services:
+            self.services.append(service)
+        return service
+
+    def remove_service(self, service: Service) -> None:
+        if service in self.services:
+            self.services.remove(service)
+
+    # -- main loop ----------------------------------------------------------
+    def run(self, duration: Optional[float] = None) -> dict:
+        """Run for ``duration`` virtual seconds (or until workload finishes).
+
+        Returns the workload's result dictionary augmented with engine-level
+        aggregates.
+        """
+        end = self.clock.now + (duration if duration is not None else self.config.max_duration)
+        while self.clock.now < end - 1e-12:
+            self.step()
+            if self.workload.finished(self.clock.now):
+                break
+        result = dict(self.workload.result())
+        result["elapsed"] = self.clock.now
+        result["counters"] = self.stats.counters()
+        return result
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        now = self.clock.now
+        dt = self.config.tick
+        cpu = self.machine.cpu
+        cpu.begin_tick(dt)
+
+        # 0. Hardware background progress: DMA/copy-thread migrations move
+        #    first so their bandwidth and CPU consumption shape this tick.
+        self.machine.begin_tick(now, dt)
+
+        # 1. Background services (manager threads, scanners, copy threads).
+        for service in self.services:
+            if service.due(now):
+                wanted = service.run(self, now, dt)
+                if wanted:
+                    cpu.consume(wanted)
+                service.mark_ran(now)
+
+        # 2. Application access streams for this tick.
+        streams = self.workload.access_mix(now, dt)
+        app_threads = sum(s.threads for s in streams)
+        self.last_app_threads = app_threads
+        speed = cpu.app_speed_factor(app_threads, dt) if app_threads else 0.0
+
+        # 3. Where do accesses land?  The manager owns placement (for MM this
+        #    is a cache-hit model, for the others true page placement).
+        splits = [self.manager.split_by_tier(s, now) for s in streams]
+
+        # 4. Resolve achieved throughput against the device models, leaving
+        #    room for in-flight migration traffic.
+        results = self.machine.resolve(streams, splits, speed, dt)
+
+        # 5. Observations back to manager and workload.
+        for stream, split, result in zip(streams, splits, results):
+            self.manager.observe(stream, split, result, now, dt)
+            self.workload.on_progress(stream, result, now, dt)
+
+        # 6. Hardware background progress (DMA copies, etc.).
+        self.machine.end_tick(now, dt)
+
+        # 7. Bookkeeping.
+        total_ops = sum(r.ops for r in results)
+        self.stats.series("app.ops_per_sec").record(now, total_ops / dt)
+        self.stats.series("cpu.service_util").record(now, cpu.service_utilization)
+        self.manager.end_tick(now, dt)
+
+        self.clock.advance(dt)

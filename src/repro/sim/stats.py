@@ -1,0 +1,91 @@
+"""Lightweight statistics primitives: counters and time series.
+
+Every subsystem exposes its observable behaviour through a
+:class:`StatsRegistry` so experiments can inspect migration volume, NVM
+writes, sample drops, etc. without reaching into private state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing counter with an optional rate window."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease: {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name} is append-only: {t} < {self.times[-1]}"
+            )
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> float:
+        if not self.values:
+            raise IndexError(f"time series {self.name} is empty")
+        return self.values[-1]
+
+    def mean(self, since: float = 0.0) -> float:
+        """Mean of samples with ``time >= since`` (0 if none)."""
+        pairs = [v for t, v in zip(self.times, self.values) if t >= since]
+        if not pairs:
+            return 0.0
+        return sum(pairs) / len(pairs)
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        return [
+            (t, v) for t, v in zip(self.times, self.values) if start <= t < end
+        ]
+
+
+class StatsRegistry:
+    """Namespace of counters and time series shared by one simulation."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def has_counter(self, name: str) -> bool:
+        return name in self._counters
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series

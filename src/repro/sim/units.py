@@ -1,0 +1,45 @@
+"""Unit constants and conversion helpers.
+
+Conventions used throughout the code base:
+
+- time is a ``float`` in (virtual) seconds,
+- sizes are ``int`` bytes,
+- rates are ``float`` bytes/second or operations/second.
+"""
+
+# Sizes -----------------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+CACHE_LINE = 64
+
+# Times -----------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def ns(value: float) -> float:
+    """Convert a nanosecond quantity into seconds."""
+    return value * NS
+
+
+def gbps(value: float) -> float:
+    """Convert GB/s into bytes/second."""
+    return value * GB
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-readable suffix."""
+    n = float(n)
+    for suffix, unit in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= unit:
+            return f"{n / unit:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Render a bandwidth as GB/s."""
+    return f"{bytes_per_sec / GB:.2f} GB/s"

@@ -1,0 +1,60 @@
+"""Workload protocol: what the engine needs from an application."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+import numpy as np
+
+from repro.mem.access import AccessStream, StreamResult
+
+
+class Workload(ABC):
+    """One application driving the machine.
+
+    Lifecycle: ``setup`` (allocate + prefill through the manager under
+    test), then per tick ``access_mix`` -> engine resolution ->
+    ``on_progress`` feedback; ``result`` returns the application-level
+    metrics once the run ends.
+    """
+
+    #: label used in experiment tables
+    name: str = "workload"
+
+    def __init__(self, warmup: float = 0.0):
+        if warmup < 0:
+            raise ValueError(f"warmup cannot be negative: {warmup}")
+        self.warmup = warmup
+        self.total_ops = 0.0
+        self.measured_ops = 0.0
+        self.measure_start: float = warmup
+
+    @abstractmethod
+    def setup(self, manager, machine, rng: np.random.Generator) -> None:
+        """Allocate memory through ``manager`` and prefill."""
+
+    @abstractmethod
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        """The application's memory traffic for this tick."""
+
+    def on_progress(self, stream: AccessStream, result: StreamResult,
+                    now: float, dt: float) -> None:
+        """Feedback of achieved throughput (default: count operations)."""
+        self.total_ops += result.ops
+        if now >= self.measure_start:
+            self.measured_ops += result.ops
+
+    def finished(self, now: float) -> bool:
+        """Workloads running for a fixed duration never self-terminate."""
+        return False
+
+    def result(self) -> Dict:
+        return {"total_ops": self.total_ops, "measured_ops": self.measured_ops}
+
+    def measured_rate(self, now: float) -> float:
+        """Operations/second over the post-warmup window."""
+        window = now - self.measure_start
+        if window <= 0:
+            return 0.0
+        return self.measured_ops / window

@@ -1,0 +1,156 @@
+"""Ephemeral-allocation workload (§2.1's bimodal allocation lifetimes).
+
+Big-data services keep a large long-lived heap *and* a stream of short-
+lived objects — query state, request buffers — that are hot for a brief
+period and quickly deallocated.  HeMem's allocation policy (§3.3) exists
+for exactly this split: small allocations bypass management and stay in
+kernel DRAM, because a buffer that dies within a second can never be
+classified hot by sampling, let alone migrated, before it is gone.
+
+This workload allocates a heap that fills DRAM plus a churning set of
+small buffers (write-heavy, intensely accessed, freed and reallocated
+every ``buffer_lifetime`` seconds).  With the bypass, buffers live in
+kernel DRAM; with ``small_bypass=False`` (or any manage-everything
+system), fresh buffers fault into NVM — DRAM is full — and the
+application eats NVM write latency for data that will be dead before the
+policy can react.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mem.access import AccessStream, Pattern
+from repro.sim.units import GB, MB
+from repro.workloads.base import Workload
+
+
+@dataclass
+class EphemeralConfig:
+    """Sizes must be pre-scaled by the scenario."""
+
+    heap_bytes: int = 8 * GB
+    buffer_bytes: int = 64 * MB
+    n_buffers: int = 8
+    buffer_lifetime: float = 0.5  # seconds between free+realloc
+    threads: int = 16
+    #: share of application threads working in the buffers vs the heap
+    buffer_thread_frac: float = 0.5
+    cpu_ns_per_op: float = 60.0
+    mlp: float = 1.0
+
+    def __post_init__(self):
+        if self.heap_bytes <= 0 or self.buffer_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        if self.n_buffers <= 0:
+            raise ValueError("need at least one buffer")
+        if self.buffer_lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+        if not 0 < self.buffer_thread_frac < 1:
+            raise ValueError("buffer_thread_frac must be in (0, 1)")
+
+
+class EphemeralWorkload(Workload):
+    """Long-lived heap + churning short-lived buffers."""
+
+    name = "ephemeral"
+
+    def __init__(self, config: EphemeralConfig, warmup: float = 0.0):
+        super().__init__(warmup=warmup)
+        self.config = config
+        self.heap = None
+        self.buffers: List = []
+        self._manager = None
+        self._next_churn = 0.0
+        self._generation = 0
+        self.buffers_allocated = 0
+        self.buffer_nvm_generations = 0  # buffers that landed (partly) in NVM
+
+    # -- setup ----------------------------------------------------------------
+    def setup(self, manager, machine, rng: np.random.Generator) -> None:
+        cfg = self.config
+        self._manager = manager
+        self.heap = manager.mmap(cfg.heap_bytes, name="ephemeral_heap")
+        manager.prefault(self.heap)
+        self._allocate_buffers(now=0.0)
+        self._next_churn = cfg.buffer_lifetime
+
+    def _allocate_buffers(self, now: float) -> None:
+        from repro.mem.page import Tier
+
+        cfg = self.config
+        self._generation += 1
+        self.buffers = []
+        for i in range(cfg.n_buffers):
+            region = self._manager.mmap(
+                cfg.buffer_bytes, name=f"buf_g{self._generation}_{i}"
+            )
+            self._manager.prefault(region, now)
+            self.buffers.append(region)
+            self.buffers_allocated += 1
+            if region.bytes_in(Tier.NVM) > 0:
+                self.buffer_nvm_generations += 1
+
+    def _churn(self, now: float) -> None:
+        for region in self.buffers:
+            self._manager.munmap(region)
+        self._allocate_buffers(now)
+
+    # -- per-tick mix -------------------------------------------------------------
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        cfg = self.config
+        if now + 1e-12 >= self._next_churn:
+            self._churn(now)
+            self._next_churn = now + cfg.buffer_lifetime
+
+        heap_threads = cfg.threads * (1.0 - cfg.buffer_thread_frac)
+        buf_threads = cfg.threads * cfg.buffer_thread_frac / len(self.buffers)
+        streams = [
+            AccessStream(
+                name="eph_heap",
+                region=self.heap,
+                threads=heap_threads,
+                op_size=8,
+                reads_per_op=1.0,
+                writes_per_op=0.25,
+                pattern=Pattern.RANDOM,
+                cpu_ns_per_op=cfg.cpu_ns_per_op,
+                mlp=cfg.mlp,
+            )
+        ]
+        for i, region in enumerate(self.buffers):
+            streams.append(AccessStream(
+                name=f"eph_buf{i}",
+                region=region,
+                threads=buf_threads,
+                op_size=64,
+                reads_per_op=1.0,
+                writes_per_op=1.0,  # buffers are write-heavy scratch space
+                pattern=Pattern.RANDOM,
+                cpu_ns_per_op=cfg.cpu_ns_per_op,
+                mlp=cfg.mlp,
+            ))
+        return streams
+
+    def on_progress(self, stream, result, now, dt) -> None:
+        # Count buffer operations: they are the latency-critical work whose
+        # placement this workload is about.
+        if not stream.name.startswith("eph_buf"):
+            return
+        self.total_ops += result.ops
+        if now >= self.measure_start:
+            self.measured_ops += result.ops
+
+    # -- results --------------------------------------------------------------
+    def buffer_ops_rate(self, now: float) -> float:
+        return self.measured_rate(now)
+
+    def result(self) -> dict:
+        out = super().result()
+        out["workload"] = self.name
+        out["buffers_allocated"] = self.buffers_allocated
+        out["buffer_nvm_generations"] = self.buffer_nvm_generations
+        return out

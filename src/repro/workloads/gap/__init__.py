@@ -1,0 +1,26 @@
+"""GAP benchmark suite: betweenness centrality on Kronecker graphs (§5.2.3).
+
+- :mod:`repro.workloads.gap.kronecker` — Graph500-style Kronecker
+  generator (power-law degree distribution, average degree 16).
+- :mod:`repro.workloads.gap.graph` — CSR graph construction.
+- :mod:`repro.workloads.gap.bc` — Brandes betweenness centrality with
+  per-phase work accounting.
+- :mod:`repro.workloads.gap.workload` — the access-model adapter: page
+  weights derived from the *actual* degree distribution of a generated
+  graph (power-law graphs have locality: traversal frequency grows with
+  degree), write-heavy score/path arrays, per-iteration runtime and NVM
+  write reporting (Figs 14-16).
+"""
+
+from repro.workloads.gap.bc import betweenness_centrality
+from repro.workloads.gap.graph import CsrGraph
+from repro.workloads.gap.kronecker import kronecker_edges
+from repro.workloads.gap.workload import BcConfig, BcWorkload
+
+__all__ = [
+    "BcConfig",
+    "BcWorkload",
+    "CsrGraph",
+    "betweenness_centrality",
+    "kronecker_edges",
+]

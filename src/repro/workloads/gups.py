@@ -1,0 +1,180 @@
+"""GUPS (giga updates per second) microbenchmark (§5.1).
+
+Parallel read-modify-write of fixed-size objects at random locations in a
+large working set.  Variants used across the paper's Figs 5-12 and Table 2:
+
+- **uniform** — no hot set; accesses uniform over the working set,
+- **hot set** — 90% of operations target a random, non-consecutive hot
+  subset; 10% go uniformly to the whole working set,
+- **dynamic** — after ``shift_time``, part of the hot set goes cold and an
+  equal amount of cold data becomes hot,
+- **write skew** (Table 2) — part of the hot set is write-only while the
+  rest of the working set is read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mem.access import AccessStream, Pattern
+from repro.sim.units import GB
+from repro.workloads.base import Workload
+
+
+@dataclass
+class GupsConfig:
+    """GUPS parameters (defaults follow §5.1: 16 threads, 8 B objects)."""
+
+    working_set: int = 16 * GB
+    threads: int = 16
+    object_size: int = 8
+    hot_set: Optional[int] = None
+    hot_access_frac: float = 0.9
+    cpu_ns_per_op: float = 60.0
+    mlp: float = 1.0
+    # Dynamic hot set (Figs 9, 12): at shift_time, shift_bytes of hot data
+    # go cold and shift_bytes of cold data become hot.
+    shift_time: Optional[float] = None
+    shift_bytes: int = 0
+    # Write skew (Table 2): this many bytes of the hot set are write-only;
+    # everything else in the working set is read-only.
+    write_only_bytes: int = 0
+
+    def __post_init__(self):
+        if self.working_set <= 0:
+            raise ValueError("working set must be positive")
+        if self.threads <= 0:
+            raise ValueError("need at least one thread")
+        if self.hot_set is not None and not 0 < self.hot_set <= self.working_set:
+            raise ValueError("hot set must be positive and fit in the working set")
+        if not 0 <= self.hot_access_frac <= 1:
+            raise ValueError("hot access fraction must be in [0, 1]")
+        if self.write_only_bytes and (self.hot_set is None or self.write_only_bytes > self.hot_set):
+            raise ValueError("write-only bytes must fit inside the hot set")
+
+
+class GupsWorkload(Workload):
+    """GUPS as an access-model workload."""
+
+    name = "gups"
+
+    def __init__(self, config: GupsConfig, warmup: float = 0.0):
+        super().__init__(warmup=warmup)
+        self.config = config
+        self.region = None
+        self._rng: Optional[np.random.Generator] = None
+        self._hot_pages: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self._write_weights: Optional[np.ndarray] = None
+        self._cache_classes = None
+        self._shifted = False
+        self._pending_content_shift = 0.0
+
+    # -- setup ----------------------------------------------------------------
+    def setup(self, manager, machine, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.region = manager.mmap(self.config.working_set, name="gups_heap")
+        manager.prefault(self.region)
+        if self.config.hot_set is not None:
+            n_hot = max(self.config.hot_set // self.region.page_size, 1)
+            self._hot_pages = rng.choice(self.region.n_pages, size=n_hot, replace=False)
+            self._rebuild_weights()
+        else:
+            self._weights = None
+            self._cache_classes = [(1.0, self.config.working_set)]
+
+    def _rebuild_weights(self) -> None:
+        """Recompute per-page distributions from the current hot page set."""
+        cfg = self.config
+        n = self.region.n_pages
+        hot_frac = cfg.hot_access_frac
+        weights = np.full(n, (1.0 - hot_frac) / n)
+        weights[self._hot_pages] += hot_frac / len(self._hot_pages)
+        self._weights = weights
+        self._cache_classes = [
+            (hot_frac, cfg.hot_set),
+            (1.0 - hot_frac, cfg.working_set),
+        ]
+        if cfg.write_only_bytes:
+            # Stores are confined to the first chunk of the hot set; loads
+            # cover everything else with the same hot/cold skew.
+            n_wo = max(cfg.write_only_bytes // self.region.page_size, 1)
+            wo_pages = self._hot_pages[:n_wo]
+            ww = np.zeros(n)
+            ww[wo_pages] = 1.0 / n_wo
+            self._write_weights = ww
+            read_weights = weights.copy()
+            read_weights[wo_pages] = (1.0 - hot_frac) / n  # loads skip write-only data
+            self._weights = read_weights / read_weights.sum()
+
+    # -- per-tick mix -------------------------------------------------------------
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        cfg = self.config
+        if (
+            cfg.shift_time is not None
+            and not self._shifted
+            and now >= cfg.shift_time
+        ):
+            self._apply_shift()
+        if cfg.write_only_bytes:
+            # Table 2 semantics: ops against write-only data are stores,
+            # the rest are loads.
+            wo_share = cfg.hot_access_frac * (cfg.write_only_bytes / cfg.hot_set)
+            reads_per_op = 1.0 - wo_share
+            writes_per_op = wo_share
+        else:
+            reads_per_op = 1.0
+            writes_per_op = 1.0
+        content_shift = self._pending_content_shift
+        self._pending_content_shift = 0.0
+        return [
+            AccessStream(
+                name="gups",
+                region=self.region,
+                threads=cfg.threads,
+                op_size=cfg.object_size,
+                reads_per_op=reads_per_op,
+                writes_per_op=writes_per_op,
+                pattern=Pattern.RANDOM,
+                cpu_ns_per_op=cfg.cpu_ns_per_op,
+                mlp=cfg.mlp,
+                weights=self._weights,
+                write_weights=self._write_weights,
+                cache_classes=self._cache_classes,
+                content_shift=content_shift,
+            )
+        ]
+
+    def _apply_shift(self) -> None:
+        """Move ``shift_bytes`` of the hot set onto previously-cold pages."""
+        cfg = self.config
+        n_shift = max(cfg.shift_bytes // self.region.page_size, 1)
+        if n_shift > len(self._hot_pages):
+            raise ValueError("cannot shift more than the whole hot set")
+        hot_set = set(int(p) for p in self._hot_pages)
+        cold_pool = np.array(
+            [p for p in range(self.region.n_pages) if p not in hot_set]
+        )
+        newly_hot = self._rng.choice(cold_pool, size=n_shift, replace=False)
+        kept = self._hot_pages[n_shift:]
+        self._hot_pages = np.concatenate([kept, newly_hot])
+        self._rebuild_weights()
+        self._shifted = True
+        # Share of accesses that now target previously-cold content.
+        self._pending_content_shift = cfg.hot_access_frac * (
+            n_shift / len(self._hot_pages)
+        )
+
+    # -- results --------------------------------------------------------------
+    def gups(self, now: float) -> float:
+        """Measured giga-updates/second over the post-warmup window."""
+        return self.measured_rate(now) / 1e9
+
+    def result(self) -> dict:
+        out = super().result()
+        out["workload"] = self.name
+        out["config"] = self.config
+        return out

@@ -1,0 +1,24 @@
+"""FlexKVS: a Memcached-compatible scalable key-value store (§5.2.2).
+
+- :mod:`repro.workloads.kvs.log` — segmented log allocator for items
+  (reduces synchronisation; clusters items by write time).
+- :mod:`repro.workloads.kvs.hashtable` — block-chain hash table (MICA
+  style) minimising cache-coherence traffic on lookup.
+- :mod:`repro.workloads.kvs.server` — the store: GET/SET over the two.
+- :mod:`repro.workloads.kvs.workload` — the access-model adapter with the
+  client mix (90% GET / 10% SET, 20% hot keys taking 90% of accesses) and
+  the latency model used for Tables 3 and 4.
+"""
+
+from repro.workloads.kvs.hashtable import BlockChainHashTable
+from repro.workloads.kvs.log import SegmentedLog
+from repro.workloads.kvs.server import KvsServer
+from repro.workloads.kvs.workload import KvsConfig, KvsWorkload
+
+__all__ = [
+    "BlockChainHashTable",
+    "KvsConfig",
+    "KvsServer",
+    "KvsWorkload",
+    "SegmentedLog",
+]

@@ -1,0 +1,65 @@
+"""The FlexKVS store: GET/SET over the segmented log and hash table."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.workloads.kvs.hashtable import BlockChainHashTable
+from repro.workloads.kvs.log import LogEntry, SegmentedLog
+
+
+class KvsServer:
+    """A functional in-memory key-value store with FlexKVS's structure.
+
+    Values are stored in the segmented log; the hash table maps keys to
+    log entries.  Updates append a new version and mark the old one dead
+    (log-structured), exactly like FlexKVS's segmented log.
+    """
+
+    def __init__(self, log_capacity: int, segment_size: int = 2 * 1024 * 1024,
+                 n_buckets: Optional[int] = None):
+        self.log = SegmentedLog(segment_size, log_capacity)
+        if n_buckets is None:
+            # Size for ~2 items per bucket at full log occupancy of 4 KB items.
+            n_buckets = max(log_capacity // (4096 * 2), 16)
+        self.index = BlockChainHashTable(n_buckets)
+        self._values: Dict[int, Any] = {}  # log address -> payload
+        self.gets = 0
+        self.sets = 0
+        self.misses = 0
+
+    def set(self, key: Any, value: Any, size: int) -> LogEntry:
+        """Store ``value`` (logically ``size`` bytes) under ``key``."""
+        entry = self.log.append(size)
+        old = self.index.get(key)
+        if old is not None:
+            self.log.free(old)
+            self._values.pop(self.log.address(old), None)
+        self.index.put(key, entry)
+        self._values[self.log.address(entry)] = value
+        self.sets += 1
+        return entry
+
+    def get(self, key: Any) -> Optional[Any]:
+        self.gets += 1
+        entry = self.index.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        return self._values[self.log.address(entry)]
+
+    def delete(self, key: Any) -> bool:
+        entry = self.index.get(key)
+        if entry is None:
+            return False
+        self.index.delete(key)
+        self.log.free(entry)
+        self._values.pop(self.log.address(entry), None)
+        return True
+
+    def locate(self, key: Any) -> Optional[LogEntry]:
+        """Where does this key's current version live in the log?"""
+        return self.index.get(key)
+
+    def __len__(self) -> int:
+        return len(self.index)

@@ -1,0 +1,231 @@
+"""FlexKVS access-model adapter and latency model (Tables 3-4).
+
+Client mix per the paper (Atikoglu et al. proportions): 90% GET / 10% SET
+over 4 KB values; 20% of keys are hot and take 90% of accesses.  Key-level
+hotness becomes page-level hotness through the segmented log: items written
+together share segments (and pages), so the hot 20% of items occupy the hot
+20% of log pages.  SETs append at the log head — a small, write-heavy page
+window, which is what HeMem's store-threshold keeps in DRAM.
+
+Latency (Table 3's right half and Table 4) is modelled per request:
+network/stack base + service time (index probe + item access, tier
+dependent) + an M/M/1 queueing wait at the configured load, sampled by
+seeded Monte Carlo against the *current* page placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mem.access import AccessStream, Pattern
+from repro.mem.page import Tier
+from repro.sim.units import GB, KB, MB
+from repro.workloads.base import Workload
+from repro.workloads.kvs.server import KvsServer
+
+
+@dataclass
+class KvsConfig:
+    """Adapter parameters (sizes must be pre-scaled by the scenario)."""
+
+    working_set: int = 16 * GB  # total live item bytes
+    value_size: int = 4 * KB
+    server_threads: int = 8
+    get_frac: float = 0.9
+    hot_key_frac: float = 0.2
+    hot_access_frac: float = 0.9
+    uniform: bool = False  # uniform key popularity (no hot set)
+    #: per-request CPU cost (request parsing, hashing, TAS stack work);
+    #: calibrated so 8 server threads peak near the paper's ~1.1 Mops/s
+    cpu_ns_per_req: float = 6_500.0
+    mlp: float = 2.0
+    #: index bytes per key (tag + pointer + chain overhead)
+    index_bytes_per_key: int = 32
+    #: recent-segment window absorbing SET appends (the log head)
+    head_bytes: int = 128 * MB
+    #: offered load as a fraction of capacity (None = closed loop, full load)
+    load: Optional[float] = None
+    #: base network + stack round trip for latency modelling (TAS)
+    base_rtt: float = 18e-6
+    #: pin all instance data in DRAM (the priority instance of Table 4)
+    pinned: bool = False
+    #: stream name prefix (several instances can share one engine)
+    instance: str = "kvs"
+
+    def __post_init__(self):
+        if self.working_set <= 0 or self.value_size <= 0:
+            raise ValueError("working set and value size must be positive")
+        if not 0 <= self.get_frac <= 1:
+            raise ValueError("get_frac must be in [0, 1]")
+        if not 0 < self.hot_key_frac <= 1:
+            raise ValueError("hot_key_frac must be in (0, 1]")
+
+    @property
+    def n_keys(self) -> int:
+        return max(self.working_set // self.value_size, 1)
+
+    @property
+    def index_bytes(self) -> int:
+        return self.n_keys * self.index_bytes_per_key
+
+
+class KvsWorkload(Workload):
+    """FlexKVS as an engine workload."""
+
+    name = "flexkvs"
+
+    def __init__(self, config: KvsConfig, warmup: float = 0.0):
+        super().__init__(warmup=warmup)
+        self.config = config
+        self.log_region = None
+        self.index_region = None
+        self.server: Optional[KvsServer] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._log_weights: Optional[np.ndarray] = None
+        self._head_weights: Optional[np.ndarray] = None
+        self._split_cache: Dict[str, float] = {}
+
+    # -- setup ----------------------------------------------------------------
+    def setup(self, manager, machine, rng: np.random.Generator) -> None:
+        cfg = self.config
+        self._rng = rng
+        # Functional miniature of the store, for structural fidelity tests.
+        self.server = KvsServer(log_capacity=64 * MB)
+        for key in range(2048):
+            self.server.set(key, f"v{key}", cfg.value_size if cfg.value_size <= 2 * MB else 4 * KB)
+
+        pin = Tier.DRAM if cfg.pinned else None
+        self.log_region = manager.mmap(
+            cfg.working_set, name=f"{cfg.instance}_log", pinned_tier=pin
+        )
+        self.index_region = manager.mmap(
+            max(cfg.index_bytes, machine.spec.page_size),
+            name=f"{cfg.instance}_index", pinned_tier=pin,
+        )
+        manager.prefault(self.log_region)
+        manager.prefault(self.index_region)
+        self._build_weights()
+
+    def _build_weights(self) -> None:
+        cfg = self.config
+        n = self.log_region.n_pages
+        if cfg.uniform:
+            self._log_weights = None
+        else:
+            # Hot items cluster in the first hot_key_frac of log segments.
+            n_hot = max(int(n * cfg.hot_key_frac), 1)
+            weights = np.full(n, (1.0 - cfg.hot_access_frac) / n)
+            weights[:n_hot] += cfg.hot_access_frac / n_hot
+            self._log_weights = weights
+        # SET appends land on the head window (most recent segments).
+        n_head = max(min(int(cfg.head_bytes // self.log_region.page_size), n), 1)
+        head = np.zeros(n)
+        head[n - n_head:] = 1.0 / n_head
+        self._head_weights = head
+
+    # -- per-tick mix -------------------------------------------------------------
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        cfg = self.config
+        set_frac = 1.0 - cfg.get_frac
+        classes = (
+            [(1.0, cfg.working_set)]
+            if cfg.uniform
+            else [
+                (cfg.hot_access_frac, int(cfg.working_set * cfg.hot_key_frac)),
+                (1.0 - cfg.hot_access_frac, cfg.working_set),
+            ]
+        )
+        item_stream = AccessStream(
+            name=f"{cfg.instance}_items",
+            region=self.log_region,
+            threads=cfg.server_threads * 0.9,
+            op_size=cfg.value_size,
+            reads_per_op=cfg.get_frac,
+            writes_per_op=set_frac,
+            pattern=Pattern.RANDOM,
+            cpu_ns_per_op=cfg.cpu_ns_per_req * 0.9,
+            mlp=cfg.mlp,
+            weights=self._log_weights,
+            write_weights=self._head_weights,
+            cache_classes=classes,
+        )
+        index_stream = AccessStream(
+            name=f"{cfg.instance}_index",
+            region=self.index_region,
+            threads=cfg.server_threads * 0.1,
+            op_size=64,
+            reads_per_op=1.2,  # ~chain length of the block-chain table
+            writes_per_op=set_frac * 0.3,
+            pattern=Pattern.RANDOM,
+            cpu_ns_per_op=cfg.cpu_ns_per_req * 0.1,
+            mlp=cfg.mlp,
+            cache_classes=[(1.0, self.index_region.size)],
+        )
+        return [item_stream, index_stream]
+
+    def on_progress(self, stream, result, now, dt) -> None:
+        cfg = self.config
+        if not stream.name.endswith("_items"):
+            return
+        ops = result.ops
+        if cfg.load is not None:
+            ops = min(ops, self._offered(result, dt))
+        self.total_ops += ops
+        if now >= self.measure_start:
+            self.measured_ops += ops
+
+    def _offered(self, result, dt: float) -> float:
+        """Open-loop: the client offers load x capacity requests."""
+        return result.ops * self.config.load
+
+    # -- results --------------------------------------------------------------
+    def throughput(self, now: float) -> float:
+        """Requests/second (Mops in Table 3 = this / 1e6)."""
+        return self.measured_rate(now)
+
+    def dram_hit_fraction(self) -> float:
+        """Probability a request's item currently resides in DRAM."""
+        return self.log_region.dram_fraction(self._log_weights)
+
+    def latency_percentiles(
+        self,
+        percentiles=(50, 90, 99, 99.9),
+        n_samples: int = 50_000,
+        dram_fraction: Optional[float] = None,
+        nvm_wait_inflation: float = 1.0,
+    ) -> Dict[float, float]:
+        """Monte-Carlo request latency against current placement (seconds).
+
+        Per request: base RTT + service (CPU + index probe + item transfer
+        from its tier) + M/M/1 queueing wait at the configured load.
+
+        ``nvm_wait_inflation`` scales the NVM item-access time to model
+        congestion from other tenants saturating the NVM device (the
+        coupling a shared hardware cache cannot prevent — Table 4).
+        """
+        if nvm_wait_inflation < 1.0:
+            raise ValueError(f"inflation must be >= 1: {nvm_wait_inflation}")
+        cfg = self.config
+        rng = self._rng
+        h = dram_fraction if dram_fraction is not None else self.dram_hit_fraction()
+        # Item access time by tier: latency + payload transfer.
+        t_dram = 82e-9 + cfg.value_size / (6.0 * GB)
+        t_nvm = (175e-9 + cfg.value_size / (1.2 * GB)) * nvm_wait_inflation
+        in_dram = rng.random(n_samples) < h
+        svc = cfg.cpu_ns_per_req * 1e-9 + np.where(in_dram, t_dram, t_nvm)
+        rho = cfg.load if cfg.load is not None else 0.7
+        rho = min(max(rho, 0.0), 0.95)
+        mean_wait = rho / (1.0 - rho) * float(svc.mean())
+        wait = rng.exponential(mean_wait, size=n_samples) if mean_wait > 0 else 0.0
+        lat = cfg.base_rtt + svc + wait
+        return {p: float(np.percentile(lat, p)) for p in percentiles}
+
+    def result(self) -> dict:
+        out = super().result()
+        out["workload"] = self.name
+        out["instance"] = self.config.instance
+        out["dram_hit_fraction"] = self.dram_hit_fraction()
+        return out

@@ -1,0 +1,64 @@
+"""Combine several workloads into one engine run (the Table 4 experiment
+runs a prioritised and a regular FlexKVS instance side by side)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.access import AccessStream, StreamResult
+from repro.workloads.base import Workload
+
+
+class MultiWorkload(Workload):
+    """Runs member workloads concurrently on one machine.
+
+    Stream names must be unique across members (give each instance its own
+    prefix); progress callbacks are routed back to the member that emitted
+    the stream.
+    """
+
+    name = "multi"
+
+    def __init__(self, parts: List[Workload]):
+        if not parts:
+            raise ValueError("need at least one member workload")
+        super().__init__(warmup=max(p.warmup for p in parts))
+        self.parts = parts
+        self._owner_of: Dict[str, Workload] = {}
+
+    def setup(self, manager, machine, rng) -> None:
+        for i, part in enumerate(self.parts):
+            part.setup(manager, machine, rng)
+
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        streams: List[AccessStream] = []
+        self._owner_of = {}
+        for part in self.parts:
+            for stream in part.access_mix(now, dt):
+                if stream.name in self._owner_of:
+                    raise ValueError(
+                        f"duplicate stream name across workloads: {stream.name}"
+                    )
+                self._owner_of[stream.name] = part
+                streams.append(stream)
+        return streams
+
+    def on_progress(self, stream: AccessStream, result: StreamResult,
+                    now: float, dt: float) -> None:
+        owner = self._owner_of.get(stream.name)
+        if owner is None:
+            raise KeyError(f"no owner recorded for stream {stream.name}")
+        owner.on_progress(stream, result, now, dt)
+        self.total_ops += result.ops
+        if now >= self.measure_start:
+            self.measured_ops += result.ops
+
+    def finished(self, now: float) -> bool:
+        return all(part.finished(now) for part in self.parts)
+
+    def result(self) -> dict:
+        out = super().result()
+        out["parts"] = {
+            f"{i}:{part.name}": part.result() for i, part in enumerate(self.parts)
+        }
+        return out

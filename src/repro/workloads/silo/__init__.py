@@ -1,0 +1,25 @@
+"""Silo: an in-memory transactional database running TPC-C (§5.2.1).
+
+- :mod:`repro.workloads.silo.db` — tables, indexes, and Silo-style OCC
+  transactions (read-set validation, write-set locking, epoch TIDs).
+- :mod:`repro.workloads.silo.tpcc` — TPC-C schema, loader, and the
+  transaction mix (new-order, payment, order-status, delivery,
+  stock-level), instrumented to count record reads/writes.
+- :mod:`repro.workloads.silo.workload` — the access-model adapter that
+  drives the simulation engine with TPC-C's memory behaviour.
+"""
+
+from repro.workloads.silo.db import Database, Table, Transaction, TransactionAborted
+from repro.workloads.silo.tpcc import TpccConfig, TpccDriver
+from repro.workloads.silo.workload import SiloWorkload, SiloConfig
+
+__all__ = [
+    "Database",
+    "SiloConfig",
+    "SiloWorkload",
+    "Table",
+    "TpccConfig",
+    "TpccDriver",
+    "Transaction",
+    "TransactionAborted",
+]

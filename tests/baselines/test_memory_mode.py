@@ -1,0 +1,82 @@
+"""Tests for the Memory Mode (hardware cache) manager."""
+
+import pytest
+
+from repro.baselines.memory_mode import MemoryModeManager
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+from tests.conftest import IdleWorkload
+
+SCALE = 64  # DRAM 3 GB, NVM 12 GB
+
+
+def gups_run(working_set, hot_set=None, duration=3.0, seed=13, manager=None):
+    manager = manager or MemoryModeManager()
+    workload = GupsWorkload(GupsConfig(working_set=working_set, hot_set=hot_set))
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    engine = Engine(machine, manager, workload, EngineConfig(seed=seed))
+    result = engine.run(duration)
+    result["engine"] = engine
+    return result
+
+
+class TestPlacement:
+    def test_home_is_nvm(self):
+        manager = MemoryModeManager()
+        machine = Machine(MachineSpec().scaled(SCALE), seed=1)
+        Engine(machine, manager, IdleWorkload(), EngineConfig(seed=1))
+        region = manager.mmap(1 * GB)
+        assert (region.tier == Tier.NVM).all()
+
+    def test_pinning_is_silently_ignored(self):
+        manager = MemoryModeManager()
+        machine = Machine(MachineSpec().scaled(SCALE), seed=1)
+        Engine(machine, manager, IdleWorkload(), EngineConfig(seed=1))
+        region = manager.mmap(1 * GB, pinned_tier=Tier.DRAM)
+        assert (region.tier == Tier.NVM).all()
+
+
+class TestCacheBehaviour:
+    def test_small_working_set_near_dram_speed(self):
+        # 512 MB on a 3 GB cache = 1/6 occupancy, the paper's "<= 32 GB
+        # performs nearly identically to DRAM" regime.
+        mm = gups_run(512 * MB)
+        engine = mm["engine"]
+        hit = engine.manager.hit_rate("gups")
+        assert hit > 0.93
+
+    def test_hit_rate_declines_with_working_set(self):
+        small = gups_run(1 * GB)["engine"].manager.hit_rate("gups")
+        near = gups_run(2 * GB + 512 * MB)["engine"].manager.hit_rate("gups")
+        over = gups_run(8 * GB)["engine"].manager.hit_rate("gups")
+        assert small > near > over
+
+    def test_conflict_misses_cost_throughput(self):
+        """Fig 5's core shape: MM degrades as WS approaches DRAM size."""
+        small = gups_run(1 * GB)["total_ops"]
+        near = gups_run(2 * GB + 512 * MB)["total_ops"]
+        assert near < small * 0.85
+
+    def test_writebacks_wear_nvm(self):
+        mm = gups_run(8 * GB)
+        assert mm["counters"]["nvm.write_bytes"] > 0
+
+    def test_hemem_beats_mm_near_capacity(self):
+        """Fig 5 at 128 GB (scaled 2 GB): HeMem well above MM."""
+        ws = 2 * GB + 512 * MB
+        mm = gups_run(ws, duration=5.0)
+        hm = gups_run(ws, duration=5.0, manager=HeMemManager())
+        assert hm["total_ops"] > 1.5 * mm["total_ops"]
+
+    def test_mm_converges_to_nvm_when_oversubscribed(self):
+        """Fig 5: beyond DRAM, every system approaches NVM speed."""
+        from repro.baselines.static import NvmOnlyManager
+
+        mm = gups_run(11 * GB, duration=4.0)
+        nvm = gups_run(11 * GB, duration=4.0, manager=NvmOnlyManager())
+        assert mm["total_ops"] < 3.0 * nvm["total_ops"]

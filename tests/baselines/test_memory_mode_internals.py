@@ -1,0 +1,109 @@
+"""Unit tests for Memory Mode's internal modelling choices."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.memory_mode import MemoryModeManager
+from repro.mem.access import AccessStream, StreamResult, TierSplit
+from repro.mem.machine import Machine, MachineSpec
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+
+from tests.conftest import IdleWorkload
+
+SCALE = 64
+
+
+def attach(seed=3):
+    manager = MemoryModeManager()
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    engine = Engine(machine, manager, IdleWorkload(), EngineConfig(seed=seed))
+    return manager, machine, engine
+
+
+def make_stream(manager, name="s", size=1 * GB, weights=None, classes=None,
+                content_shift=0.0):
+    region = manager.mmap(size, name=name)
+    return AccessStream(
+        name=name, region=region, threads=8, weights=weights,
+        cache_classes=classes, content_shift=content_shift,
+        reads_per_op=1.0, writes_per_op=0.5,
+    )
+
+
+class TestSplit:
+    def test_write_misses_induce_fill_and_writeback_traffic(self):
+        manager, machine, engine = attach()
+        stream = make_stream(manager, size=8 * GB)
+        split = manager.split_by_tier(stream, 0.0)
+        assert split.dram_write_frac == 1.0  # stores complete against cache
+        assert split.extra_nvm_read_bytes_per_op > 0  # write-miss fills
+        assert split.extra_nvm_write_bytes_per_op > 0  # dirty write-backs
+
+    def test_read_only_stream_has_no_writebacks(self):
+        manager, machine, engine = attach()
+        region = manager.mmap(8 * GB)
+        stream = AccessStream(name="r", region=region, threads=8,
+                              reads_per_op=1.0, writes_per_op=0.0)
+        split = manager.split_by_tier(stream, 0.0)
+        assert split.extra_nvm_write_bytes_per_op == 0.0
+
+    def test_first_sight_assumes_warm_cache(self):
+        manager, machine, engine = attach()
+        stream = make_stream(manager, size=512 * MB)
+        split = manager.split_by_tier(stream, 0.0)
+        # Small working set on a 3 GB cache: immediately near steady state.
+        assert split.dram_read_frac > 0.9
+
+    def test_content_shift_depresses_hit_rate(self):
+        manager, machine, engine = attach()
+        stream = make_stream(manager, size=1 * GB)
+        manager.split_by_tier(stream, 0.0)
+        before = manager.hit_rate("s")
+        shifted = AccessStream(
+            name="s", region=stream.region, threads=8, content_shift=0.5,
+            reads_per_op=1.0, writes_per_op=0.5,
+        )
+        manager.split_by_tier(shifted, 0.01)
+        assert manager.hit_rate("s") <= before * 0.55
+
+    def test_hit_rate_recovers_after_shift(self):
+        manager, machine, engine = attach()
+        stream = make_stream(manager, size=1 * GB)
+        split = manager.split_by_tier(stream, 0.0)
+        target = manager.hit_rate("s")
+        shifted = AccessStream(
+            name="s", region=stream.region, threads=8, content_shift=0.5,
+            reads_per_op=1.0, writes_per_op=0.5,
+        )
+        manager.split_by_tier(shifted, 0.01)
+        # Feed fill traffic so adaptation has bandwidth to work with.
+        now = 0.01
+        for _ in range(400):
+            now += 0.01
+            result = StreamResult(ops=1e6, nvm_read_bytes=5e7)
+            manager.observe(stream, split, result, now, 0.01)
+            manager.split_by_tier(stream, now)
+        assert manager.hit_rate("s") > 0.9 * target
+
+
+class TestFootprint:
+    def test_cache_classes_hint_preferred(self):
+        manager, machine, engine = attach()
+        stream = make_stream(manager, size=8 * GB,
+                             classes=[(0.9, 256 * MB), (0.1, 8 * GB)])
+        assert MemoryModeManager._stream_footprint(stream) == 8 * GB
+
+    def test_effective_footprint_from_weights(self):
+        manager, machine, engine = attach()
+        region = manager.mmap(1 * GB)
+        weights = np.zeros(region.n_pages)
+        weights[:4] = 0.25  # all mass on 4 pages
+        stream = AccessStream(name="w", region=region, threads=1, weights=weights)
+        footprint = MemoryModeManager._stream_footprint(stream)
+        assert footprint == 4 * region.page_size
+
+    def test_uniform_footprint_is_region_size(self):
+        manager, machine, engine = attach()
+        stream = make_stream(manager, size=1 * GB)
+        assert MemoryModeManager._stream_footprint(stream) == 1 * GB

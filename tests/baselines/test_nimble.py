@@ -1,0 +1,101 @@
+"""Tests for the Nimble (kernel NUMA) baseline."""
+
+import pytest
+
+from repro.baselines.nimble import NimbleConfig, NimbleManager
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+from tests.conftest import IdleWorkload
+
+SCALE = 64
+
+
+def attach(manager=None, seed=17):
+    manager = manager or NimbleManager()
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    engine = Engine(machine, manager, IdleWorkload(), EngineConfig(seed=seed))
+    return engine, manager, machine
+
+
+def gups_run(manager, working_set, hot_set=None, duration=4.0, seed=17):
+    workload = GupsWorkload(GupsConfig(working_set=working_set, hot_set=hot_set))
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    engine = Engine(machine, manager, workload, EngineConfig(seed=seed))
+    result = engine.run(duration)
+    result["engine"] = engine
+    return result
+
+
+class TestAllocation:
+    def test_first_touch_dram_then_nvm(self):
+        engine, manager, machine = attach()
+        region = manager.mmap(8 * GB)
+        manager.prefault(region)
+        assert region.bytes_in(Tier.DRAM) > 0
+        assert region.bytes_in(Tier.NVM) > 0
+        # DRAM node (3 GB) filled first, down to the kernel reserve.
+        reserve = int(machine.spec.dram_capacity * manager.config.dram_reserve_frac)
+        filled = region.bytes_in(Tier.DRAM)
+        assert machine.spec.dram_capacity - filled >= reserve
+        assert filled >= machine.spec.dram_capacity - reserve - region.page_size
+
+    def test_kernel_reserve_spills_even_when_fitting(self):
+        """Fig 5's Nimble shape: some pages land on NVM even when the
+        working set nominally fits DRAM."""
+        engine, manager, machine = attach()
+        region = manager.mmap(int(machine.spec.dram_capacity * 0.95))
+        manager.prefault(region)
+        assert region.bytes_in(Tier.NVM) > 0
+
+    def test_config_scaled(self):
+        engine, manager, machine = attach()
+        assert manager.config.exchange_budget == NimbleConfig().exchange_budget // SCALE
+
+    def test_pinning_ignored(self):
+        engine, manager, machine = attach()
+        region = manager.mmap(1 * GB, pinned_tier=Tier.DRAM)
+        assert region.pinned_tier is None
+
+
+class TestDaemon:
+    def test_daemon_registered(self):
+        engine, manager, machine = attach()
+        assert any(s.name == "nimble_daemon" for s in engine.services)
+
+    def test_copy_threads_registered_as_mover(self):
+        engine, manager, machine = attach()
+        assert manager.mover in machine._movers
+
+    def test_cycles_run_and_migrate(self):
+        result = gups_run(NimbleManager(), working_set=8 * GB, hot_set=256 * MB)
+        engine = result["engine"]
+        daemon = next(s for s in engine.services if s.name == "nimble_daemon")
+        assert daemon.cycles > 0
+        assert result["counters"]["copy_threads.bytes_moved"] > 0
+
+    def test_migration_churn_burns_nvm_writes(self):
+        """Nimble's page exchanges write to NVM even with a stable hot set."""
+        result = gups_run(NimbleManager(), working_set=8 * GB, hot_set=256 * MB)
+        assert result["counters"]["nvm.write_bytes"] > 0
+
+
+class TestPaperShapes:
+    def test_nimble_below_hemem(self):
+        """Figs 5-6: Nimble trails HeMem throughout."""
+        ws, hot = 8 * GB, 256 * MB
+        nb = gups_run(NimbleManager(), ws, hot, duration=16.0)
+        hm = gups_run(HeMemManager(), ws, hot, duration=16.0)
+        assert nb["total_ops"] < 0.7 * hm["total_ops"]
+
+    def test_nimble_still_beats_pure_nvm(self):
+        from repro.baselines.static import NvmOnlyManager
+
+        ws, hot = 8 * GB, 256 * MB
+        nb = gups_run(NimbleManager(), ws, hot, duration=6.0)
+        nv = gups_run(NvmOnlyManager(), ws, hot, duration=6.0)
+        assert nb["total_ops"] > nv["total_ops"]

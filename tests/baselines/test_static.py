@@ -1,0 +1,84 @@
+"""Tests for the static-placement baselines."""
+
+import pytest
+
+from repro.baselines.static import DramOnlyManager, NvmOnlyManager, XMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+
+from tests.conftest import IdleWorkload
+
+SCALE = 64
+
+
+def attach(manager, seed=5):
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    Engine(machine, manager, IdleWorkload(), EngineConfig(seed=seed))
+    return manager, machine
+
+
+class TestDramOnly:
+    def test_everything_in_dram(self):
+        manager, _ = attach(DramOnlyManager())
+        region = manager.mmap(2 * GB)
+        assert (region.tier == Tier.DRAM).all()
+
+    def test_capacity_not_enforced_by_default(self):
+        manager, _ = attach(DramOnlyManager())
+        manager.mmap(100 * GB)  # well past 3 GB of scaled DRAM
+
+    def test_capacity_enforced_when_asked(self):
+        manager, _ = attach(DramOnlyManager(enforce_capacity=True))
+        with pytest.raises(MemoryError):
+            manager.mmap(100 * GB)
+
+
+class TestNvmOnly:
+    def test_everything_in_nvm(self):
+        manager, _ = attach(NvmOnlyManager())
+        region = manager.mmap(2 * GB)
+        assert (region.tier == Tier.NVM).all()
+
+    def test_capacity_enforced(self):
+        manager, _ = attach(NvmOnlyManager())
+        with pytest.raises(MemoryError):
+            manager.mmap(100 * GB)
+
+    def test_munmap_releases(self):
+        manager, _ = attach(NvmOnlyManager())
+        region = manager.mmap(10 * GB)
+        manager.munmap(region)
+        manager.mmap(10 * GB)  # fits again
+
+
+class TestXMem:
+    def test_large_to_nvm_small_to_dram(self):
+        manager, machine = attach(XMemManager())
+        # Threshold scaled: 1 GB / 64 = 16 MB.
+        big = manager.mmap(64 * MB)
+        small = manager.mmap(8 * MB)
+        assert (big.tier == Tier.NVM).all()
+        assert (small.tier == Tier.DRAM).all()
+
+    def test_no_services_registered(self):
+        manager = XMemManager()
+        machine = Machine(MachineSpec().scaled(SCALE), seed=1)
+        engine = Engine(machine, manager, IdleWorkload(), EngineConfig(seed=1))
+        assert engine.services == []
+
+    def test_never_migrates(self):
+        manager, machine = attach(XMemManager())
+        region = manager.mmap(64 * MB)
+        before = region.tier.copy()
+        # No services exist to move anything; placement is final.
+        assert (region.tier == before).all()
+
+    def test_regions_unmanaged(self):
+        manager, _ = attach(XMemManager())
+        assert not manager.mmap(64 * MB).managed
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            XMemManager(large_threshold=0)

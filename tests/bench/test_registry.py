@@ -1,0 +1,47 @@
+"""Tests for the experiment registry and manager registry."""
+
+import pytest
+
+from repro.bench.managers import MANAGERS, make_manager, manager_names
+from repro.bench.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.bench.scenario import Scenario
+
+
+EXPECTED_EXPERIMENTS = {
+    "table1", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "table2", "fig13", "table3",
+    "table4", "fig14", "fig15", "fig16", "ablations", "dma",
+}
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artifact_present(self):
+        assert set(EXPERIMENTS) == EXPECTED_EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_analytical_experiments_run_instantly(self):
+        scenario = Scenario(scale=64, duration=2.0, warmup=0.5)
+        for name in ("table1", "fig1", "fig2", "fig3"):
+            table = run_experiment(name, scenario)
+            assert table.rows
+
+
+class TestManagerRegistry:
+    def test_expected_managers(self):
+        assert set(MANAGERS) == {
+            "hemem", "hemem-threads", "hemem-pt-async", "hemem-pt-sync",
+            "mm", "nimble", "xmem", "dram", "nvm",
+        }
+
+    def test_factories_produce_fresh_instances(self):
+        assert make_manager("hemem") is not make_manager("hemem")
+
+    def test_unknown_manager_rejected(self):
+        with pytest.raises(KeyError):
+            make_manager("tmpfs")
+
+    def test_names_sorted(self):
+        assert manager_names() == sorted(manager_names())

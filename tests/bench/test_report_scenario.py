@@ -1,0 +1,81 @@
+"""Tests for the bench report tables and scenarios."""
+
+import pytest
+
+from repro.bench.report import Table
+from repro.bench.scenario import PRESETS, Scenario, fast, full
+from repro.sim.units import GB
+
+
+class TestTable:
+    def test_row_and_render(self):
+        table = Table("t", ["a", "b"], expectation="x before y")
+        table.row(1, 2.5)
+        table.note("hello")
+        text = table.render()
+        assert "== t ==" in text
+        assert "paper: x before y" in text
+        assert "note: hello" in text
+        assert "2.5" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.row(1)
+
+    def test_cell_and_column_access(self):
+        table = Table("t", ["a", "b"])
+        table.row("x", "y")
+        table.row("p", "q")
+        assert table.cell(1, "b") == "q"
+        assert table.column_values("a") == ["x", "p"]
+
+    def test_series_attachment(self):
+        table = Table("t", ["a"])
+        table.add_series("s", [(0, 1), (1, 2)])
+        assert table.series["s"] == [(0, 1), (1, 2)]
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.row(0.0949)
+        table.row(1234567.0)
+        assert table.column_values("v") == ["0.095", "1.23e+06"]
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = Table("t", ["a", "b"])
+        table.row("x,1", 'say "hi"')
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert '"x,1"' in csv
+        assert '"say ""hi"""' in csv
+        out = tmp_path / "t.csv"
+        table.save_csv(out)
+        assert out.read_text() == csv
+
+
+class TestScenario:
+    def test_size_scaling(self):
+        scenario = Scenario(scale=64)
+        assert scenario.size(64 * GB) == 1 * GB
+
+    def test_size_never_zero(self):
+        assert Scenario(scale=1e12).size(1) == 1
+
+    def test_machine_spec_scaled(self):
+        spec = Scenario(scale=64).machine_spec()
+        assert spec.dram_capacity == 3 * GB
+
+    def test_with_override(self):
+        scenario = fast().with_(seed=99)
+        assert scenario.seed == 99
+        assert scenario.scale == fast().scale
+
+    def test_presets(self):
+        assert set(PRESETS) == {"fast", "full"}
+        assert full().scale < fast().scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(scale=0)
+        with pytest.raises(ValueError):
+            Scenario(duration=1.0, warmup=2.0)

@@ -1,0 +1,57 @@
+"""Tests for the allocation policy (small-vs-large, growth tracking)."""
+
+import pytest
+
+from repro.core.alloc import AllocationPolicy
+from repro.core.config import HeMemConfig
+from repro.sim.units import GB, MB
+
+
+@pytest.fixture
+def policy():
+    return AllocationPolicy(HeMemConfig())
+
+
+def test_large_allocations_managed(policy):
+    assert policy.should_manage(2 * GB)
+    assert policy.should_manage(1 * GB)
+
+
+def test_small_allocations_bypass(policy):
+    assert not policy.should_manage(64 * MB)
+    assert not policy.should_manage(4096)
+
+
+def test_growth_tracking_promotes(policy):
+    for _ in range(3):
+        assert not policy.should_manage(256 * MB, name="heap")
+    # Cumulative 1 GB reached on the 4th allocation.
+    assert policy.should_manage(256 * MB, name="heap")
+    assert policy.grown_bytes("heap") == 1 * GB
+
+
+def test_growth_is_per_name(policy):
+    for _ in range(3):
+        policy.should_manage(256 * MB, name="a")
+    assert not policy.should_manage(256 * MB, name="b")
+
+
+def test_anonymous_small_allocations_never_promote(policy):
+    for _ in range(100):
+        assert not policy.should_manage(256 * MB)
+
+
+def test_reset_growth(policy):
+    policy.should_manage(512 * MB, name="heap")
+    policy.reset_growth("heap")
+    assert policy.grown_bytes("heap") == 0
+
+
+def test_bypass_disabled_manages_everything():
+    policy = AllocationPolicy(HeMemConfig(small_bypass=False))
+    assert policy.should_manage(4096)
+
+
+def test_bad_size_rejected(policy):
+    with pytest.raises(ValueError):
+        policy.should_manage(0)

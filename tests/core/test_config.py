@@ -1,0 +1,51 @@
+"""Tests for HeMem configuration."""
+
+import pytest
+
+from repro.core.config import HeMemConfig
+from repro.sim.units import GB, MB
+
+
+def test_paper_defaults():
+    cfg = HeMemConfig()
+    assert cfg.hot_read_threshold == 8
+    assert cfg.hot_write_threshold == 4
+    assert cfg.cooling_threshold == 18
+    assert cfg.policy_period == 0.010
+    assert cfg.dram_free_watermark == 1 * GB
+    assert cfg.manage_threshold == 1 * GB
+    assert cfg.migration_max_rate == 10 * GB
+    assert cfg.use_dma
+    assert cfg.copy_threads == 4
+
+
+def test_scaled_shrinks_byte_knobs_only():
+    cfg = HeMemConfig().scaled(64)
+    assert cfg.dram_free_watermark == 16 * MB
+    assert cfg.manage_threshold == 16 * MB
+    assert cfg.hot_read_threshold == 8
+    assert cfg.policy_period == 0.010
+    assert cfg.migration_max_rate == 10 * GB
+
+
+def test_cooling_must_cover_hot_threshold():
+    with pytest.raises(ValueError):
+        HeMemConfig(hot_read_threshold=10, cooling_threshold=5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HeMemConfig(hot_read_threshold=0)
+    with pytest.raises(ValueError):
+        HeMemConfig(policy_period=0)
+    with pytest.raises(ValueError):
+        HeMemConfig(migration_max_rate=0)
+    with pytest.raises(ValueError):
+        HeMemConfig(copy_threads=0)
+    with pytest.raises(ValueError):
+        HeMemConfig().scaled(0)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        HeMemConfig().hot_read_threshold = 2

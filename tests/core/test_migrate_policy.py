@@ -1,0 +1,154 @@
+"""Tests for the migrator and the policy thread."""
+
+import pytest
+
+from repro.core.config import HeMemConfig
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+
+from tests.conftest import IdleWorkload
+
+SCALE = 64
+
+
+def make_setup(config=None, seed=3):
+    manager = HeMemManager(config)
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    engine = Engine(machine, manager, IdleWorkload(), EngineConfig(tick=0.01, seed=seed))
+    return engine, manager, machine
+
+
+def drain_mover(engine, ticks=200):
+    for _ in range(ticks):
+        engine.step()
+        if not engine.manager.migrator.busy:
+            break
+
+
+class TestMigrator:
+    def test_promotion_roundtrip(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        nvm_pages = region.pages_in(Tier.NVM)
+        assert len(nvm_pages) > 0
+        node = manager.tracker.node(region, int(nvm_pages[0]))
+        assert manager.migrator.migrate(node, Tier.DRAM, 0.0)
+        assert node.under_migration
+        assert manager.uffd.is_write_protected(region, node.page)
+        drain_mover(engine)
+        assert Tier(region.tier[node.page]) is Tier.DRAM
+        assert not node.under_migration
+        assert not manager.uffd.is_write_protected(region, node.page)
+        assert node.owner is manager.tracker.list_for(Tier.DRAM, hot=False)
+
+    def test_offsets_updated_and_recycled(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        page = int(region.pages_in(Tier.NVM)[0])
+        node = manager.tracker.node(region, page)
+        nvm_free_before = manager.dax[Tier.NVM].free_pages
+        manager.migrator.migrate(node, Tier.DRAM, 0.0)
+        # Drain the mover directly so the policy thread cannot interleave
+        # its own promotions/demotions into the accounting.
+        for _ in range(100):
+            machine.begin_tick(0.0, 0.01)
+            if not manager.migrator.busy:
+                break
+        assert manager.dax[Tier.NVM].free_pages == nvm_free_before + 1
+
+    def test_double_migration_rejected_gracefully(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        page = int(region.pages_in(Tier.NVM)[0])
+        node = manager.tracker.node(region, page)
+        assert manager.migrator.migrate(node, Tier.DRAM, 0.0)
+        assert not manager.migrator.migrate(node, Tier.DRAM, 0.0)
+
+    def test_migrating_to_same_tier_rejected(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(1 * GB, name="big")
+        manager.prefault(region)
+        node = manager.tracker.node(region, 0)  # in DRAM
+        with pytest.raises(ValueError):
+            manager.migrator.migrate(node, Tier.DRAM, 0.0)
+
+    def test_migration_counted(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        page = int(region.pages_in(Tier.NVM)[0])
+        manager.migrator.migrate(manager.tracker.node(region, page), Tier.DRAM, 0.0)
+        drain_mover(engine)
+        assert machine.stats.counter("hemem.pages_promoted").value == 1
+
+
+class TestPolicyThread:
+    def _heat_nvm_pages(self, manager, region, n):
+        """Mark the first n NVM pages write-hot via fake samples."""
+        pages = region.pages_in(Tier.NVM)[:n]
+        for page in pages:
+            for _ in range(4):
+                manager.tracker.record_sample(region, int(page), is_store=True)
+        return pages
+
+    def test_hot_nvm_pages_promoted(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        pages = self._heat_nvm_pages(manager, region, 8)
+        for _ in range(100):
+            engine.step()
+        assert all(Tier(region.tier[int(p)]) is Tier.DRAM for p in pages)
+
+    def test_promotion_stops_when_hot_exceeds_dram(self):
+        """§3.3: if the hot set exceeds DRAM, HeMem does not migrate."""
+        engine, manager, machine = make_setup()
+        region = manager.mmap(10 * GB, name="big")
+        manager.prefault(region)
+        # Make *all* pages hot: DRAM has no cold page to swap against.
+        for page in range(region.n_pages):
+            for _ in range(4):
+                manager.tracker.record_sample(region, page, is_store=True)
+        moved_before = machine.stats.counter("hemem.pages_migrated").value
+        for _ in range(50):
+            engine.step()
+        moved = machine.stats.counter("hemem.pages_migrated").value - moved_before
+        # Only the watermark-sized free headroom can absorb promotions.
+        watermark_pages = manager.config.dram_free_watermark // region.page_size
+        assert moved <= watermark_pages + 1
+
+    def test_watermark_restored_by_demotion(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        # Steal DRAM below the watermark by faking an allocation.
+        dram = manager.dax[Tier.DRAM]
+        grabbed = [dram.alloc_page() for _ in range(dram.free_pages)]
+        assert manager.dram_free_bytes() == 0
+        for page in grabbed[: len(grabbed) // 2]:
+            dram.free_page(page)  # release half; still below watermark?
+        for _ in range(300):
+            engine.step()
+            if manager.dram_free_bytes() >= manager.config.dram_free_watermark:
+                break
+        assert manager.dram_free_bytes() >= manager.config.dram_free_watermark
+
+    def test_write_heavy_promoted_before_read_hot(self):
+        engine, manager, machine = make_setup()
+        region = manager.mmap(6 * GB, name="big")
+        manager.prefault(region)
+        nvm_pages = region.pages_in(Tier.NVM)
+        read_hot = int(nvm_pages[0])
+        write_hot = int(nvm_pages[1])
+        for _ in range(8):
+            manager.tracker.record_sample(region, read_hot, is_store=False)
+        for _ in range(4):
+            manager.tracker.record_sample(region, write_hot, is_store=True)
+        hot_list = manager.tracker.list_for(Tier.NVM, hot=True)
+        assert hot_list.front.page == write_hot

@@ -1,0 +1,92 @@
+"""Tests for address spaces and the syscall layer."""
+
+import pytest
+
+from repro.kernel.syscalls import SyscallLayer
+from repro.kernel.vma import AddressSpace
+from repro.mem.page import HUGE_PAGE, Tier
+from repro.mem.region import Region, RegionKind
+from repro.sim.units import GB, MB
+
+
+class TestAddressSpace:
+    def test_insert_and_find(self):
+        space = AddressSpace()
+        region = Region(0x1000000, 4 * HUGE_PAGE)
+        space.insert(region)
+        assert space.find(region.start + 5) is region
+        assert space.find(region.end) is None
+
+    def test_overlap_rejected(self):
+        space = AddressSpace()
+        space.insert(Region(0x1000000, 4 * HUGE_PAGE))
+        with pytest.raises(ValueError):
+            space.insert(Region(0x1000000 + HUGE_PAGE, 4 * HUGE_PAGE))
+
+    def test_remove(self):
+        space = AddressSpace()
+        region = Region(0x1000000, 2 * HUGE_PAGE)
+        space.insert(region)
+        space.remove(region)
+        assert space.find(region.start) is None
+        with pytest.raises(KeyError):
+            space.remove(region)
+
+    def test_mapped_bytes(self):
+        space = AddressSpace()
+        space.insert(Region(0x1000000, 2 * HUGE_PAGE))
+        space.insert(Region(0x9000000, 3 * HUGE_PAGE))
+        assert space.mapped_bytes == 5 * HUGE_PAGE
+
+    def test_iteration_and_len(self):
+        space = AddressSpace()
+        regions = [Region(0x1000000 * (i + 1) * 16, HUGE_PAGE) for i in range(3)]
+        for r in regions:
+            space.insert(r)
+        assert len(space) == 3
+        assert list(space) == regions
+
+
+class TestSyscallLayer:
+    def test_kernel_mmap_is_unmanaged_dram(self, machine64):
+        layer = SyscallLayer(machine64)
+        region = layer.mmap(64 * MB, name="small")
+        assert not region.managed
+        assert region.kind is RegionKind.SMALL
+        assert (region.tier == Tier.DRAM).all()
+        assert region.mapped.all()
+
+    def test_interceptor_claims_call(self, machine64):
+        layer = SyscallLayer(machine64)
+        claimed = machine64.make_region(1 * GB)
+
+        layer.set_interceptor(lambda size, name: claimed if size >= GB else None)
+        assert layer.mmap(1 * GB) is claimed
+        small = layer.mmap(4 * MB)
+        assert small is not claimed
+
+    def test_interceptor_can_be_removed(self, machine64):
+        layer = SyscallLayer(machine64)
+        layer.set_interceptor(lambda size, name: machine64.make_region(size))
+        layer.set_interceptor(None)
+        region = layer.mmap(1 * GB)
+        assert not region.managed
+
+    def test_munmap_unmaps(self, machine64):
+        layer = SyscallLayer(machine64)
+        region = layer.mmap(4 * MB)
+        layer.munmap(region)
+        assert not region.mapped.any()
+        assert layer.address_space.find(region.start) is None
+
+    def test_madvise_dontneed_discards(self, machine64):
+        layer = SyscallLayer(machine64)
+        region = layer.mmap(4 * MB)
+        region.accumulate(None, 10.0, 10.0)
+        layer.madvise_dontneed(region)
+        assert not region.mapped.any()
+        assert region.pending_reads.sum() == 0.0
+
+    def test_bad_size_rejected(self, machine64):
+        with pytest.raises(ValueError):
+            SyscallLayer(machine64).mmap(0)

@@ -1,0 +1,100 @@
+"""Tests for the direct-mapped cache model (Memory Mode hardware)."""
+
+import numpy as np
+import pytest
+
+from repro.mem.cache import CacheClass, DirectMappedCacheModel, smooth_toward
+from repro.sim.units import GB
+
+
+@pytest.fixture
+def model():
+    return DirectMappedCacheModel(capacity=192 * GB, rng=np.random.default_rng(3))
+
+
+class TestCacheClassValidation:
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            CacheClass(rate_fraction=1.5, footprint=1)
+        with pytest.raises(ValueError):
+            CacheClass(rate_fraction=0.5, footprint=-1)
+        with pytest.raises(ValueError):
+            CacheClass(rate_fraction=0.5, footprint=1, write_fraction=2.0)
+
+
+class TestSteadyState:
+    def test_tiny_working_set_hits(self, model):
+        hits = model.steady_state_hit_rates([CacheClass(1.0, 1 * GB)])
+        assert hits[0] > 0.98
+
+    def test_hit_rate_declines_with_occupancy(self, model):
+        sizes = [16 * GB, 64 * GB, 128 * GB, 256 * GB, 512 * GB]
+        hits = [
+            model.steady_state_hit_rates([CacheClass(1.0, s)])[0] for s in sizes
+        ]
+        assert all(a > b for a, b in zip(hits, hits[1:]))
+
+    def test_way_oversubscribed_converges_to_ratio(self, model):
+        # With W >> C, the hit rate tends to ~C/W territory.
+        hits = model.steady_state_hit_rates([CacheClass(1.0, 768 * GB)])
+        assert hits[0] < 0.35
+
+    def test_hot_class_outhits_cold_class(self, model):
+        classes = [
+            CacheClass(0.9, 16 * GB),  # hot: 90% of accesses on 16 GB
+            CacheClass(0.1, 512 * GB),  # cold
+        ]
+        hot, cold = model.steady_state_hit_rates(classes)
+        assert hot > cold + 0.2
+
+    def test_empty_class_hits_trivially(self, model):
+        hits = model.steady_state_hit_rates([CacheClass(0.0, 0)])
+        assert hits == [1.0]
+
+    def test_results_in_unit_interval(self, model):
+        classes = [CacheClass(0.5, 100 * GB), CacheClass(0.5, 300 * GB)]
+        for h in model.steady_state_hit_rates(classes):
+            assert 0.0 <= h <= 1.0
+
+    def test_deterministic_given_rng(self):
+        a = DirectMappedCacheModel(64 * GB, rng=np.random.default_rng(9))
+        b = DirectMappedCacheModel(64 * GB, rng=np.random.default_rng(9))
+        cls = [CacheClass(1.0, 96 * GB)]
+        assert a.steady_state_hit_rates(cls) == b.steady_state_hit_rates(cls)
+
+    def test_conflicts_exist_even_below_capacity(self, model):
+        """Direct-mapped conflicts appear before the cache is full — the
+        reason MM degrades at 128 GB of 192 GB (Fig 5)."""
+        hits = model.steady_state_hit_rates([CacheClass(1.0, 128 * GB)])
+        assert hits[0] < 0.9
+
+
+class TestAdaptation:
+    def test_tau_proportional_to_resident_footprint(self, model):
+        assert model.adaptation_tau(8 * GB, 1e9) < model.adaptation_tau(64 * GB, 1e9)
+
+    def test_tau_bounded_by_capacity(self, model):
+        big = model.adaptation_tau(10_000 * GB, 1e9)
+        assert big == pytest.approx(192 * GB / 1e9)
+
+    def test_zero_fill_bw_never_adapts(self, model):
+        assert model.adaptation_tau(GB, 0.0) == float("inf")
+
+    def test_smooth_toward_converges(self):
+        x = 0.0
+        for _ in range(100):
+            x = smooth_toward(x, 1.0, dt=1.0, tau=10.0)
+        assert x > 0.99
+
+    def test_smooth_toward_inf_tau_freezes(self):
+        assert smooth_toward(0.3, 1.0, 1.0, float("inf")) == 0.3
+
+
+class TestValidation:
+    def test_positive_capacity(self):
+        with pytest.raises(ValueError):
+            DirectMappedCacheModel(0)
+
+    def test_positive_block(self):
+        with pytest.raises(ValueError):
+            DirectMappedCacheModel(GB, block_size=0)

@@ -1,0 +1,139 @@
+"""Tests for the DRAM/Optane device models (paper Table 1, Figs 1-2)."""
+
+import pytest
+
+from repro.mem.devices import (
+    RAND,
+    READ,
+    SEQ,
+    WRITE,
+    MemoryDevice,
+    ddr4_spec,
+    optane_spec,
+)
+from repro.mem.page import Tier
+from repro.sim.stats import StatsRegistry
+from repro.sim.units import GB, ns
+
+
+@pytest.fixture
+def dram():
+    return ddr4_spec()
+
+
+@pytest.fixture
+def nvm():
+    return optane_spec()
+
+
+class TestSpecs:
+    def test_table1_latencies(self, dram, nvm):
+        assert dram.read_latency == pytest.approx(ns(82))
+        assert nvm.read_latency == pytest.approx(ns(175))
+        assert nvm.write_latency == pytest.approx(ns(94))
+
+    def test_nvm_media_granularity_is_256(self, nvm):
+        assert nvm.media_granularity == 256
+
+    def test_asymmetric_nvm_bandwidth(self, nvm):
+        assert nvm.peak_bw[(READ, SEQ)] > nvm.peak_bw[(WRITE, SEQ)]
+        assert nvm.peak_bw[(READ, RAND)] > nvm.peak_bw[(WRITE, RAND)]
+
+    def test_dram_beats_nvm_everywhere(self, dram, nvm):
+        for key in dram.peak_bw:
+            assert dram.peak_bw[key] > nvm.peak_bw[key]
+
+    def test_only_nvm_wears(self, dram, nvm):
+        assert nvm.wearable and not dram.wearable
+
+    def test_missing_curve_rejected(self, dram):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(dram, peak_bw={(READ, SEQ): 1.0})
+
+
+class TestMediaBytes:
+    def test_sequential_is_payload(self, nvm):
+        assert nvm.media_bytes(READ, SEQ, 64) == 64
+
+    def test_random_nvm_pays_media_granule(self, nvm):
+        # An 8 B random access costs a full 256 B media access.
+        assert nvm.media_bytes(READ, RAND, 8) == 256
+        assert nvm.media_bytes(WRITE, RAND, 64) == 256
+
+    def test_random_dram_pays_cache_line(self, dram):
+        assert dram.media_bytes(READ, RAND, 8) == 64
+
+    def test_large_random_rounds_up(self, nvm):
+        assert nvm.media_bytes(READ, RAND, 300) == 512
+
+    def test_rejects_nonpositive_size(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.media_bytes(READ, RAND, 0)
+
+
+class TestMicrobenchCurves:
+    """These properties are exactly the paper's Fig 1-2 observations."""
+
+    def test_zero_threads_zero_bandwidth(self, dram):
+        assert dram.microbench_bw(READ, SEQ, 256, 0) == 0.0
+
+    def test_nvm_write_saturates_by_four_threads(self, nvm):
+        at4 = nvm.microbench_bw(WRITE, SEQ, 256, 4)
+        at16 = nvm.microbench_bw(WRITE, SEQ, 256, 16)
+        assert at16 <= at4 * 1.05
+
+    def test_dram_seq_scales_with_threads(self, dram):
+        at2 = dram.microbench_bw(READ, SEQ, 256, 2)
+        at8 = dram.microbench_bw(READ, SEQ, 256, 8)
+        assert at8 > 3 * at2
+
+    def test_paper_ratio_dram_rand_read_over_nvm(self, dram, nvm):
+        d = dram.microbench_bw(READ, RAND, 256, 24)
+        n = nvm.microbench_bw(READ, RAND, 256, 24)
+        assert 2.0 < d / n < 3.5  # paper: 2.7x
+
+    def test_paper_ratio_seq_write(self, dram, nvm):
+        d = dram.microbench_bw(WRITE, SEQ, 256, 24)
+        n = nvm.microbench_bw(WRITE, SEQ, 256, 24)
+        assert 12 < d / n < 22  # paper: 16.5x
+
+    def test_optane_seq_read_beats_dram_rand(self, dram, nvm):
+        opt_seq = nvm.microbench_bw(READ, SEQ, 256, 24)
+        dram_rand = dram.microbench_bw(READ, RAND, 256, 24)
+        assert opt_seq > dram_rand  # paper: by 14%
+
+    def test_larger_access_size_helps_random(self, dram):
+        small = dram.microbench_bw(READ, RAND, 64, 16)
+        big = dram.microbench_bw(READ, RAND, 4096, 16)
+        assert big > 2 * small
+
+    def test_nvm_seq_read_size_insensitive_once_saturated(self, nvm):
+        # Fig 2: Optane read bandwidth is almost immediately saturated.
+        a = nvm.microbench_bw(READ, SEQ, 1024, 16)
+        b = nvm.microbench_bw(READ, SEQ, 16384, 16)
+        assert b <= a * 1.1
+
+
+class TestMemoryDevice:
+    def test_traffic_accounting(self, stats):
+        dev = MemoryDevice(optane_spec(), 8 * GB, Tier.NVM, stats)
+        dev.record_traffic(100.0, 50.0)
+        dev.record_traffic(0.0, 25.0)
+        assert dev.bytes_read == 100.0
+        assert dev.bytes_written == 75.0
+
+    def test_wear_counter_is_registry_backed(self, stats):
+        dev = MemoryDevice(optane_spec(), 8 * GB, Tier.NVM, stats)
+        dev.record_traffic(0.0, 10.0)
+        assert stats.counter("nvm.write_bytes").value == 10.0
+
+    def test_spec_delegation(self, stats):
+        dev = MemoryDevice(optane_spec(), 8 * GB, Tier.NVM, stats)
+        assert dev.media_granularity == 256
+        assert dev.latency("read") == pytest.approx(ns(175))
+
+    def test_positive_capacity_required(self, stats):
+        with pytest.raises(ValueError):
+            MemoryDevice(ddr4_spec(), 0, Tier.DRAM, stats)

@@ -1,0 +1,127 @@
+"""Tests for the DMA engine and copy-thread mover."""
+
+import pytest
+
+from repro.mem.dma import CopyRequest, DmaEngine, DmaSpec, ThreadCopyEngine
+from repro.mem.page import Tier
+from repro.sim.units import GB, MB, gbps
+
+
+def make_request(nbytes=64 * MB, on_complete=None):
+    return CopyRequest(nbytes=nbytes, src_tier=Tier.NVM, dst_tier=Tier.DRAM,
+                       on_complete=on_complete)
+
+
+class TestCopyRequest:
+    def test_same_tier_rejected(self):
+        with pytest.raises(ValueError):
+            CopyRequest(nbytes=1, src_tier=Tier.DRAM, dst_tier=Tier.DRAM)
+
+    def test_positive_bytes_required(self):
+        with pytest.raises(ValueError):
+            CopyRequest(nbytes=0, src_tier=Tier.DRAM, dst_tier=Tier.NVM)
+
+
+class TestDmaEngine:
+    def test_moves_at_configured_rate(self, stats):
+        dma = DmaEngine(DmaSpec(channel_bw=gbps(3.2), channels_used=2), stats)
+        dma.submit(make_request(nbytes=int(gbps(6.4) * 0.01)))
+        dma.advance(0.0, 0.01)
+        assert not dma.busy
+        assert dma.bytes_moved == pytest.approx(gbps(6.4) * 0.01)
+
+    def test_partial_progress(self, stats):
+        dma = DmaEngine(DmaSpec(), stats)
+        dma.submit(make_request(nbytes=10 * GB))
+        dma.advance(0.0, 0.01)
+        assert dma.busy
+        assert 0 < dma.pending_bytes < 10 * GB
+
+    def test_completion_callback_fires(self, stats):
+        done = []
+        dma = DmaEngine(DmaSpec(), stats)
+        dma.submit(make_request(nbytes=1 * MB, on_complete=lambda r, t: done.append(t)))
+        dma.advance(1.5, 0.01)
+        assert done == [1.5]
+
+    def test_fifo_completion_order(self, stats):
+        order = []
+        dma = DmaEngine(DmaSpec(), stats)
+        for tag in ("a", "b"):
+            req = make_request(nbytes=1 * MB, on_complete=lambda r, t: order.append(r.tag))
+            req.tag = tag
+            dma.submit(req)
+        dma.advance(0.0, 0.01)
+        assert order == ["a", "b"]
+
+    def test_max_rate_cap(self, stats):
+        dma = DmaEngine(DmaSpec(channel_bw=gbps(10), channels_used=8), stats,
+                        max_rate=gbps(1))
+        dma.submit(make_request(nbytes=10 * GB))
+        dma.advance(0.0, 0.01)
+        assert dma.bytes_moved == pytest.approx(gbps(1) * 0.01)
+
+    def test_bandwidth_reporting(self, stats):
+        dma = DmaEngine(DmaSpec(), stats)
+        dma.submit(make_request(nbytes=10 * GB))
+        dma.advance(0.0, 0.01)
+        bw = dma.last_tick_bw()
+        assert bw[(Tier.NVM, "read")] > 0
+        assert bw[(Tier.DRAM, "write")] > 0
+        assert bw[(Tier.NVM, "read")] == pytest.approx(bw[(Tier.DRAM, "write")])
+
+    def test_idle_reports_no_bandwidth(self, stats):
+        dma = DmaEngine(DmaSpec(), stats)
+        dma.advance(0.0, 0.01)
+        assert dma.last_tick_bw() == {}
+
+    def test_dma_never_burns_cpu(self, stats):
+        dma = DmaEngine(DmaSpec(), stats)
+        dma.submit(make_request(nbytes=10 * GB))
+        dma.advance(0.0, 0.01)
+        assert dma.cpu_cost_last_tick == 0.0
+
+    def test_device_traffic_recorded(self, stats, machine64):
+        dma = DmaEngine(DmaSpec(), stats)
+        dma.submit(make_request(nbytes=4 * MB))
+        dma.advance(0.0, 0.01, devices=machine64.devices)
+        assert machine64.nvm.bytes_read == pytest.approx(4 * MB)
+        assert machine64.dram.bytes_written == pytest.approx(4 * MB)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DmaSpec(channels_used=0)
+        with pytest.raises(ValueError):
+            DmaSpec(channels_used=9, n_channels=8)
+        with pytest.raises(ValueError):
+            DmaSpec(batch_size=100)
+
+
+class TestThreadCopyEngine:
+    def test_burns_one_core_per_thread_while_busy(self, stats):
+        eng = ThreadCopyEngine(stats, n_threads=4)
+        eng.submit(make_request(nbytes=10 * GB))
+        eng.advance(0.0, 0.01)
+        assert eng.cpu_cost_last_tick == pytest.approx(4 * 0.01)
+
+    def test_idle_burns_nothing(self, stats):
+        eng = ThreadCopyEngine(stats, n_threads=4)
+        eng.advance(0.0, 0.01)
+        assert eng.cpu_cost_last_tick == 0.0
+
+    def test_charges_cpu_even_when_finishing_within_tick(self, stats):
+        eng = ThreadCopyEngine(stats, n_threads=4)
+        eng.submit(make_request(nbytes=1 * MB))
+        eng.advance(0.0, 0.01)
+        assert not eng.busy
+        assert eng.cpu_cost_last_tick == pytest.approx(4 * 0.01)
+
+    def test_aggregate_bandwidth(self, stats):
+        eng = ThreadCopyEngine(stats, n_threads=4, per_thread_bw=gbps(1.6))
+        eng.submit(make_request(nbytes=10 * GB))
+        eng.advance(0.0, 0.01)
+        assert eng.bytes_moved == pytest.approx(gbps(6.4) * 0.01)
+
+    def test_needs_threads(self, stats):
+        with pytest.raises(ValueError):
+            ThreadCopyEngine(stats, n_threads=0)

@@ -1,0 +1,98 @@
+"""Tests for the composed machine and its spec scaling."""
+
+import pytest
+
+from repro.mem.access import AccessStream, Pattern, TierSplit
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import HUGE_PAGE, Tier
+from repro.mem.region import RegionKind
+from repro.sim.units import GB
+
+
+class TestSpecScaling:
+    def test_capacities_shrink(self):
+        spec = MachineSpec().scaled(64)
+        assert spec.dram_capacity == 3 * GB
+        assert spec.nvm_capacity == 12 * GB
+        assert spec.scale == 64
+
+    def test_bandwidth_and_latency_untouched(self):
+        base, scaled = MachineSpec(), MachineSpec().scaled(64)
+        assert scaled.dram.peak_bw == base.dram.peak_bw
+        assert scaled.nvm.read_latency == base.nvm.read_latency
+
+    def test_compose_scales(self):
+        spec = MachineSpec().scaled(4).scaled(4)
+        assert spec.scale == 16
+        assert spec.dram_capacity == 12 * GB
+
+    def test_page_aligned(self):
+        spec = MachineSpec().scaled(7)
+        assert spec.dram_capacity % spec.page_size == 0
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec().scaled(0)
+
+
+class TestMakeRegion:
+    def test_regions_do_not_overlap(self, machine64):
+        r1 = machine64.make_region(1 * GB)
+        r2 = machine64.make_region(1 * GB)
+        assert r1.end <= r2.start
+
+    def test_size_rounded_to_pages(self, machine64):
+        region = machine64.make_region(HUGE_PAGE + 1)
+        assert region.size == 2 * HUGE_PAGE
+
+    def test_kind_and_name(self, machine64):
+        region = machine64.make_region(HUGE_PAGE, kind=RegionKind.SMALL, name="x")
+        assert region.kind is RegionKind.SMALL
+        assert region.name == "x"
+
+    def test_registered_with_machine(self, machine64):
+        region = machine64.make_region(HUGE_PAGE)
+        assert region in machine64.regions
+
+
+class TestResolveTick:
+    def make_stream(self, machine):
+        region = machine.make_region(1 * GB)
+        region.mapped[:] = True
+        return AccessStream(name="s", region=region, threads=8)
+
+    def test_traffic_recorded_on_devices(self, machine64):
+        stream = self.make_stream(machine64)
+        machine64.resolve([stream], [TierSplit(1.0, 1.0)], 1.0, 0.01)
+        assert machine64.dram.bytes_read > 0
+
+    def test_ground_truth_accumulates(self, machine64):
+        stream = self.make_stream(machine64)
+        machine64.resolve([stream], [TierSplit(1.0, 1.0)], 1.0, 0.01)
+        assert stream.region.pending_reads.sum() > 0
+
+    def test_interference_slows_app_once(self, machine64):
+        stream = self.make_stream(machine64)
+        [clean] = machine64.resolve([stream], [TierSplit(1.0, 1.0)], 1.0, 0.01)
+        machine64.add_interference(8 * 0.01)  # lose 8 of 8 thread-ticks
+        [hit] = machine64.resolve([stream], [TierSplit(1.0, 1.0)], 1.0, 0.01)
+        [after] = machine64.resolve([stream], [TierSplit(1.0, 1.0)], 1.0, 0.01)
+        assert hit.ops == pytest.approx(0.0, abs=1e-6)
+        assert after.ops == pytest.approx(clean.ops)
+
+    def test_negative_interference_rejected(self, machine64):
+        with pytest.raises(ValueError):
+            machine64.add_interference(-1.0)
+
+    def test_mover_bandwidth_reserved_next_tick(self, machine64):
+        from repro.mem.dma import CopyRequest
+
+        stream = self.make_stream(machine64)
+        split = TierSplit(0.0, 0.0)  # all-NVM traffic competes with the DMA
+        [before] = machine64.resolve([stream], [split], 1.0, 0.01)
+        # NVM -> DRAM migration competes with the stream's NVM reads.
+        machine64.dma.submit(CopyRequest(nbytes=10 * GB, src_tier=Tier.NVM,
+                                         dst_tier=Tier.DRAM))
+        machine64.begin_tick(0.0, 0.01)  # DMA moves, records its bandwidth
+        [during] = machine64.resolve([stream], [split], 1.0, 0.01)
+        assert during.ops < before.ops

@@ -1,0 +1,143 @@
+"""Tests for the page-table scan model (Fig 3) and TLB shootdowns."""
+
+import numpy as np
+import pytest
+
+from repro.mem.page import BASE_PAGE, GIGA_PAGE, HUGE_PAGE
+from repro.mem.pagetable import PageTable, PageTableSpec
+from repro.mem.region import Region
+from repro.mem.tlb import TlbModel, TlbSpec
+from repro.sim.units import GB, TB
+
+
+@pytest.fixture
+def pt():
+    return PageTable(seed_rng=np.random.default_rng(1))
+
+
+class TestScanCost:
+    def test_terabyte_of_base_pages_takes_seconds(self, pt):
+        # Fig 3: base-page scans over TBs take on the order of seconds.
+        assert pt.scan_time(1 * TB, BASE_PAGE) > 1.0
+
+    def test_huge_pages_are_hundreds_of_times_cheaper(self, pt):
+        base = pt.scan_time(1 * TB, BASE_PAGE)
+        huge = pt.scan_time(1 * TB, HUGE_PAGE)
+        assert base / huge > 300
+
+    def test_giga_pages_cheapest(self, pt):
+        assert pt.scan_time(1 * TB, GIGA_PAGE) < pt.scan_time(1 * TB, HUGE_PAGE)
+
+    def test_small_memory_scans_fast_at_any_page_size(self, pt):
+        # Fig 3: up to a few 10s of GB, scans are quick regardless.
+        for page in (BASE_PAGE, HUGE_PAGE, GIGA_PAGE):
+            assert pt.scan_time(16 * GB, page) < 0.1
+
+    def test_linear_in_capacity(self, pt):
+        assert pt.scan_time(2 * TB, BASE_PAGE) == pytest.approx(
+            2 * pt.scan_time(1 * TB, BASE_PAGE)
+        )
+
+    def test_unknown_page_size_rejected(self, pt):
+        with pytest.raises(ValueError):
+            pt.scan_time(GB, 12345)
+
+    def test_negative_capacity_rejected(self, pt):
+        with pytest.raises(ValueError):
+            pt.scan_time(-1, BASE_PAGE)
+
+    def test_scan_time_regions_sums(self, pt):
+        r1 = Region(0x100000000, 4 * HUGE_PAGE)
+        r2 = Region(0x200000000, 4 * HUGE_PAGE)
+        assert pt.scan_time_regions([r1, r2]) == pytest.approx(
+            2 * pt.scan_time(4 * HUGE_PAGE, HUGE_PAGE)
+        )
+
+
+class TestAccessBits:
+    def make_region(self, n_pages=64):
+        return Region(0x100000000, n_pages * HUGE_PAGE)
+
+    def test_untouched_pages_have_clear_bits(self, pt):
+        region = self.make_region()
+        accessed, dirty = pt.scan_bits(region)
+        assert not accessed.any()
+        assert not dirty.any()
+
+    def test_heavily_touched_pages_are_accessed(self, pt):
+        region = self.make_region()
+        region.accumulate(None, reads=region.n_pages * 50.0, writes=0.0)
+        accessed, dirty = pt.scan_bits(region)
+        assert accessed.all()
+        assert not dirty.any()
+
+    def test_writes_set_dirty(self, pt):
+        region = self.make_region()
+        region.accumulate(None, reads=0.0, writes=region.n_pages * 50.0)
+        accessed, dirty = pt.scan_bits(region)
+        assert dirty.all()
+
+    def test_dirty_implies_accessed(self, pt):
+        region = self.make_region(256)
+        region.accumulate(None, reads=region.n_pages * 0.5, writes=region.n_pages * 0.5)
+        accessed, dirty = pt.scan_bits(region)
+        assert not (dirty & ~accessed).any()
+
+    def test_clear_resets_ground_truth(self, pt):
+        region = self.make_region()
+        region.accumulate(None, reads=region.n_pages * 50.0, writes=0.0)
+        pt.scan_bits(region, clear=True)
+        accessed, _ = pt.scan_bits(region)
+        assert not accessed.any()
+
+    def test_no_clear_preserves_ground_truth(self, pt):
+        region = self.make_region()
+        region.accumulate(None, reads=region.n_pages * 50.0, writes=0.0)
+        pt.scan_bits(region, clear=False)
+        accessed, _ = pt.scan_bits(region)
+        assert accessed.all()
+
+    def test_fidelity_scales_down_probability(self, pt):
+        region = self.make_region(1024)
+        region.accumulate(None, reads=region.n_pages * 2.0, writes=0.0)
+        full, _ = pt.scan_bits(region, clear=False)
+        scaled, _ = pt.scan_bits(region, clear=False, fidelity=1e-6)
+        assert full.sum() > scaled.sum()
+
+    def test_bad_fidelity_rejected(self, pt):
+        with pytest.raises(ValueError):
+            pt.scan_bits(self.make_region(), fidelity=0.0)
+
+    def test_overestimation_pathology(self, pt):
+        """The paper's core claim: long intervals make everything look hot."""
+        region = self.make_region(512)
+        # Uniform background traffic, ~3 expected accesses per page.
+        region.accumulate(None, reads=region.n_pages * 3.0, writes=0.0)
+        accessed, _ = pt.scan_bits(region)
+        assert accessed.mean() > 0.9
+
+
+class TestTlb:
+    def test_no_pages_no_cost(self):
+        assert TlbModel().shootdown_core_seconds(0, 16) == 0.0
+
+    def test_no_threads_no_cost(self):
+        assert TlbModel().shootdown_core_seconds(1000, 0) == 0.0
+
+    def test_scales_with_threads(self):
+        tlb = TlbModel()
+        assert tlb.shootdown_core_seconds(1000, 16) == pytest.approx(
+            2 * tlb.shootdown_core_seconds(1000, 8)
+        )
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            TlbModel().shootdown_core_seconds(-1, 16)
+
+    def test_calibration_fig8(self):
+        """Clearing ~512 GB of huge pages should cost a 16-thread app
+        roughly 0.2-0.4 core-seconds (the 18% of Fig 8 when repeated
+        every ~100 ms)."""
+        n_pages = 512 * GB // (2 * 1024 * 1024)
+        cost = TlbModel().shootdown_core_seconds(n_pages, 16)
+        assert 0.15 < cost < 0.5

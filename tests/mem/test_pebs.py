@@ -1,0 +1,99 @@
+"""Tests for the PEBS sampling unit."""
+
+import pytest
+
+from repro.mem.pebs import PebsEventKind, PebsRecord, PebsSpec, PebsUnit
+from repro.mem.region import Region
+from repro.sim.rng import make_rng
+from repro.sim.stats import StatsRegistry
+from repro.sim.units import MB
+
+
+@pytest.fixture
+def region():
+    return Region(0x1000000, 16 * 2 * MB)
+
+
+def make_unit(stats, period=100, capacity=64):
+    return PebsUnit(PebsSpec(sample_period=period, buffer_capacity=capacity),
+                    stats, make_rng(1, "t"))
+
+
+def sampler_for(region, kind):
+    def sampler(n):
+        return [PebsRecord(kind, region, i % region.n_pages) for i in range(n)]
+
+    return sampler
+
+
+class TestFeed:
+    def test_one_record_per_period(self, stats, region):
+        unit = make_unit(stats, period=100)
+        n = unit.feed(PebsEventKind.STORE, 250, sampler_for(region, PebsEventKind.STORE))
+        assert n == 2
+        assert len(unit) == 2
+
+    def test_carry_accumulates_across_feeds(self, stats, region):
+        unit = make_unit(stats, period=100)
+        unit.feed(PebsEventKind.STORE, 60, sampler_for(region, PebsEventKind.STORE))
+        n = unit.feed(PebsEventKind.STORE, 60, sampler_for(region, PebsEventKind.STORE))
+        assert n == 1
+
+    def test_carries_are_per_event_kind(self, stats, region):
+        unit = make_unit(stats, period=100)
+        unit.feed(PebsEventKind.STORE, 99, sampler_for(region, PebsEventKind.STORE))
+        n = unit.feed(PebsEventKind.NVM_READ, 99, sampler_for(region, PebsEventKind.NVM_READ))
+        assert n == 0
+
+    def test_buffer_overflow_drops(self, stats, region):
+        unit = make_unit(stats, period=1, capacity=8)
+        unit.feed(PebsEventKind.STORE, 20, sampler_for(region, PebsEventKind.STORE))
+        assert len(unit) == 8
+        assert unit.records_dropped == 12
+        assert unit.drop_fraction == pytest.approx(12 / 20)
+
+    def test_negative_events_rejected(self, stats, region):
+        unit = make_unit(stats)
+        with pytest.raises(ValueError):
+            unit.feed(PebsEventKind.STORE, -1, sampler_for(region, PebsEventKind.STORE))
+
+
+class TestDrain:
+    def test_fifo_order(self, stats, region):
+        unit = make_unit(stats, period=1)
+        unit.feed(PebsEventKind.STORE, 3, lambda n: [
+            PebsRecord(PebsEventKind.STORE, region, i) for i in range(n)
+        ])
+        out = unit.drain(10)
+        assert [r.page for r in out] == [0, 1, 2]
+        assert len(unit) == 0
+
+    def test_drain_respects_budget(self, stats, region):
+        unit = make_unit(stats, period=1)
+        unit.feed(PebsEventKind.STORE, 5, sampler_for(region, PebsEventKind.STORE))
+        out = unit.drain(2)
+        assert len(out) == 2
+        assert len(unit) == 3
+
+    def test_drain_cost_scales(self, stats, region):
+        unit = make_unit(stats)
+        assert unit.drain_cost(1000) == pytest.approx(
+            1000 * unit.spec.drain_ns_per_record * 1e-9
+        )
+
+    def test_negative_budget_rejected(self, stats, region):
+        with pytest.raises(ValueError):
+            make_unit(stats).drain(-1)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PebsSpec(sample_period=0)
+        with pytest.raises(ValueError):
+            PebsSpec(buffer_capacity=0)
+
+    def test_store_kind_flag(self):
+        assert PebsEventKind.STORE.is_store
+        assert not PebsEventKind.NVM_READ.is_store
+        assert not PebsEventKind.DRAM_READ.is_store

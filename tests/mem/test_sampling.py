@@ -1,0 +1,67 @@
+"""Tests for the cached weighted sampler."""
+
+import numpy as np
+import pytest
+
+from repro.mem.sampling import WeightedSampler
+
+
+@pytest.fixture
+def sampler(rng):
+    return WeightedSampler(rng)
+
+
+def test_uniform_when_weights_none(sampler):
+    draw = sampler.sample(10, None, 1000)
+    assert draw.min() >= 0 and draw.max() < 10
+    counts = np.bincount(draw, minlength=10)
+    assert counts.min() > 50  # roughly uniform
+
+def test_respects_weights(sampler):
+    w = np.zeros(10)
+    w[3] = 1.0
+    draw = sampler.sample(10, w, 100)
+    assert (draw == 3).all()
+
+
+def test_skewed_distribution(sampler):
+    w = np.array([0.9] + [0.1 / 9] * 9)
+    draw = sampler.sample(10, w, 5000)
+    frac = (draw == 0).mean()
+    assert 0.85 < frac < 0.95
+
+
+def test_zero_requests_empty(sampler):
+    assert len(sampler.sample(10, None, 0)) == 0
+
+
+def test_invalid_page_count(sampler):
+    with pytest.raises(ValueError):
+        sampler.sample(0, None, 1)
+
+
+def test_cache_reuse_same_object(sampler):
+    w = np.ones(100)
+    sampler.sample(100, w, 10)
+    cum1 = sampler._cumsum(w)
+    cum2 = sampler._cumsum(w)
+    assert cum1 is cum2
+
+
+def test_cache_distinguishes_objects(sampler):
+    a, b = np.ones(4), np.ones(4)
+    assert sampler._cumsum(a) is not sampler._cumsum(b)
+
+
+def test_cache_eviction(rng):
+    sampler = WeightedSampler(rng, cache_limit=2)
+    arrays = [np.ones(4) for _ in range(5)]
+    for arr in arrays:
+        sampler.sample(4, arr, 1)
+    assert len(sampler._cache) <= 2
+
+
+def test_results_within_range_even_with_rounding(sampler):
+    w = np.full(7, 1.0 / 7)
+    draw = sampler.sample(7, w, 10000)
+    assert draw.max() < 7

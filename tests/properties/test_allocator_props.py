@@ -1,0 +1,55 @@
+"""Property-based tests for DAX files, frame allocators, and the log."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kernel.dax import DaxFile
+from repro.mem.page import FrameAllocator, HUGE_PAGE, Tier
+from repro.workloads.kvs.log import SegmentedLog
+
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_dax_never_double_allocates(ops):
+    dax = DaxFile(Tier.DRAM, 32 * HUGE_PAGE, HUGE_PAGE)
+    held = []
+    for op in ops:
+        if op == "alloc" and dax.free_pages:
+            offset = dax.alloc_page()
+            assert offset not in held
+            held.append(offset)
+        elif op == "free" and held:
+            dax.free_page(held.pop())
+    assert dax.used_pages == len(held)
+    assert dax.free_pages + dax.used_pages == dax.n_pages
+
+
+@given(st.lists(st.integers(min_value=1, max_value=4 * HUGE_PAGE), max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_frame_allocator_conserves_capacity(sizes):
+    fa = FrameAllocator(Tier.NVM, 64 * HUGE_PAGE)
+    allocated = []
+    for size in sizes:
+        if fa.alloc(size):
+            allocated.append(size)
+    assert fa.used == sum(allocated)
+    assert fa.used <= fa.capacity
+    for size in allocated:
+        fa.release(size)
+    assert fa.used == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2048), max_size=100))
+@settings(max_examples=150, deadline=None)
+def test_segmented_log_entries_never_overlap(sizes):
+    log = SegmentedLog(segment_size=2048, capacity=1 << 20)
+    spans = []
+    for size in sizes:
+        entry = log.append(size)
+        start = log.address(entry)
+        end = start + entry.size
+        assert entry.offset + entry.size <= log.segment_size
+        for s, e in spans:
+            assert end <= s or start >= e, "entries overlap"
+        spans.append((start, end))
+    assert log.live_bytes == sum(sizes)

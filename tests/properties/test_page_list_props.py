@@ -1,0 +1,81 @@
+"""Property-based tests for the intrusive page list.
+
+Invariants under any operation sequence: node count and byte accounting
+match, every node's owner pointer is consistent, FIFO order is preserved
+for push_back, and nodes are never lost or duplicated.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.tracking import PageList, PageNode
+from repro.mem.page import HUGE_PAGE
+from repro.mem.region import Region
+
+
+def apply_ops(ops):
+    """Replay an op sequence against a PageList and a Python-list model."""
+    region = Region(0x1000000, 64 * HUGE_PAGE)
+    nodes = [PageNode(region, i) for i in range(64)]
+    lst = PageList("sut")
+    model = []
+    for kind, idx in ops:
+        node = nodes[idx % len(nodes)]
+        if kind == "push_back":
+            if node.owner is None:
+                lst.push_back(node)
+                model.append(node)
+        elif kind == "push_front":
+            if node.owner is None:
+                lst.push_front(node)
+                model.insert(0, node)
+        elif kind == "remove":
+            if node.owner is lst:
+                lst.remove(node)
+                model.remove(node)
+        elif kind == "pop_front":
+            popped = lst.pop_front()
+            expected = model.pop(0) if model else None
+            assert popped is expected
+    return lst, model
+
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["push_back", "push_front", "remove", "pop_front"]),
+        st.integers(min_value=0, max_value=63),
+    ),
+    max_size=200,
+)
+
+
+@given(op_strategy)
+@settings(max_examples=200, deadline=None)
+def test_list_matches_model(ops):
+    lst, model = apply_ops(ops)
+    assert list(lst) == model
+    assert len(lst) == len(model)
+
+
+@given(op_strategy)
+@settings(max_examples=200, deadline=None)
+def test_byte_accounting(ops):
+    lst, model = apply_ops(ops)
+    assert lst.nbytes == sum(n.nbytes for n in model)
+
+
+@given(op_strategy)
+@settings(max_examples=200, deadline=None)
+def test_owner_pointers_consistent(ops):
+    lst, model = apply_ops(ops)
+    for node in model:
+        assert node.owner is lst
+    # Walk links both ways.
+    forward = list(lst)
+    backward = []
+    node = lst._tail
+    while node is not None:
+        backward.append(node)
+        node = node.prev
+    assert forward == list(reversed(backward))

@@ -1,0 +1,98 @@
+"""Property-based tests for Silo's OCC: serializability-style invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.workloads.silo.db import Database, TransactionAborted
+
+N_ACCOUNTS = 6
+INITIAL = 100
+
+
+def make_bank():
+    db = Database()
+    table = db.create_table("bank")
+    for i in range(N_ACCOUNTS):
+        table.insert_raw(i, INITIAL)
+    return db
+
+
+transfer_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_ACCOUNTS - 1),
+        st.integers(min_value=0, max_value=N_ACCOUNTS - 1),
+        st.integers(min_value=1, max_value=50),
+        st.booleans(),  # interleave with a concurrent writer?
+    ),
+    max_size=60,
+)
+
+
+@given(transfer_strategy)
+@settings(max_examples=150, deadline=None)
+def test_money_conserved_under_transfers(ops):
+    """Committed transfers conserve total balance even with conflicting
+    concurrent updates forcing aborts."""
+    db = make_bank()
+    for src, dst, amount, interleave in ops:
+        tx = db.transaction()
+        a = tx.read("bank", src)
+        b = tx.read("bank", dst)
+        if interleave:
+            # A concurrent transaction touches src and commits first.
+            other = db.transaction()
+            balance = other.read("bank", src)
+            other.write("bank", src, balance)  # same value, new version
+            other.commit()
+        tx.write("bank", src, a - amount)
+        tx.write("bank", dst, b + amount if src != dst else a)
+        try:
+            tx.commit()
+        except TransactionAborted:
+            pass
+    total = sum(
+        db.table("bank").rows[i].value for i in range(N_ACCOUNTS)
+    )
+    assert total == N_ACCOUNTS * INITIAL
+
+
+@given(transfer_strategy)
+@settings(max_examples=100, deadline=None)
+def test_interleaved_reader_always_aborts(ops):
+    """Any transaction whose read set was overwritten must abort."""
+    db = make_bank()
+    for src, dst, amount, interleave in ops:
+        if not interleave or src == dst:
+            continue
+        tx = db.transaction()
+        tx.read("bank", src)
+        other = db.transaction()
+        other.write("bank", src, 1)
+        other.commit()
+        tx.write("bank", dst, amount)
+        try:
+            tx.commit()
+            raised = False
+        except TransactionAborted:
+            raised = True
+        assert raised
+
+
+@given(st.lists(st.integers(min_value=0, max_value=N_ACCOUNTS - 1), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_locks_always_released(keys):
+    """However commits end (success or abort), no record stays locked."""
+    db = make_bank()
+    for key in keys:
+        tx = db.transaction()
+        value = tx.read("bank", key)
+        other = db.transaction()
+        other.write("bank", key, value)
+        other.commit()
+        tx.write("bank", key, value + 1)
+        try:
+            tx.commit()
+        except TransactionAborted:
+            pass
+        for record in db.table("bank").rows.values():
+            assert not record.locked

@@ -1,0 +1,98 @@
+"""Property-based tests for the hot/cold tracker.
+
+Under any sample sequence: every tracked page is on exactly one list, the
+list matches its tier and classification, counters never go negative, and
+cooling is monotone (never increases counts).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import HeMemConfig
+from repro.core.tracking import HotColdTracker
+from repro.mem.page import HUGE_PAGE, Tier
+from repro.mem.region import Region
+from repro.sim.stats import StatsRegistry
+
+N_PAGES = 16
+
+sample_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_PAGES - 1),  # page
+        st.booleans(),  # is_store
+        st.booleans(),  # flip the page's tier before sampling
+    ),
+    max_size=300,
+)
+
+
+def run_samples(samples):
+    region = Region(0x1000000, N_PAGES * HUGE_PAGE)
+    tracker = HotColdTracker(HeMemConfig(), StatsRegistry())
+    for page, is_store, flip in samples:
+        if flip:
+            node = tracker.node(region, page)
+            new_tier = Tier.NVM if region.tier[page] == Tier.DRAM else Tier.DRAM
+            region.tier[page] = new_tier
+            if node is not None:
+                tracker.page_migrated(node)
+        tracker.record_sample(region, page, is_store)
+    return region, tracker
+
+
+@given(sample_strategy)
+@settings(max_examples=150, deadline=None)
+def test_every_tracked_page_on_exactly_one_list(samples):
+    region, tracker = run_samples(samples)
+    seen = set()
+    for key, lst in tracker.lists.items():
+        for node in lst:
+            assert (node.region.region_id, node.page) not in seen
+            seen.add((node.region.region_id, node.page))
+    assert seen == set(tracker._nodes)
+
+
+@given(sample_strategy)
+@settings(max_examples=150, deadline=None)
+def test_list_membership_matches_classification(samples):
+    region, tracker = run_samples(samples)
+    for (tier, hot), lst in tracker.lists.items():
+        for node in lst:
+            assert node.tier == tier
+            assert tracker.is_hot(node) == hot
+
+
+@given(sample_strategy)
+@settings(max_examples=150, deadline=None)
+def test_counters_nonnegative_and_bounded(samples):
+    region, tracker = run_samples(samples)
+    limit = tracker.config.cooling_threshold + 1
+    for node in tracker._nodes.values():
+        assert node.reads >= 0
+        assert node.writes >= 0
+        # Cooling fires at the threshold, so counts can only exceed it by
+        # the final increment.
+        assert node.reads + node.writes <= limit
+
+
+@given(sample_strategy)
+@settings(max_examples=100, deadline=None)
+def test_cooling_never_increases_counts(samples):
+    region, tracker = run_samples(samples)
+    for node in tracker._nodes.values():
+        before = (node.reads, node.writes)
+        tracker.global_clock += 1
+        tracker.cool_if_stale(node)
+        assert node.reads <= before[0]
+        assert node.writes <= before[1]
+
+
+@given(sample_strategy)
+@settings(max_examples=100, deadline=None)
+def test_hot_bytes_matches_lists(samples):
+    region, tracker = run_samples(samples)
+    for tier in (Tier.DRAM, Tier.NVM):
+        manual = sum(
+            node.nbytes for node in tracker.list_for(tier, hot=True)
+        )
+        assert tracker.hot_bytes(tier) == manual

@@ -1,0 +1,42 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(0.01)
+    clock.advance(0.02)
+    assert clock.now == pytest.approx(0.03)
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock(1.0)
+    assert clock.advance(0.5) == pytest.approx(1.5)
+
+
+def test_cannot_go_backwards():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_is_allowed():
+    clock = VirtualClock(2.0)
+    clock.advance(0.0)
+    assert clock.now == 2.0

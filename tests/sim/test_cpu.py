@@ -1,0 +1,75 @@
+"""Tests for CPU core accounting."""
+
+import pytest
+
+from repro.sim.cpu import Cpu
+
+
+def test_requires_positive_cores():
+    with pytest.raises(ValueError):
+        Cpu(0)
+
+
+def test_full_speed_when_cores_spare():
+    cpu = Cpu(24)
+    cpu.begin_tick(0.01)
+    assert cpu.app_speed_factor(16, 0.01) == 1.0
+
+
+def test_services_steal_from_application():
+    cpu = Cpu(24)
+    cpu.begin_tick(0.01)
+    # 9 cores of background work leave 15 cores for 16 app threads.
+    cpu.consume(9 * 0.01)
+    factor = cpu.app_speed_factor(16, 0.01)
+    assert factor == pytest.approx(15 / 16)
+
+
+def test_consume_clips_to_budget():
+    cpu = Cpu(2)
+    cpu.begin_tick(0.01)
+    granted = cpu.consume(1.0)  # wants far more than 2 cores x 10 ms
+    assert granted == pytest.approx(0.02)
+    assert cpu.app_speed_factor(1, 0.01) == 0.0
+
+
+def test_negative_consume_rejected():
+    cpu = Cpu(2)
+    cpu.begin_tick(0.01)
+    with pytest.raises(ValueError):
+        cpu.consume(-0.001)
+
+
+def test_zero_app_threads():
+    cpu = Cpu(4)
+    cpu.begin_tick(0.01)
+    assert cpu.app_speed_factor(0, 0.01) == 0.0
+
+
+def test_oversubscription_time_shares():
+    cpu = Cpu(4)
+    cpu.begin_tick(0.01)
+    # 8 threads on 4 cores run at half speed.
+    assert cpu.app_speed_factor(8, 0.01) == pytest.approx(0.5)
+
+
+def test_service_utilization():
+    cpu = Cpu(10)
+    cpu.begin_tick(0.01)
+    cpu.consume(0.05)
+    assert cpu.service_utilization == pytest.approx(0.5)
+
+
+def test_begin_tick_resets():
+    cpu = Cpu(2)
+    cpu.begin_tick(0.01)
+    cpu.consume(0.02)
+    cpu.begin_tick(0.01)
+    assert cpu.service_utilization == 0.0
+    assert cpu.app_speed_factor(2, 0.01) == 1.0
+
+
+def test_bad_tick_rejected():
+    cpu = Cpu(2)
+    with pytest.raises(ValueError):
+        cpu.begin_tick(0.0)

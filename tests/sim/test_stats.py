@@ -1,0 +1,82 @@
+"""Tests for counters, time series, and the stats registry."""
+
+import pytest
+
+from repro.sim.stats import Counter, StatsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_add_accumulates(self):
+        c = Counter("c")
+        c.add(3)
+        c.add()
+        assert c.value == 4.0
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        s = TimeSeries("s")
+        s.record(0.0, 1.0)
+        s.record(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_append_only(self):
+        s = TimeSeries("s")
+        s.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            s.record(0.5, 2.0)
+
+    def test_last(self):
+        s = TimeSeries("s")
+        s.record(0.0, 7.0)
+        assert s.last() == 7.0
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries("s").last()
+
+    def test_mean_with_since(self):
+        s = TimeSeries("s")
+        for t, v in [(0, 10), (1, 20), (2, 30)]:
+            s.record(t, v)
+        assert s.mean() == pytest.approx(20.0)
+        assert s.mean(since=1.0) == pytest.approx(25.0)
+
+    def test_mean_empty_window(self):
+        s = TimeSeries("s")
+        s.record(0.0, 1.0)
+        assert s.mean(since=10.0) == 0.0
+
+    def test_window_bounds(self):
+        s = TimeSeries("s")
+        for t in range(5):
+            s.record(float(t), float(t))
+        assert s.window(1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0)]
+
+
+class TestStatsRegistry:
+    def test_counter_is_memoized(self, stats):
+        assert stats.counter("a") is stats.counter("a")
+
+    def test_series_is_memoized(self, stats):
+        assert stats.series("a") is stats.series("a")
+
+    def test_counters_snapshot(self, stats):
+        stats.counter("x").add(2)
+        stats.counter("y").add(3)
+        assert stats.counters() == {"x": 2.0, "y": 3.0}
+
+    def test_has_helpers(self, stats):
+        stats.counter("x")
+        assert stats.has_counter("x")
+        assert not stats.has_counter("y")
+        stats.series("s")
+        assert stats.has_series("s")
+        assert not stats.has_series("t")

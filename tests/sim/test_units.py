@@ -1,0 +1,29 @@
+"""Tests for unit constants and formatting helpers."""
+
+from repro.sim.units import GB, KB, MB, TB, fmt_bytes, fmt_rate, gbps, ns
+
+
+def test_size_ladder():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert TB == 1024 * GB
+
+
+def test_ns_converts_to_seconds():
+    assert ns(82) == 82e-9
+
+
+def test_gbps_converts_to_bytes_per_second():
+    assert gbps(2.0) == 2 * GB
+
+
+def test_fmt_bytes_picks_suffix():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2 * KB) == "2.00 KB"
+    assert fmt_bytes(3 * GB) == "3.00 GB"
+    assert fmt_bytes(1.5 * TB) == "1.50 TB"
+
+
+def test_fmt_rate():
+    assert fmt_rate(gbps(10)) == "10.00 GB/s"

@@ -1,0 +1,45 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+import repro
+from repro import make_engine, run_gups, run_workload
+from repro.core import HeMemManager
+from repro.sim.units import GB
+from repro.workloads import GupsConfig, GupsWorkload
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_make_engine_wires_everything():
+    engine = make_engine(HeMemManager(), GupsWorkload(GupsConfig(working_set=1 * GB)),
+                         scale=64, seed=5)
+    assert engine.machine.spec.scale == 64
+    assert engine.manager.machine is engine.machine
+    assert engine.workload.region is not None
+
+
+def test_run_gups_returns_metric():
+    result = run_gups(HeMemManager(), GupsConfig(working_set=1 * GB),
+                      duration=1.0, warmup=0.2, scale=64)
+    assert result["gups"] > 0
+    assert "counters" in result
+    assert result["elapsed"] == pytest.approx(1.0)
+
+
+def test_run_workload_generic():
+    workload = GupsWorkload(GupsConfig(working_set=1 * GB))
+    result = run_workload(HeMemManager(), workload, duration=0.5, scale=64)
+    assert result["total_ops"] > 0
+    assert result["engine"].clock.now == pytest.approx(0.5)
+
+
+def test_seed_reproducibility():
+    a = run_gups(HeMemManager(), GupsConfig(working_set=2 * GB, hot_set=256 * 2**20),
+                 duration=2.0, warmup=0.5, scale=64, seed=77)
+    b = run_gups(HeMemManager(), GupsConfig(working_set=2 * GB, hot_set=256 * 2**20),
+                 duration=2.0, warmup=0.5, scale=64, seed=77)
+    assert a["gups"] == b["gups"]
+    assert a["counters"] == b["counters"]

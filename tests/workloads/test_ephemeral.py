@@ -1,0 +1,104 @@
+"""Tests for the ephemeral-allocation workload."""
+
+import pytest
+
+from repro.core.config import HeMemConfig
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+from repro.workloads.ephemeral import EphemeralConfig, EphemeralWorkload
+
+SCALE = 64
+
+
+def make_engine(config=None, hemem_config=None, seed=41):
+    spec = MachineSpec().scaled(SCALE)
+    config = config or EphemeralConfig(
+        heap_bytes=1 * GB, buffer_bytes=8 * MB, n_buffers=4,
+        buffer_lifetime=0.2,
+    )
+    workload = EphemeralWorkload(config, warmup=0.5)
+    machine = Machine(spec, seed=seed)
+    engine = Engine(machine, HeMemManager(hemem_config), workload,
+                    EngineConfig(seed=seed))
+    return engine, workload
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EphemeralConfig(heap_bytes=0)
+        with pytest.raises(ValueError):
+            EphemeralConfig(n_buffers=0)
+        with pytest.raises(ValueError):
+            EphemeralConfig(buffer_lifetime=0)
+        with pytest.raises(ValueError):
+            EphemeralConfig(buffer_thread_frac=1.0)
+
+
+class TestChurn:
+    def test_buffers_reallocated_each_lifetime(self):
+        engine, workload = make_engine()
+        engine.run(1.0)
+        # lifetime 0.2 s over 1 s -> ~5 generations of 4 buffers + initial.
+        assert workload.buffers_allocated >= 4 * 5
+
+    def test_old_buffers_unmapped(self):
+        engine, workload = make_engine()
+        first_gen = list(workload.buffers)
+        engine.run(0.5)
+        for region in first_gen:
+            assert not region.mapped.any()
+
+    def test_stream_count(self):
+        engine, workload = make_engine()
+        streams = workload.access_mix(0.0, 0.01)
+        assert len(streams) == 1 + 4  # heap + buffers
+
+    def test_ops_counted_from_buffers_only(self):
+        engine, workload = make_engine()
+        engine.run(1.0)
+        assert workload.buffer_ops_rate(engine.clock.now) > 0
+
+
+class TestBypassStory:
+    """The §3.3 small-allocation bypass, end to end."""
+
+    def pressured_config(self, spec):
+        return EphemeralConfig(
+            heap_bytes=int(spec.dram_capacity * 1.05),
+            buffer_bytes=8 * MB,
+            n_buffers=4,
+            buffer_lifetime=0.2,
+        )
+
+    def test_bypassed_buffers_stay_in_dram(self):
+        spec = MachineSpec().scaled(SCALE)
+        engine, workload = make_engine(config=self.pressured_config(spec))
+        engine.run(1.0)
+        assert workload.buffer_nvm_generations == 0
+        for region in workload.buffers:
+            assert (region.tier == Tier.DRAM).all()
+            assert not region.managed
+
+    def test_managed_buffers_fault_into_nvm_under_pressure(self):
+        spec = MachineSpec().scaled(SCALE)
+        engine, workload = make_engine(
+            config=self.pressured_config(spec),
+            hemem_config=HeMemConfig(small_bypass=False),
+        )
+        engine.run(1.0)
+        assert workload.buffer_nvm_generations > 0
+
+    def test_bypass_outperforms_manage_everything(self):
+        spec = MachineSpec().scaled(SCALE)
+        e1, w1 = make_engine(config=self.pressured_config(spec))
+        e1.run(2.0)
+        e2, w2 = make_engine(
+            config=self.pressured_config(spec),
+            hemem_config=HeMemConfig(small_bypass=False),
+        )
+        e2.run(2.0)
+        assert w1.buffer_ops_rate(2.0) > 1.5 * w2.buffer_ops_rate(2.0)

@@ -1,0 +1,131 @@
+"""Tests for the GUPS workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+
+def make_engine(config, seed=3, warmup=0.0):
+    machine = Machine(MachineSpec().scaled(64), seed=seed)
+    workload = GupsWorkload(config, warmup=warmup)
+    engine = Engine(machine, HeMemManager(), workload, EngineConfig(seed=seed))
+    return engine, workload
+
+
+class TestConfigValidation:
+    def test_defaults_ok(self):
+        GupsConfig()
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            GupsConfig(working_set=0)
+        with pytest.raises(ValueError):
+            GupsConfig(working_set=GB, hot_set=2 * GB)
+        with pytest.raises(ValueError):
+            GupsConfig(working_set=GB, hot_access_frac=1.5)
+        with pytest.raises(ValueError):
+            GupsConfig(working_set=GB, threads=0)
+
+    def test_write_only_requires_hot_set(self):
+        with pytest.raises(ValueError):
+            GupsConfig(working_set=GB, write_only_bytes=MB)
+
+
+class TestUniform:
+    def test_single_uniform_stream(self):
+        engine, workload = make_engine(GupsConfig(working_set=1 * GB))
+        [stream] = workload.access_mix(0.0, 0.01)
+        assert stream.weights is None
+        assert stream.reads_per_op == 1.0
+        assert stream.writes_per_op == 1.0
+
+    def test_gups_measured(self):
+        engine, workload = make_engine(GupsConfig(working_set=1 * GB), warmup=0.1)
+        engine.run(1.0)
+        assert workload.gups(engine.clock.now) > 0
+
+
+class TestHotSet:
+    def test_weights_reflect_skew(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=128 * MB)
+        engine, workload = make_engine(config)
+        [stream] = workload.access_mix(0.0, 0.01)
+        hot_mass = stream.weights[workload._hot_pages].sum()
+        assert hot_mass > 0.9  # 0.9 hot + their share of the uniform 0.1
+
+    def test_hot_pages_nonconsecutive(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=128 * MB)
+        engine, workload = make_engine(config)
+        pages = np.sort(workload._hot_pages)
+        assert np.any(np.diff(pages) > 1)
+
+    def test_cache_classes_hint(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=128 * MB)
+        engine, workload = make_engine(config)
+        [stream] = workload.access_mix(0.0, 0.01)
+        (hot_frac, hot_bytes), (cold_frac, cold_bytes) = stream.cache_classes
+        assert hot_frac == pytest.approx(0.9)
+        assert hot_bytes == 128 * MB
+        assert cold_frac == pytest.approx(0.1)
+        assert cold_bytes == 1 * GB
+
+
+class TestDynamicShift:
+    def test_shift_changes_hot_pages(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=256 * MB,
+                            shift_time=0.05, shift_bytes=64 * MB)
+        engine, workload = make_engine(config)
+        before = set(map(int, workload._hot_pages))
+        engine.run(0.2)
+        after = set(map(int, workload._hot_pages))
+        assert workload._shifted
+        assert len(after) == len(before)
+        assert after != before
+
+    def test_shift_emits_content_shift_once(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=256 * MB,
+                            shift_time=0.0, shift_bytes=64 * MB)
+        engine, workload = make_engine(config)
+        [first] = workload.access_mix(0.0, 0.01)
+        [second] = workload.access_mix(0.01, 0.01)
+        assert first.content_shift > 0
+        assert second.content_shift == 0.0
+
+    def test_shift_larger_than_hot_set_rejected(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=64 * MB,
+                            shift_time=0.0, shift_bytes=512 * MB)
+        engine, workload = make_engine(config)
+        with pytest.raises(ValueError):
+            workload.access_mix(0.0, 0.01)
+
+
+class TestWriteSkew:
+    def make(self):
+        config = GupsConfig(working_set=1 * GB, hot_set=512 * MB,
+                            write_only_bytes=256 * MB)
+        return make_engine(config)
+
+    def test_op_mix_split(self):
+        engine, workload = self.make()
+        [stream] = workload.access_mix(0.0, 0.01)
+        # 90% of ops are hot; half the hot set is write-only.
+        assert stream.writes_per_op == pytest.approx(0.45)
+        assert stream.reads_per_op == pytest.approx(0.55)
+
+    def test_stores_confined_to_write_only_pages(self):
+        engine, workload = self.make()
+        [stream] = workload.access_mix(0.0, 0.01)
+        wo_pages = workload._hot_pages[: 256 * MB // (2 * MB)]
+        assert stream.write_weights[wo_pages].sum() == pytest.approx(1.0)
+
+    def test_loads_avoid_write_only_pages(self):
+        engine, workload = self.make()
+        [stream] = workload.access_mix(0.0, 0.01)
+        wo_pages = workload._hot_pages[: 256 * MB // (2 * MB)]
+        # Loads see only the 10% uniform background on write-only pages.
+        assert stream.weights[wo_pages].sum() < 0.1

@@ -1,0 +1,208 @@
+"""Tests for FlexKVS: log, hash table, server, and the adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, KB, MB
+from repro.workloads.kvs import (
+    BlockChainHashTable,
+    KvsConfig,
+    KvsServer,
+    KvsWorkload,
+    SegmentedLog,
+)
+
+
+class TestSegmentedLog:
+    def test_append_within_segment(self):
+        log = SegmentedLog(segment_size=1024, capacity=4096)
+        a = log.append(100)
+        b = log.append(100)
+        assert a.segment == b.segment == 0
+        assert b.offset == 100
+
+    def test_seals_and_opens_segments(self):
+        log = SegmentedLog(segment_size=1024, capacity=4096)
+        log.append(1000)
+        entry = log.append(100)
+        assert entry.segment == 1
+
+    def test_full_log_raises(self):
+        log = SegmentedLog(segment_size=1024, capacity=2048)
+        for _ in range(2):
+            log.append(1024)
+        with pytest.raises(MemoryError):
+            log.append(1)
+
+    def test_item_larger_than_segment_rejected(self):
+        log = SegmentedLog(segment_size=1024, capacity=4096)
+        with pytest.raises(ValueError):
+            log.append(2048)
+
+    def test_free_and_utilization(self):
+        log = SegmentedLog(segment_size=1024, capacity=4096)
+        entry = log.append(512)
+        assert log.segment_utilization(0) == 0.5
+        log.free(entry)
+        assert log.segment_utilization(0) == 0.0
+        assert log.live_bytes == 0
+
+    def test_address_is_flat(self):
+        log = SegmentedLog(segment_size=1024, capacity=4096)
+        log.append(1020)
+        entry = log.append(10)  # does not fit; opens segment 1
+        assert log.address(entry) == 1024
+
+
+class TestBlockChainHashTable:
+    def test_put_get_roundtrip(self):
+        table = BlockChainHashTable(8)
+        table.put("k", 1)
+        assert table.get("k") == 1
+        assert "k" in table
+
+    def test_update_in_place(self):
+        table = BlockChainHashTable(8)
+        assert table.put("k", 1)
+        assert not table.put("k", 2)  # update, not insert
+        assert table.get("k") == 2
+        assert len(table) == 1
+
+    def test_chaining_beyond_block_capacity(self):
+        table = BlockChainHashTable(1)  # force every key into one bucket
+        for i in range(20):
+            table.put(i, i)
+        assert len(table) == 20
+        assert all(table.get(i) == i for i in range(20))
+        assert table.average_chain_length() > 1
+
+    def test_delete(self):
+        table = BlockChainHashTable(4)
+        table.put("k", 1)
+        assert table.delete("k")
+        assert table.get("k") is None
+        assert not table.delete("k")
+
+    def test_items_iterates_all(self):
+        table = BlockChainHashTable(2)
+        for i in range(10):
+            table.put(i, i * 2)
+        assert dict(table.items()) == {i: i * 2 for i in range(10)}
+
+    def test_probe_accounting(self):
+        table = BlockChainHashTable(4)
+        table.put("k", 1)
+        before = table.probes
+        table.get("k")
+        assert table.probes > before
+
+
+class TestKvsServer:
+    def test_set_get(self):
+        server = KvsServer(log_capacity=16 * MB)
+        server.set("a", "va", 4096)
+        assert server.get("a") == "va"
+
+    def test_update_appends_new_version(self):
+        server = KvsServer(log_capacity=16 * MB)
+        e1 = server.set("a", "v1", 4096)
+        e2 = server.set("a", "v2", 4096)
+        assert server.get("a") == "v2"
+        assert server.log.address(e2) != server.log.address(e1)
+
+    def test_miss_counted(self):
+        server = KvsServer(log_capacity=16 * MB)
+        assert server.get("nope") is None
+        assert server.misses == 1
+
+    def test_delete(self):
+        server = KvsServer(log_capacity=16 * MB)
+        server.set("a", "v", 4096)
+        assert server.delete("a")
+        assert server.get("a") is None
+
+    def test_locate(self):
+        server = KvsServer(log_capacity=16 * MB)
+        entry = server.set("a", "v", 4096)
+        assert server.locate("a") == entry
+
+
+def make_kvs_engine(config, seed=9):
+    machine = Machine(MachineSpec().scaled(64), seed=seed)
+    workload = KvsWorkload(config, warmup=0.5)
+    manager = HeMemManager()
+    engine = Engine(machine, manager, workload, EngineConfig(seed=seed))
+    return engine, workload, manager
+
+
+class TestKvsWorkload:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            KvsConfig(working_set=0)
+        with pytest.raises(ValueError):
+            KvsConfig(get_frac=1.5)
+        with pytest.raises(ValueError):
+            KvsConfig(hot_key_frac=0)
+
+    def test_streams_shape(self):
+        engine, workload, _ = make_kvs_engine(KvsConfig(working_set=1 * GB))
+        items, index = workload.access_mix(0.0, 0.01)
+        assert items.op_size == 4 * KB
+        assert items.reads_per_op == pytest.approx(0.9)
+        assert items.writes_per_op == pytest.approx(0.1)
+        assert index.op_size == 64
+
+    def test_hot_clustered_in_log(self):
+        engine, workload, _ = make_kvs_engine(KvsConfig(working_set=1 * GB))
+        items, _ = workload.access_mix(0.0, 0.01)
+        n = workload.log_region.n_pages
+        hot_pages = int(n * 0.2)
+        assert items.weights[:hot_pages].sum() > 0.85
+
+    def test_uniform_mode_has_no_weights(self):
+        engine, workload, _ = make_kvs_engine(
+            KvsConfig(working_set=1 * GB, uniform=True))
+        items, _ = workload.access_mix(0.0, 0.01)
+        assert items.weights is None
+
+    def test_writes_target_log_head(self):
+        engine, workload, _ = make_kvs_engine(
+            KvsConfig(working_set=1 * GB, head_bytes=8 * MB))
+        items, _ = workload.access_mix(0.0, 0.01)
+        n = workload.log_region.n_pages
+        head_pages = 8 * MB // (2 * MB)
+        assert items.write_weights[n - head_pages:].sum() == pytest.approx(1.0)
+
+    def test_pinned_instance_all_dram(self):
+        engine, workload, manager = make_kvs_engine(
+            KvsConfig(working_set=512 * MB, pinned=True))
+        assert (workload.log_region.tier == Tier.DRAM).all()
+        assert workload.dram_hit_fraction() == pytest.approx(1.0)
+
+    def test_throughput_measured(self):
+        engine, workload, _ = make_kvs_engine(KvsConfig(working_set=1 * GB))
+        engine.run(1.5)
+        assert workload.throughput(engine.clock.now) > 0
+
+    def test_latency_percentiles_ordered(self):
+        engine, workload, _ = make_kvs_engine(KvsConfig(working_set=1 * GB, load=0.3))
+        engine.run(0.5)
+        lat = workload.latency_percentiles((50, 90, 99))
+        assert lat[50] < lat[90] < lat[99]
+        assert lat[50] > workload.config.base_rtt
+
+    def test_latency_worsens_with_nvm_placement(self):
+        engine, workload, _ = make_kvs_engine(KvsConfig(working_set=1 * GB, load=0.3))
+        engine.run(0.5)
+        fast = workload.latency_percentiles((99,), dram_fraction=1.0)
+        slow = workload.latency_percentiles((99,), dram_fraction=0.0)
+        assert slow[99] > fast[99]
+
+    def test_nvm_inflation_validated(self):
+        engine, workload, _ = make_kvs_engine(KvsConfig(working_set=1 * GB))
+        with pytest.raises(ValueError):
+            workload.latency_percentiles(nvm_wait_inflation=0.5)

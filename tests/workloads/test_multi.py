@@ -1,0 +1,63 @@
+"""Tests for the multi-workload combinator."""
+
+import pytest
+
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+from repro.workloads.kvs import KvsConfig, KvsWorkload
+from repro.workloads.multi import MultiWorkload
+
+
+def make_parts():
+    a = KvsWorkload(KvsConfig(working_set=512 * MB, instance="a"), warmup=0.2)
+    b = KvsWorkload(KvsConfig(working_set=512 * MB, instance="b"), warmup=0.2)
+    return a, b
+
+
+def make_engine(parts, seed=31):
+    machine = Machine(MachineSpec().scaled(64), seed=seed)
+    multi = MultiWorkload(list(parts))
+    engine = Engine(machine, HeMemManager(), multi, EngineConfig(seed=seed))
+    return engine, multi
+
+
+class TestMulti:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            MultiWorkload([])
+
+    def test_streams_merged(self):
+        a, b = make_parts()
+        engine, multi = make_engine([a, b])
+        streams = multi.access_mix(0.0, 0.01)
+        assert len(streams) == 4  # two streams per instance
+        assert len({s.name for s in streams}) == 4
+
+    def test_duplicate_stream_names_rejected(self):
+        a = KvsWorkload(KvsConfig(working_set=512 * MB, instance="x"))
+        b = KvsWorkload(KvsConfig(working_set=512 * MB, instance="x"))
+        engine, multi = make_engine([a, b])
+        with pytest.raises(ValueError):
+            multi.access_mix(0.0, 0.01)
+
+    def test_progress_routed_to_owner(self):
+        a, b = make_parts()
+        engine, multi = make_engine([a, b])
+        engine.run(1.0)
+        assert a.total_ops > 0
+        assert b.total_ops > 0
+        assert multi.total_ops >= a.total_ops
+
+    def test_result_has_parts(self):
+        a, b = make_parts()
+        engine, multi = make_engine([a, b])
+        result = engine.run(0.5)
+        assert "0:flexkvs" in result["parts"]
+        assert "1:flexkvs" in result["parts"]
+
+    def test_warmup_is_max_of_parts(self):
+        a = KvsWorkload(KvsConfig(working_set=512 * MB, instance="a"), warmup=1.0)
+        b = KvsWorkload(KvsConfig(working_set=512 * MB, instance="b"), warmup=2.0)
+        assert MultiWorkload([a, b]).warmup == 2.0

@@ -1,0 +1,155 @@
+"""Tests for the Silo database: tables, OCC transactions, commit protocol."""
+
+import pytest
+
+from repro.workloads.silo.db import Database, TransactionAborted
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    accounts = database.create_table("accounts")
+    for key, balance in [("alice", 100), ("bob", 50)]:
+        accounts.insert_raw(key, {"balance": balance})
+    return database
+
+
+class TestBasicOperations:
+    def test_read_committed_value(self, db):
+        tx = db.transaction()
+        assert tx.read("accounts", "alice")["balance"] == 100
+
+    def test_read_missing_returns_none(self, db):
+        assert db.transaction().read("accounts", "nobody") is None
+
+    def test_own_writes_visible(self, db):
+        tx = db.transaction()
+        tx.write("accounts", "alice", {"balance": 1})
+        assert tx.read("accounts", "alice")["balance"] == 1
+
+    def test_own_inserts_visible(self, db):
+        tx = db.transaction()
+        tx.insert("accounts", "carol", {"balance": 7})
+        assert tx.read("accounts", "carol")["balance"] == 7
+
+    def test_writes_invisible_until_commit(self, db):
+        tx = db.transaction()
+        tx.write("accounts", "alice", {"balance": 1})
+        other = db.transaction()
+        assert other.read("accounts", "alice")["balance"] == 100
+
+    def test_commit_installs(self, db):
+        tx = db.transaction()
+        tx.write("accounts", "alice", {"balance": 1})
+        tx.commit()
+        assert db.transaction().read("accounts", "alice")["balance"] == 1
+
+    def test_scan_reads_range(self, db):
+        tx = db.transaction()
+        rows = tx.scan("accounts", "a", "z")
+        assert [k for k, _v in rows] == ["alice", "bob"]
+
+    def test_double_commit_rejected(self, db):
+        tx = db.transaction()
+        tx.write("accounts", "alice", {"balance": 1})
+        tx.commit()
+        with pytest.raises(RuntimeError):
+            tx.commit()
+
+    def test_duplicate_insert_in_tx_rejected(self, db):
+        tx = db.transaction()
+        tx.insert("accounts", "x", {})
+        with pytest.raises(KeyError):
+            tx.insert("accounts", "x", {})
+
+
+class TestOccValidation:
+    def test_stale_read_aborts(self, db):
+        """Classic write skew guard: a read validated against a changed
+        version must abort."""
+        reader = db.transaction()
+        reader.read("accounts", "alice")
+        writer = db.transaction()
+        writer.write("accounts", "alice", {"balance": 0})
+        writer.commit()
+        reader.write("accounts", "bob", {"balance": 999})
+        with pytest.raises(TransactionAborted):
+            reader.commit()
+        assert db.transaction().read("accounts", "bob")["balance"] == 50
+
+    def test_blind_write_does_not_abort(self, db):
+        """Writes without reads validate nothing and commit."""
+        a = db.transaction()
+        a.write("accounts", "alice", {"balance": 1})
+        b = db.transaction()
+        b.write("accounts", "alice", {"balance": 2})
+        a.commit()
+        b.commit()
+        assert db.transaction().read("accounts", "alice")["balance"] == 2
+
+    def test_read_own_write_set_not_self_invalidated(self, db):
+        tx = db.transaction()
+        tx.read("accounts", "alice")
+        tx.write("accounts", "alice", {"balance": 5})
+        tx.commit()  # must not abort on its own lock
+
+    def test_racing_insert_aborts(self, db):
+        a = db.transaction()
+        a.insert("accounts", "carol", {"balance": 1})
+        b = db.transaction()
+        b.insert("accounts", "carol", {"balance": 2})
+        a.commit()
+        with pytest.raises(TransactionAborted):
+            b.commit()
+
+    def test_abort_counts(self, db):
+        reader = db.transaction()
+        reader.read("accounts", "alice")
+        writer = db.transaction()
+        writer.write("accounts", "alice", {"balance": 0})
+        writer.commit()
+        reader.write("accounts", "bob", {})
+        with pytest.raises(TransactionAborted):
+            reader.commit()
+        assert db.aborts == 1
+        assert db.commits == 1
+
+
+class TestTids:
+    def test_tids_embed_epoch(self, db):
+        tx = db.transaction()
+        tx.write("accounts", "alice", {"balance": 1})
+        tid = tx.commit()
+        assert tid >> 40 == db.epoch
+
+    def test_tids_increase(self, db):
+        tids = []
+        for i in range(3):
+            tx = db.transaction()
+            tx.write("accounts", "alice", {"balance": i})
+            tids.append(tx.commit())
+        assert tids == sorted(tids)
+        assert len(set(tids)) == 3
+
+    def test_epoch_advances(self, db):
+        before = db.epoch
+        db.advance_epoch()
+        assert db.epoch == before + 1
+
+
+class TestAccessCounting:
+    def test_reads_counted(self, db):
+        db.counter.reset()
+        tx = db.transaction()
+        tx.read("accounts", "alice")
+        assert db.counter.reads == 1
+        assert db.counter.index_probes == 1
+
+    def test_writes_counted_at_commit(self, db):
+        db.counter.reset()
+        tx = db.transaction()
+        tx.write("accounts", "alice", {"balance": 0})
+        tx.insert("accounts", "zed", {})
+        assert db.counter.writes == 0
+        tx.commit()
+        assert db.counter.writes == 2

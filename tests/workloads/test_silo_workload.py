@@ -1,0 +1,94 @@
+"""Tests for the Silo/TPC-C access-model adapter."""
+
+import pytest
+
+from repro.core.hemem import HeMemManager
+from repro.baselines import XMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import MB
+from repro.workloads.silo import SiloConfig, SiloWorkload
+
+SCALE = 64
+
+
+def make_engine(config=None, manager=None, seed=21):
+    config = config or SiloConfig(
+        warehouses=128,
+        bytes_per_warehouse=220 * MB // SCALE,
+        meta_bytes=256 * MB // SCALE,
+    )
+    machine = Machine(MachineSpec().scaled(SCALE), seed=seed)
+    workload = SiloWorkload(config, warmup=0.5)
+    engine = Engine(machine, manager or HeMemManager(), workload,
+                    EngineConfig(seed=seed))
+    return engine, workload
+
+
+class TestSetup:
+    def test_profile_measured_from_functional_run(self):
+        engine, workload = make_engine()
+        assert workload.profile["reads_per_tx"] > 5
+        assert workload.profile["writes_per_tx"] > 2
+        assert workload.driver.db.commits > 0
+
+    def test_two_regions(self):
+        engine, workload = make_engine()
+        assert workload.heap.size > workload.meta.size
+
+    def test_heap_scales_with_warehouses(self):
+        small = SiloConfig(warehouses=64, bytes_per_warehouse=4 * MB)
+        big = SiloConfig(warehouses=256, bytes_per_warehouse=4 * MB)
+        assert big.heap_bytes == 4 * small.heap_bytes
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SiloConfig(warehouses=0)
+        with pytest.raises(ValueError):
+            SiloConfig(meta_access_frac=1.0)
+
+
+class TestStreams:
+    def test_two_streams_split_by_meta_fraction(self):
+        engine, workload = make_engine()
+        heap, meta = workload.access_mix(0.0, 0.01)
+        cfg = workload.config
+        assert heap.threads == pytest.approx(16 * (1 - cfg.meta_access_frac))
+        assert meta.threads == pytest.approx(16 * cfg.meta_access_frac)
+
+    def test_row_sized_accesses(self):
+        engine, workload = make_engine()
+        heap, _meta = workload.access_mix(0.0, 0.01)
+        assert heap.op_size == workload.config.row_bytes
+
+    def test_uniform_heap_access(self):
+        engine, workload = make_engine()
+        heap, _ = workload.access_mix(0.0, 0.01)
+        assert heap.weights is None  # TPC-C: random, little reuse
+
+
+class TestBehaviour:
+    def test_throughput_positive(self):
+        engine, workload = make_engine()
+        engine.run(2.0)
+        assert workload.throughput(engine.clock.now) > 0
+
+    def test_meta_stays_in_dram_under_xmem(self):
+        """The small metadata arena dodges X-Mem's NVM placement."""
+        engine, workload = make_engine(manager=XMemManager())
+        assert (workload.meta.tier == Tier.DRAM).all()
+        assert (workload.heap.tier == Tier.NVM).all()
+
+    def test_more_warehouses_do_not_speed_things_up(self):
+        small_cfg = SiloConfig(warehouses=128,
+                               bytes_per_warehouse=220 * MB // SCALE,
+                               meta_bytes=256 * MB // SCALE)
+        big_cfg = SiloConfig(warehouses=1400,
+                             bytes_per_warehouse=220 * MB // SCALE,
+                             meta_bytes=256 * MB // SCALE)
+        e1, w1 = make_engine(small_cfg)
+        e1.run(3.0)
+        e2, w2 = make_engine(big_cfg)
+        e2.run(3.0)
+        assert w2.throughput(3.0) <= w1.throughput(3.0) * 1.02

@@ -1,0 +1,78 @@
+"""Tests for the TPC-C driver on Silo."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.silo.tpcc import MIX, TpccConfig, TpccDriver
+
+
+@pytest.fixture(scope="module")
+def driver():
+    return TpccDriver(TpccConfig(warehouses=2, rows_scale=300),
+                      rng=np.random.default_rng(5))
+
+
+class TestLoader:
+    def test_mix_weights_sum_to_one(self):
+        assert sum(w for _n, w in MIX) == pytest.approx(1.0)
+
+    def test_tables_created(self, driver):
+        for table in ("warehouse", "district", "customer", "order",
+                      "order_line", "new_order", "stock", "item", "history"):
+            assert table in driver.db.tables
+
+    def test_row_counts(self, driver):
+        cfg = driver.config
+        assert len(driver.db.table("warehouse")) == cfg.warehouses
+        assert len(driver.db.table("district")) == cfg.warehouses * 10
+        assert len(driver.db.table("item")) == cfg.n_items
+        assert len(driver.db.table("stock")) == cfg.warehouses * cfg.n_items
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TpccConfig(warehouses=0)
+        with pytest.raises(ValueError):
+            TpccConfig(rows_scale=0)
+
+
+class TestTransactions:
+    def test_new_order_advances_district_counter(self, driver):
+        before = driver.db.table("district").rows[(0, 0)].value["next_o_id"]
+        for _ in range(60):
+            driver._tx_new_order(0)
+        after = driver.db.table("district").rows[(0, 0)].value["next_o_id"]
+        assert after > before
+
+    def test_payment_moves_money(self, driver):
+        wh = driver.db.table("warehouse").rows[0].value["ytd"]
+        driver._tx_payment(0)
+        assert driver.db.table("warehouse").rows[0].value["ytd"] > wh
+
+    def test_order_status_runs(self, driver):
+        driver._tx_order_status(0)
+
+    def test_delivery_marks_orders(self, driver):
+        driver._tx_new_order(1)
+        driver._tx_delivery(1)
+
+    def test_stock_level_runs(self, driver):
+        driver._tx_stock_level(0)
+
+    def test_mix_executes_everything(self):
+        driver = TpccDriver(TpccConfig(warehouses=2, rows_scale=300),
+                            rng=np.random.default_rng(11))
+        for _ in range(400):
+            driver.run_one()
+        executed = driver.executed
+        assert executed["new_order"] > 100
+        assert executed["payment"] > 100
+        assert sum(executed.values()) + sum(driver.aborted.values()) == 400
+
+
+class TestAccessProfile:
+    def test_profile_positive_and_plausible(self, driver):
+        profile = driver.measure_access_profile(200)
+        # TPC-C transactions touch tens of records.
+        assert 5 < profile["reads_per_tx"] < 100
+        assert 2 < profile["writes_per_tx"] < 60
+        assert profile["index_probes_per_tx"] >= profile["reads_per_tx"]
