@@ -43,6 +43,9 @@ class MemoryModeManager(TieredMemoryManager):
         # Last tick's observed access rates, for weighting the joint model.
         self._last_rates: Dict[str, Tuple[float, float]] = {}  # name -> (reads/s, writes/s)
         self._targets: Dict[str, float] = {}
+        # Memoized effective footprints; the inverse-Simpson computation is
+        # O(pages) and streams reuse their weight arrays across ticks.
+        self._footprints: Dict[Tuple[str, int, int], int] = {}
         self._model_tick: float = -1.0
         self._pending_streams: List[AccessStream] = []
         self._snapshot: List[AccessStream] = []
@@ -63,6 +66,7 @@ class MemoryModeManager(TieredMemoryManager):
         region = self.machine.make_region(size, kind=RegionKind.HEAP, name=name)
         region.managed = False
         region.tier[:] = Tier.NVM  # home location; DRAM acts as a cache
+        region.tier_version += 1
         self.syscalls.address_space.insert(region)
         return region
 
@@ -114,9 +118,12 @@ class MemoryModeManager(TieredMemoryManager):
             # First sight of this stream: assume a warmed cache.
             self._hit[stream.name] = target
             return target
-        tau = self._model.adaptation_tau(
-            self._stream_footprint(stream), max(self._fill_bw, 64 * MB)
-        )
+        fkey = (stream.name, id(stream.weights), id(stream.cache_classes))
+        footprint = self._footprints.get(fkey)
+        if footprint is None:
+            footprint = self._stream_footprint(stream)
+            self._footprints[fkey] = footprint
+        tau = self._model.adaptation_tau(footprint, max(self._fill_bw, 64 * MB))
         dt = self.engine.config.tick if self.engine is not None else 0.01
         new = smooth_toward(current, target, dt, tau)
         self._hit[stream.name] = new

@@ -106,6 +106,7 @@ class NimbleManager(TieredMemoryManager):
             preferred = Tier.DRAM if dram_node.free_bytes - page_bytes >= reserve else Tier.NVM
             tier = self.numa.alloc(page_bytes, preferred=preferred)
             region.tier[page] = tier
+            region.tier_version += 1
             region.mapped[page] = True
 
     def managed_regions(self) -> List[Region]:
@@ -277,6 +278,7 @@ class _NimbleDaemon(Service):
 
         def complete(request: CopyRequest, when: float, _region=region, _page=page, _dst=dst):
             _region.tier[_page] = _dst
+            _region.tier_version += 1
 
         self.manager.mover.submit(
             CopyRequest(

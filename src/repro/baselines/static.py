@@ -43,6 +43,7 @@ class _FixedPlacementManager(TieredMemoryManager):
         region = self.machine.make_region(size, kind=RegionKind.HEAP, name=name)
         region.managed = False  # nothing tracks or migrates it
         region.tier[:] = tier
+        region.tier_version += 1
         self._used[tier] += region.size
         self.syscalls.address_space.insert(region)
         return region

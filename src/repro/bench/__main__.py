@@ -1,12 +1,26 @@
-"""CLI: python -m repro.bench <experiment|all> [--preset fast|full] [--scale N]."""
+"""CLI: python -m repro.bench <experiment...|all> [-j N] [--preset fast|full].
+
+Experiments execute through the case runner: independent simulation runs
+fan out over a process pool (``-j``) and completed case results are reused
+from an on-disk content-addressed cache (``.bench_cache/`` by default,
+disable with ``--no-cache``).  ``-j 1`` with a cold cache reproduces the
+serial tables exactly.
+"""
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.bench.registry import MODULES, get_module
+from repro.bench.runner import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    RunStats,
+    run_experiment,
+)
 from repro.bench.scenario import PRESETS
 
 
@@ -15,8 +29,15 @@ def main(argv=None) -> int:
         prog="repro.bench",
         description="Regenerate HeMem (SOSP'21) evaluation tables and figures.",
     )
-    parser.add_argument("experiment",
-                        help=f"experiment id or 'all': {', '.join(EXPERIMENTS)}")
+    parser.add_argument("experiments", nargs="+", metavar="experiment",
+                        help=f"experiment ids or 'all': {', '.join(MODULES)}")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count(),
+                        help="worker processes for independent cases "
+                             "(default: CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-run cases, and do not store results")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--preset", choices=sorted(PRESETS), default="fast")
     parser.add_argument("--scale", type=float, default=None,
                         help="override capacity scale divisor")
@@ -35,12 +56,40 @@ def main(argv=None) -> int:
     if overrides:
         scenario = scenario.with_(**overrides)
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(n for n in MODULES if n not in names)
+        elif name not in names:
+            if name not in MODULES:
+                parser.error(
+                    f"unknown experiment {name!r}; choose from {sorted(MODULES)}"
+                )
+            names.append(name)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    jobs = max(args.jobs or 1, 1)
+
+    all_stats = []
+    total_start = time.time()
     for name in names:
+        stats = RunStats()
         start = time.time()
-        table = run_experiment(name, scenario)
+        table = run_experiment(get_module(name), name, scenario,
+                               jobs=jobs, cache=cache, stats=stats)
+        stats.wall_seconds = time.time() - start
+        all_stats.append(stats)
         print(table.render())
-        print(f"[{name}: {time.time() - start:.1f}s wall]\n")
+        print(f"[{name}: {stats.wall_seconds:.1f}s wall, "
+              f"{stats.cases} cases, {stats.cache_hits} cached]\n")
+
+    if len(names) > 1:
+        cases = sum(s.cases for s in all_stats)
+        hits = sum(s.cache_hits for s in all_stats)
+        misses = sum(s.cache_misses for s in all_stats)
+        print(f"[total: {time.time() - total_start:.1f}s wall, "
+              f"{len(names)} experiments, {cases} cases "
+              f"({hits} cached, {misses} run)]")
     return 0
 
 

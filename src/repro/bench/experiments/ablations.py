@@ -35,8 +35,11 @@ The positive results:
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case, window_mean
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.core.config import HeMemConfig
 from repro.core.hemem import HeMemManager
@@ -48,6 +51,16 @@ from repro.sim.units import GB, MB
 
 #: effectively "never cool" (counts saturate instead)
 NO_COOLING = 1 << 30
+
+#: ablation key -> (row label, workload label)
+ABLATIONS = {
+    "cooling": ("cooling at hot threshold (8)", "gups dynamic (post-shift)"),
+    "dma": ("dma off (4 copy threads)", "gups dynamic, 24 threads"),
+    "write_priority": ("write-priority off", "gups write-skew"),
+    "bypass_silo": ("small-bypass off (silo)", "silo tpcc 1200wh (tx/s)"),
+    "bypass_ephemeral": ("small-bypass off (ephemeral)",
+                         "ephemeral buffers (ops/s)"),
+}
 
 
 def _dynamic_gups(scenario: Scenario, config: HeMemConfig,
@@ -115,7 +128,35 @@ def _silo_tx(scenario: Scenario, config: HeMemConfig) -> float:
     return workload.throughput(engine.clock.now)
 
 
-def run(scenario: Scenario) -> Table:
+def _ablation_case(scenario: Scenario, ablation: str, ablated: bool) -> float:
+    if ablation == "cooling":
+        config = HeMemConfig(cooling_threshold=8) if ablated else HeMemConfig()
+        return _dynamic_gups(scenario, config, measure="recovered")
+    if ablation == "dma":
+        config = HeMemConfig(use_dma=False) if ablated else HeMemConfig()
+        return _dynamic_gups(scenario, config, threads=24)
+    if ablation == "write_priority":
+        config = HeMemConfig(write_priority=False) if ablated else HeMemConfig()
+        return _write_skew_gups(scenario, config)
+    if ablation == "bypass_silo":
+        config = HeMemConfig(small_bypass=False) if ablated else HeMemConfig()
+        return _silo_tx(scenario, config)
+    if ablation == "bypass_ephemeral":
+        config = HeMemConfig(small_bypass=False) if ablated else HeMemConfig()
+        return _ephemeral_ops(scenario, config)
+    raise KeyError(f"unknown ablation: {ablation}")
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(f"{ablation}/{variant}", _ablation_case,
+             {"ablation": ablation, "ablated": variant == "ablated"})
+        for ablation in ABLATIONS
+        for variant in ("baseline", "ablated")
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Ablations — each design choice against its target workload",
         ["ablation", "workload", "baseline", "ablated", "ablated/baseline"],
@@ -125,40 +166,9 @@ def run(scenario: Scenario) -> Table:
             "small-bypass are redundant for these steady workloads (module docs)"
         ),
     )
-    cases = [
-        (
-            "cooling at hot threshold (8)", "gups dynamic (post-shift)",
-            lambda: _dynamic_gups(scenario, HeMemConfig(), measure="recovered"),
-            lambda: _dynamic_gups(
-                scenario,
-                HeMemConfig(cooling_threshold=8),
-                measure="recovered",
-            ),
-        ),
-        (
-            "dma off (4 copy threads)", "gups dynamic, 24 threads",
-            lambda: _dynamic_gups(scenario, HeMemConfig(), threads=24),
-            lambda: _dynamic_gups(scenario, HeMemConfig(use_dma=False), threads=24),
-        ),
-        (
-            "write-priority off", "gups write-skew",
-            lambda: _write_skew_gups(scenario, HeMemConfig()),
-            lambda: _write_skew_gups(scenario, HeMemConfig(write_priority=False)),
-        ),
-        (
-            "small-bypass off (silo)", "silo tpcc 1200wh (tx/s)",
-            lambda: _silo_tx(scenario, HeMemConfig()),
-            lambda: _silo_tx(scenario, HeMemConfig(small_bypass=False)),
-        ),
-        (
-            "small-bypass off (ephemeral)", "ephemeral buffers (ops/s)",
-            lambda: _ephemeral_ops(scenario, HeMemConfig()),
-            lambda: _ephemeral_ops(scenario, HeMemConfig(small_bypass=False)),
-        ),
-    ]
-    for name, workload, baseline_fn, ablated_fn in cases:
-        baseline = baseline_fn()
-        ablated = ablated_fn()
+    for ablation, (name, workload) in ABLATIONS.items():
+        baseline = results[f"{ablation}/baseline"]
+        ablated = results[f"{ablation}/ablated"]
         ratio = ablated / baseline if baseline else 0.0
         table.row(name, workload, f"{baseline:.4g}", f"{ablated:.4g}", f"{ratio:.2f}")
     table.note(
@@ -167,3 +177,8 @@ def run(scenario: Scenario) -> Table:
         "to ever be demoted — see the module docstring"
     )
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

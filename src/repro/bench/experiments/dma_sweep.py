@@ -10,7 +10,10 @@ so extra channels buy nothing.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.mem.devices import SEQ, WRITE, optane_spec
 from repro.mem.dma import DmaSpec, sustained_copy_bw
@@ -21,30 +24,48 @@ BATCHES = (1, 2, 4, 8, 16, 32)
 CHANNELS = (1, 2, 4, 8)
 
 
-def run(scenario: Scenario) -> Table:
+def _compute(scenario: Scenario) -> Dict[str, Any]:
     spec = DmaSpec()
     # Migrations demote to NVM; the device's sequential write bandwidth is
     # the destination-side cap.
     nvm_cap = optane_spec().peak_bw[(WRITE, SEQ)]
-    table = Table(
-        "DMA sweep — sustained copy bandwidth (GB/s), 2 MB page copies",
-        ["batch"] + [f"ch={c}" for c in CHANNELS],
-        expectation="knee at batch ~4, channels ~2 (paper's chosen configuration)",
-    )
+    rows = []
     for batch in BATCHES:
         cells = []
         for channels in CHANNELS:
             bw = sustained_copy_bw(spec, HUGE_PAGE, batch, channels,
                                    device_cap=nvm_cap)
             cells.append(f"{bw / GB:.2f}")
-        table.row(batch, *cells)
+        rows.append([batch] + cells)
 
     # Small copies show the batching effect much more sharply.
-    table.note(
+    note = (
         "4 KB copies, 2 channels: "
         + ", ".join(
             f"batch {b}: {sustained_copy_bw(spec, 4 * KB, b, 2, nvm_cap) / GB:.2f} GB/s"
             for b in BATCHES
         )
     )
+    return {"rows": rows, "notes": [note]}
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case("all", _compute)]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
+    table = Table(
+        "DMA sweep — sustained copy bandwidth (GB/s), 2 MB page copies",
+        ["batch"] + [f"ch={c}" for c in CHANNELS],
+        expectation="knee at batch ~4, channels ~2 (paper's chosen configuration)",
+    )
+    for row in results["all"]["rows"]:
+        table.row(*row)
+    for note in results["all"]["notes"]:
+        table.note(note)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

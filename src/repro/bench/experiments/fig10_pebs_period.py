@@ -9,9 +9,11 @@ set and lose throughput.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Any, Dict, List
 
 from repro.bench.gups_common import run_gups_case
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.mem.pebs import PebsSpec
 from repro.workloads.gups import GupsConfig
@@ -21,7 +23,41 @@ PERIODS = (100, 1_000, 5_000, 20_000, 100_000, 1_000_000)
 RUNS = 2
 
 
-def run(scenario: Scenario) -> Table:
+def _case(scenario: Scenario, period: int, run_index: int) -> Dict[str, float]:
+    # Pin the PEBS fidelity scale to 1 so the sweep runs over the
+    # paper's raw period axis: the low end then genuinely overwhelms
+    # the drain thread (drops), the high end genuinely starves the
+    # tracker — both ends of Fig 10.
+    spec = replace(
+        scenario.machine_spec(),
+        pebs=PebsSpec(sample_period=period),
+        pebs_period_scale=1.0,
+    )
+    gups = GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(16 * GB),
+        threads=16,
+    )
+    result = run_gups_case(
+        scenario, "hemem", gups, spec=spec, seed=scenario.seed + run_index
+    )
+    pebs = result["engine"].machine.pebs
+    return {"gups": result["gups"], "drop": pebs.drop_fraction}
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(
+            f"{period}/run{i}",
+            _case,
+            {"period": period, "run_index": i},
+        )
+        for period in PERIODS
+        for i in range(RUNS)
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 10 — PEBS sampling period sensitivity",
         ["period", "gups(avg)", "gups(min)", "gups(max)", "dropped%"],
@@ -31,30 +67,15 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for period in PERIODS:
-        # Pin the PEBS fidelity scale to 1 so the sweep runs over the
-        # paper's raw period axis: the low end then genuinely overwhelms
-        # the drain thread (drops), the high end genuinely starves the
-        # tracker — both ends of Fig 10.
-        spec = replace(
-            scenario.machine_spec(),
-            pebs=PebsSpec(sample_period=period),
-            pebs_period_scale=1.0,
-        )
-        gups_values = []
-        drop = 0.0
-        for i in range(RUNS):
-            gups = GupsConfig(
-                working_set=scenario.size(512 * GB),
-                hot_set=scenario.size(16 * GB),
-                threads=16,
-            )
-            result = run_gups_case(
-                scenario, "hemem", gups, spec=spec, seed=scenario.seed + i
-            )
-            gups_values.append(result["gups"])
-            pebs = result["engine"].machine.pebs
-            drop = max(drop, pebs.drop_fraction)
+        runs = [results[f"{period}/run{i}"] for i in range(RUNS)]
+        gups_values = [r["gups"] for r in runs]
+        drop = max(r["drop"] for r in runs)
         avg = sum(gups_values) / len(gups_values)
         table.row(period, f"{avg:.4f}", f"{min(gups_values):.4f}",
                   f"{max(gups_values):.4f}", f"{drop * 100:.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -7,8 +7,11 @@ under-estimated (pages take too long to qualify).
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case, window_mean
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.core.config import HeMemConfig
 from repro.core.hemem import HeMemManager
@@ -18,33 +21,49 @@ from repro.sim.units import GB
 THRESHOLDS = (2, 4, 8, 12, 16, 20, 26, 32)
 
 
-def run(scenario: Scenario) -> Table:
-    table = Table(
-        "Fig 11 — hot read threshold sensitivity",
-        ["read_threshold", "write_threshold", "gups"],
-        expectation="low thresholds over-estimate; 6-20 good; >20 under-estimate",
-    )
+def _case(scenario: Scenario, threshold: int) -> float:
     # Low thresholds hurt through cold pages slowly accumulating stray
     # samples — visible only once the run approaches the cold-page sample
     # period (the paper's runs are ~300 s).  High thresholds hurt through
     # identification latency.  Both need a long run + steady-state window.
     duration = scenario.duration * 6
+    write_threshold = max(threshold // 2, 1)
+    config = HeMemConfig(
+        hot_read_threshold=threshold,
+        hot_write_threshold=write_threshold,
+        cooling_threshold=max(18, threshold + 2),
+    )
+    gups = GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(16 * GB),
+        threads=16,
+    )
+    result = run_gups_case(
+        scenario, "hemem", gups, manager=HeMemManager(config),
+        duration=duration,
+    )
+    return window_mean(result["engine"], duration * 0.5, duration) / 1e9
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(str(threshold), _case, {"threshold": threshold})
+        for threshold in THRESHOLDS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
+    table = Table(
+        "Fig 11 — hot read threshold sensitivity",
+        ["read_threshold", "write_threshold", "gups"],
+        expectation="low thresholds over-estimate; 6-20 good; >20 under-estimate",
+    )
     for threshold in THRESHOLDS:
         write_threshold = max(threshold // 2, 1)
-        config = HeMemConfig(
-            hot_read_threshold=threshold,
-            hot_write_threshold=write_threshold,
-            cooling_threshold=max(18, threshold + 2),
-        )
-        gups = GupsConfig(
-            working_set=scenario.size(512 * GB),
-            hot_set=scenario.size(16 * GB),
-            threads=16,
-        )
-        result = run_gups_case(
-            scenario, "hemem", gups, manager=HeMemManager(config),
-            duration=duration,
-        )
-        steady = window_mean(result["engine"], duration * 0.5, duration) / 1e9
-        table.row(threshold, write_threshold, f"{steady:.4f}")
+        table.row(threshold, write_threshold, f"{results[str(threshold)]:.4f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -8,8 +8,11 @@ compete for DRAM.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case, window_mean
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.core.config import HeMemConfig
 from repro.core.hemem import HeMemManager
@@ -19,9 +22,34 @@ from repro.sim.units import GB
 COOLING = (8, 13, 18, 24, 30)
 
 
-def run(scenario: Scenario) -> Table:
+def _case(scenario: Scenario, cooling: int) -> Dict[str, float]:
     shift_time = scenario.warmup + (scenario.duration - scenario.warmup) * 0.4
     end = scenario.duration
+    config = HeMemConfig(cooling_threshold=cooling)
+    gups = GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(16 * GB),
+        threads=16,
+        shift_time=shift_time,
+        shift_bytes=scenario.size(4 * GB),
+    )
+    result = run_gups_case(
+        scenario, "hemem", gups, manager=HeMemManager(config)
+    )
+    engine = result["engine"]
+    return {
+        "pre": window_mean(engine, shift_time - 3.0, shift_time) / 1e9,
+        "post": window_mean(engine, end - 3.0, end) / 1e9,
+    }
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(str(cooling), _case, {"cooling": cooling}) for cooling in COOLING
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 12 — cooling threshold sensitivity (instantaneous GUPS)",
         ["cooling", "pre-shift", "post-shift", "recovered/pre"],
@@ -31,20 +59,13 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for cooling in COOLING:
-        config = HeMemConfig(cooling_threshold=cooling)
-        gups = GupsConfig(
-            working_set=scenario.size(512 * GB),
-            hot_set=scenario.size(16 * GB),
-            threads=16,
-            shift_time=shift_time,
-            shift_bytes=scenario.size(4 * GB),
-        )
-        result = run_gups_case(
-            scenario, "hemem", gups, manager=HeMemManager(config)
-        )
-        engine = result["engine"]
-        pre = window_mean(engine, shift_time - 3.0, shift_time) / 1e9
-        post = window_mean(engine, end - 3.0, end) / 1e9
+        r = results[str(cooling)]
+        pre, post = r["pre"], r["post"]
         table.row(cooling, f"{pre:.4f}", f"{post:.4f}",
                   f"{(post / pre if pre else 0):.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

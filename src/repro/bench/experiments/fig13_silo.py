@@ -8,7 +8,10 @@ TPC-C's uniform access.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
 from repro.mem.machine import Machine
@@ -34,7 +37,19 @@ def run_silo_case(scenario: Scenario, system: str, warehouses: int) -> float:
     return workload.throughput(engine.clock.now)
 
 
-def run(scenario: Scenario) -> Table:
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(
+            f"{warehouses}/{system}",
+            run_silo_case,
+            {"system": system, "warehouses": warehouses},
+        )
+        for warehouses in WAREHOUSES
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 13 — Silo TPC-C throughput (tx/s) vs warehouses",
         ["warehouses"] + list(SYSTEMS),
@@ -44,6 +59,11 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for warehouses in WAREHOUSES:
-        cells = [f"{run_silo_case(scenario, s, warehouses):.0f}" for s in SYSTEMS]
+        cells = [f"{results[f'{warehouses}/{s}']:.0f}" for s in SYSTEMS]
         table.row(warehouses, *cells)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

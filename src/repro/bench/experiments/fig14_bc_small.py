@@ -8,7 +8,10 @@ close to DRAM-only.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
 from repro.mem.machine import Machine
@@ -36,16 +39,40 @@ def run_bc_case(scenario: Scenario, system: str, logical_vertices: int,
     return workload
 
 
-def run(scenario: Scenario) -> Table:
+def bc_case_data(scenario: Scenario, system: str,
+                 logical_vertices: int) -> Dict[str, Any]:
+    """JSON-able summary of one BC run (shared by Figs 14-16)."""
+    workload = run_bc_case(scenario, system, logical_vertices)
+    return {
+        "iterations_done": workload.iterations_done,
+        "times": [float(t) for t in workload.iteration_times],
+        "nvm_writes": [float(w) for w in workload.iteration_nvm_writes],
+    }
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(system, bc_case_data,
+             {"system": system, "logical_vertices": LOGICAL_VERTICES})
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 14 — BC runtime per iteration, 2^28 vertices (seconds; lower is better)",
         ["system", "iterations"] + [f"it{i}" for i in range(1, 9)] + ["mean"],
         expectation="HeMem ~= DRAM; MM ~93% slower on average; NVM-resident 16x worse",
     )
     for system in SYSTEMS:
-        workload = run_bc_case(scenario, system, LOGICAL_VERTICES)
-        times = workload.iteration_times[:8]
+        r = results[system]
+        times = r["times"][:8]
         cells = [f"{t:.2f}" for t in times] + ["-"] * (8 - len(times))
         mean = sum(times) / len(times) if times else 0.0
-        table.row(system, workload.iterations_done, *cells, f"{mean:.2f}")
+        table.row(system, r["iterations_done"], *cells, f"{mean:.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

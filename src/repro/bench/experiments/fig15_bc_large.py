@@ -8,15 +8,26 @@ first iterations up to 3x slower than PEBS) then converges to HeMem.
 
 from __future__ import annotations
 
-from repro.bench.experiments.fig14_bc_small import run_bc_case
+from typing import Any, Dict, List
+
+from repro.bench.experiments.fig14_bc_small import bc_case_data
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 
 SYSTEMS = ("hemem", "hemem-pt-async", "nimble", "mm")
 LOGICAL_VERTICES = 1 << 29
 
 
-def run(scenario: Scenario) -> Table:
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(system, bc_case_data,
+             {"system": system, "logical_vertices": LOGICAL_VERTICES})
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 15 — BC runtime per iteration, 2^29 vertices (seconds; lower is better)",
         ["system", "iterations"] + [f"it{i}" for i in range(1, 9)] + ["mean"],
@@ -26,9 +37,14 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for system in SYSTEMS:
-        workload = run_bc_case(scenario, system, LOGICAL_VERTICES)
-        times = workload.iteration_times[:8]
+        r = results[system]
+        times = r["times"][:8]
         cells = [f"{t:.2f}" for t in times] + ["-"] * (8 - len(times))
         mean = sum(times) / len(times) if times else 0.0
-        table.row(system, workload.iterations_done, *cells, f"{mean:.2f}")
+        table.row(system, r["iterations_done"], *cells, f"{mean:.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

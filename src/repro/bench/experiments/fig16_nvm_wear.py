@@ -9,8 +9,11 @@ matches PEBS.
 
 from __future__ import annotations
 
-from repro.bench.experiments.fig14_bc_small import run_bc_case
+from typing import Any, Dict, List
+
+from repro.bench.experiments.fig14_bc_small import bc_case_data
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.sim.units import GB
 
@@ -18,7 +21,15 @@ SYSTEMS = ("hemem", "hemem-pt-async", "mm")
 LOGICAL_VERTICES = 1 << 29
 
 
-def run(scenario: Scenario) -> Table:
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(system, bc_case_data,
+             {"system": system, "logical_vertices": LOGICAL_VERTICES})
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 16 — NVM GB written per BC iteration (2^29 vertices; lower is better)",
         ["system"] + [f"it{i}" for i in range(1, 9)] + ["final/MM"],
@@ -30,8 +41,7 @@ def run(scenario: Scenario) -> Table:
     finals = {}
     rows = {}
     for system in SYSTEMS:
-        workload = run_bc_case(scenario, system, LOGICAL_VERTICES)
-        writes = [w / GB for w in workload.iteration_nvm_writes[:8]]
+        writes = [w / GB for w in results[system]["nvm_writes"][:8]]
         rows[system] = writes
         finals[system] = writes[-1] if writes else 0.0
     mm_final = finals.get("mm") or 1e-12
@@ -40,3 +50,8 @@ def run(scenario: Scenario) -> Table:
         cells = [f"{w:.2f}" for w in writes] + ["-"] * (8 - len(writes))
         table.row(system, *cells, f"{finals[system] / mm_final:.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -8,7 +8,10 @@ read beats DRAM random access at scale.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.mem.devices import RAND, READ, SEQ, WRITE, ddr4_spec, optane_spec
 from repro.sim.units import GB
@@ -17,8 +20,31 @@ THREADS = (1, 2, 4, 8, 16, 24)
 ACCESS_SIZE = 256
 
 
-def run(scenario: Scenario) -> Table:
+def _compute(scenario: Scenario) -> Dict[str, Any]:
     devices = {"dram": ddr4_spec(), "optane": optane_spec()}
+    rows = []
+    for dev_name, spec in devices.items():
+        for op in (READ, WRITE):
+            for pattern in (SEQ, RAND):
+                bws = [
+                    spec.microbench_bw(op, pattern, ACCESS_SIZE, t) / GB
+                    for t in THREADS
+                ]
+                rows.append([dev_name, op, pattern] + [f"{b:.1f}" for b in bws])
+
+    opt_seq = devices["optane"].microbench_bw(READ, SEQ, ACCESS_SIZE, 24)
+    dram_rand = devices["dram"].microbench_bw(READ, RAND, ACCESS_SIZE, 24)
+    note = (
+        f"Optane seq read / DRAM rand read at 24 threads = {opt_seq / dram_rand:.2f}x"
+    )
+    return {"rows": rows, "notes": [note]}
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case("all", _compute)]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 1 — throughput scalability (GB/s, 256 B accesses)",
         ["device", "op", "pattern"] + [f"t={t}" for t in THREADS],
@@ -27,18 +53,13 @@ def run(scenario: Scenario) -> Table:
             "Optane seq read tops DRAM random by ~14% at scale"
         ),
     )
-    for dev_name, spec in devices.items():
-        for op in (READ, WRITE):
-            for pattern in (SEQ, RAND):
-                bws = [
-                    spec.microbench_bw(op, pattern, ACCESS_SIZE, t) / GB
-                    for t in THREADS
-                ]
-                table.row(dev_name, op, pattern, *[f"{b:.1f}" for b in bws])
-
-    opt_seq = devices["optane"].microbench_bw(READ, SEQ, ACCESS_SIZE, 24)
-    dram_rand = devices["dram"].microbench_bw(READ, RAND, ACCESS_SIZE, 24)
-    table.note(
-        f"Optane seq read / DRAM rand read at 24 threads = {opt_seq / dram_rand:.2f}x"
-    )
+    for row in results["all"]["rows"]:
+        table.row(*row)
+    for note in results["all"]["notes"]:
+        table.note(note)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

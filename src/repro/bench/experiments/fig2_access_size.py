@@ -8,7 +8,10 @@ pinned at their low bandwidth.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.mem.devices import RAND, READ, SEQ, WRITE, ddr4_spec, optane_spec
 from repro.sim.units import GB
@@ -17,7 +20,24 @@ SIZES = (64, 256, 1024, 4096, 16384)
 THREADS = 16
 
 
-def run(scenario: Scenario) -> Table:
+def _compute(scenario: Scenario) -> Dict[str, Any]:
+    rows = []
+    for dev_name, spec in (("dram", ddr4_spec()), ("optane", optane_spec())):
+        for op in (READ, WRITE):
+            for pattern in (SEQ, RAND):
+                bws = [
+                    spec.microbench_bw(op, pattern, size, THREADS) / GB
+                    for size in SIZES
+                ]
+                rows.append([dev_name, op, pattern] + [f"{b:.1f}" for b in bws])
+    return {"rows": rows}
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case("all", _compute)]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 2 — throughput vs access size (GB/s, 16 threads)",
         ["device", "op", "pattern"] + [f"{s}B" for s in SIZES],
@@ -26,12 +46,11 @@ def run(scenario: Scenario) -> Table:
             "reads slow on both; gap closes with larger blocks"
         ),
     )
-    for dev_name, spec in (("dram", ddr4_spec()), ("optane", optane_spec())):
-        for op in (READ, WRITE):
-            for pattern in (SEQ, RAND):
-                bws = [
-                    spec.microbench_bw(op, pattern, size, THREADS) / GB
-                    for size in SIZES
-                ]
-                table.row(dev_name, op, pattern, *[f"{b:.1f}" for b in bws])
+    for row in results["all"]["rows"]:
+        table.row(*row)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -6,7 +6,10 @@ base pages take seconds; huge/giga pages orders of magnitude cheaper.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.mem.page import BASE_PAGE, GIGA_PAGE, HUGE_PAGE
 from repro.mem.pagetable import PageTable
@@ -16,14 +19,30 @@ CAPACITIES = (16 * GB, 64 * GB, 256 * GB, 1 * TB, 4 * TB)
 PAGE_SIZES = ((BASE_PAGE, "4KB"), (HUGE_PAGE, "2MB"), (GIGA_PAGE, "1GB"))
 
 
-def run(scenario: Scenario) -> Table:
+def _compute(scenario: Scenario) -> Dict[str, Any]:
     pt = PageTable()
+    rows = []
+    for capacity in CAPACITIES:
+        cells = [f"{pt.scan_time(capacity, size):.4g}" for size, _l in PAGE_SIZES]
+        rows.append([f"{capacity // GB}GB"] + cells)
+    return {"rows": rows}
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case("all", _compute)]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 3 — page table scan time (seconds)",
         ["capacity"] + [label for _s, label in PAGE_SIZES],
         expectation="base-page scans of TBs take seconds; huge pages ~500x cheaper",
     )
-    for capacity in CAPACITIES:
-        cells = [f"{pt.scan_time(capacity, size):.4g}" for size, _l in PAGE_SIZES]
-        table.row(f"{capacity // GB}GB", *cells)
+    for row in results["all"]["rows"]:
+        table.row(*row)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

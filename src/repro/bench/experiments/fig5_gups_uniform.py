@@ -8,8 +8,11 @@ systems converge to NVM-resident GUPS.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.workloads.gups import GupsConfig
 from repro.sim.units import GB
@@ -18,7 +21,25 @@ WORKING_SETS_GB = (8, 16, 32, 64, 128, 192, 256)
 SYSTEMS = ("dram", "mm", "hemem", "nimble", "nvm")
 
 
-def run(scenario: Scenario, threads: int = 16) -> Table:
+def _case(scenario: Scenario, system: str, ws_gb: int, threads: int) -> float:
+    gups = GupsConfig(working_set=scenario.size(ws_gb * GB), threads=threads)
+    return run_gups_case(scenario, system, gups)["gups"]
+
+
+def cases(scenario: Scenario, threads: int = 16) -> List[Case]:
+    return [
+        Case(
+            f"{ws_gb}GB/{system}",
+            _case,
+            {"system": system, "ws_gb": ws_gb, "threads": threads},
+        )
+        for ws_gb in WORKING_SETS_GB
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any],
+             threads: int = 16) -> Table:
     table = Table(
         f"Fig 5 — uniform GUPS vs working set ({threads} threads)",
         ["ws"] + list(SYSTEMS),
@@ -28,12 +49,13 @@ def run(scenario: Scenario, threads: int = 16) -> Table:
         ),
     )
     for ws_gb in WORKING_SETS_GB:
-        cells = []
-        for system in SYSTEMS:
-            gups = GupsConfig(
-                working_set=scenario.size(ws_gb * GB), threads=threads
-            )
-            result = run_gups_case(scenario, system, gups)
-            cells.append(f"{result['gups']:.4f}")
+        cells = [f"{results[f'{ws_gb}GB/{system}']:.4f}" for system in SYSTEMS]
         table.row(f"{ws_gb}GB", *cells)
     return table
+
+
+def run(scenario: Scenario, threads: int = 16) -> Table:
+    results = {
+        c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario, threads)
+    }
+    return assemble(scenario, results, threads)

@@ -8,8 +8,11 @@ set exceeds DRAM (HeMem stops migrating).
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case, window_mean
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.workloads.gups import GupsConfig
 from repro.sim.units import GB
@@ -19,7 +22,40 @@ HOT_SETS_GB = (4, 16, 64, 128, 192, 256)
 SYSTEMS = ("hemem", "mm", "nimble")
 
 
-def run(scenario: Scenario, threads: int = 16) -> Table:
+def _duration(scenario: Scenario, hot_gb: int) -> float:
+    # Hot-set identification needs ~8 PEBS samples per hot page; bigger
+    # hot sets dilute the per-page sample rate, so runs must lengthen
+    # with the hot set (the paper's runs are hundreds of seconds).
+    return scenario.duration + min(hot_gb, 192) * 0.6
+
+
+def _case(scenario: Scenario, system: str, hot_gb: int, threads: int) -> float:
+    duration = _duration(scenario, hot_gb)
+    gups = GupsConfig(
+        working_set=scenario.size(WORKING_SET_GB * GB),
+        hot_set=scenario.size(hot_gb * GB),
+        threads=threads,
+    )
+    result = run_gups_case(scenario, system, gups, duration=duration)
+    # Steady-state GUPS: the paper's long runs amortise the
+    # identification transient; measure the final third here.
+    return window_mean(result["engine"], duration * 0.67, duration) / 1e9
+
+
+def cases(scenario: Scenario, threads: int = 16) -> List[Case]:
+    return [
+        Case(
+            f"{hot_gb}GB/{system}",
+            _case,
+            {"system": system, "hot_gb": hot_gb, "threads": threads},
+        )
+        for hot_gb in HOT_SETS_GB
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any],
+             threads: int = 16) -> Table:
     table = Table(
         f"Fig 6 — GUPS vs hot set size (512 GB working set, {threads} threads)",
         ["hot"] + list(SYSTEMS),
@@ -29,21 +65,13 @@ def run(scenario: Scenario, threads: int = 16) -> Table:
         ),
     )
     for hot_gb in HOT_SETS_GB:
-        # Hot-set identification needs ~8 PEBS samples per hot page; bigger
-        # hot sets dilute the per-page sample rate, so runs must lengthen
-        # with the hot set (the paper's runs are hundreds of seconds).
-        duration = scenario.duration + min(hot_gb, 192) * 0.6
-        cells = []
-        for system in SYSTEMS:
-            gups = GupsConfig(
-                working_set=scenario.size(WORKING_SET_GB * GB),
-                hot_set=scenario.size(hot_gb * GB),
-                threads=threads,
-            )
-            result = run_gups_case(scenario, system, gups, duration=duration)
-            # Steady-state GUPS: the paper's long runs amortise the
-            # identification transient; measure the final third here.
-            steady = window_mean(result["engine"], duration * 0.67, duration) / 1e9
-            cells.append(f"{steady:.4f}")
+        cells = [f"{results[f'{hot_gb}GB/{system}']:.4f}" for system in SYSTEMS]
         table.row(f"{hot_gb}GB", *cells)
     return table
+
+
+def run(scenario: Scenario, threads: int = 16) -> Table:
+    results = {
+        c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario, threads)
+    }
+    return assemble(scenario, results, threads)

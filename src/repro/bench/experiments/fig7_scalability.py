@@ -7,8 +7,11 @@ MM); without the DMA engine (4 copy threads) HeMem loses a further ~14%.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.workloads.gups import GupsConfig
 from repro.sim.units import GB
@@ -17,7 +20,33 @@ THREADS = (4, 8, 16, 21, 24)
 SYSTEMS = ("mm", "hemem", "hemem-threads")
 
 
-def run(scenario: Scenario) -> Table:
+def _case(scenario: Scenario, system: str, threads: int) -> float:
+    # Give the identification/migration transient room, then measure the
+    # average including the shift (as the paper does for this experiment).
+    duration = scenario.duration * 1.5
+    gups = GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(16 * GB),
+        threads=threads,
+        shift_time=scenario.warmup + (duration - scenario.warmup) / 2,
+        shift_bytes=scenario.size(4 * GB),
+    )
+    return run_gups_case(scenario, system, gups, duration=duration)["gups"]
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(
+            f"{threads}t/{system}",
+            _case,
+            {"system": system, "threads": threads},
+        )
+        for threads in THREADS
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 7 — GUPS scalability (512 GB working set, 16 GB hot)",
         ["threads"] + list(SYSTEMS),
@@ -26,20 +55,12 @@ def run(scenario: Scenario) -> Table:
             "(background threads); copy-thread HeMem ~23% under MM"
         ),
     )
-    # Give the identification/migration transient room, then measure the
-    # average including the shift (as the paper does for this experiment).
-    duration = scenario.duration * 1.5
     for threads in THREADS:
-        cells = []
-        for system in SYSTEMS:
-            gups = GupsConfig(
-                working_set=scenario.size(512 * GB),
-                hot_set=scenario.size(16 * GB),
-                threads=threads,
-                shift_time=scenario.warmup + (duration - scenario.warmup) / 2,
-                shift_bytes=scenario.size(4 * GB),
-            )
-            result = run_gups_case(scenario, system, gups, duration=duration)
-            cells.append(f"{result['gups']:.4f}")
+        cells = [f"{results[f'{threads}t/{system}']:.4f}" for system in SYSTEMS]
         table.row(threads, *cells)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

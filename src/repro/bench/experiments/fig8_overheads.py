@@ -14,13 +14,27 @@ Configurations, cumulative from an oracle:
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.core.hemem import HeMemManager, hemem_pt_async, hemem_pt_sync
 from repro.mem.page import Tier
 from repro.workloads.gups import GupsConfig
 from repro.sim.units import GB
+
+#: label -> (manager factory, oracle placement?, services to disable)
+CONFIGS = {
+    "Opt": (HeMemManager, True,
+            ("pebs_drain", "hemem_policy", "hemem_fault", "hemem_cooling")),
+    "PEBS": (HeMemManager, True, ("hemem_policy",)),
+    "PT Scan": (hemem_pt_async, True, ("hemem_policy",)),
+    "PEBS + Migrate": (HeMemManager, False, ()),
+    "PT + M. Async": (hemem_pt_async, False, ()),
+    "PT + M. Sync": (hemem_pt_sync, False, ()),
+}
 
 
 def _gups_config(scenario: Scenario) -> GupsConfig:
@@ -37,6 +51,7 @@ def _oracle_placement(engine) -> None:
     region = workload.region
     region.tier[:] = Tier.NVM
     region.tier[workload._hot_pages] = Tier.DRAM
+    region.tier_version += 1
 
 
 def _disable(engine, *service_names) -> None:
@@ -45,8 +60,8 @@ def _disable(engine, *service_names) -> None:
             engine.remove_service(service)
 
 
-def _run_config(scenario: Scenario, label: str, manager_factory, oracle: bool,
-                disable_services=()) -> float:
+def _case(scenario: Scenario, label: str) -> float:
+    manager_factory, oracle, disable_services = CONFIGS[label]
     gups = _gups_config(scenario)
     manager = manager_factory()
     result = run_gups_case(scenario, label, gups, manager=manager, duration=0.0)
@@ -59,7 +74,11 @@ def _run_config(scenario: Scenario, label: str, manager_factory, oracle: bool,
     return result["workload"].gups(engine.clock.now)
 
 
-def run(scenario: Scenario) -> Table:
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case(label, _case, {"label": label}) for label in CONFIGS]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 8 — HeMem overhead breakdown (GUPS)",
         ["config", "gups", "vs Opt"],
@@ -68,19 +87,12 @@ def run(scenario: Scenario) -> Table:
             "~6% of Opt; PT+M.Async ~43% of Opt; PT+M.Sync ~18% of Opt"
         ),
     )
-    configs = [
-        ("Opt", HeMemManager, True,
-         ("pebs_drain", "hemem_policy", "hemem_fault", "hemem_cooling")),
-        ("PEBS", HeMemManager, True, ("hemem_policy",)),
-        ("PT Scan", hemem_pt_async, True, ("hemem_policy",)),
-        ("PEBS + Migrate", HeMemManager, False, ()),
-        ("PT + M. Async", hemem_pt_async, False, ()),
-        ("PT + M. Sync", hemem_pt_sync, False, ()),
-    ]
-    results = {}
-    for label, factory, oracle, disabled in configs:
-        results[label] = _run_config(scenario, label, factory, oracle, disabled)
     opt = results["Opt"] or 1e-12
-    for label, _f, _o, _d in configs:
+    for label in CONFIGS:
         table.row(label, f"{results[label]:.4f}", f"{results[label] / opt:.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

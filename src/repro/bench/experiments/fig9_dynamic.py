@@ -9,8 +9,11 @@ HeMem-PT-Async cannot re-identify the hot set and stays depressed.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case, window_mean
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.workloads.gups import GupsConfig
 from repro.sim.units import GB
@@ -18,9 +21,32 @@ from repro.sim.units import GB
 SYSTEMS = ("hemem", "mm", "hemem-pt-async")
 
 
-def run(scenario: Scenario) -> Table:
+def _case(scenario: Scenario, system: str) -> Dict[str, Any]:
     shift_time = scenario.warmup + (scenario.duration - scenario.warmup) * 0.4
     end = scenario.duration
+    gups = GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(16 * GB),
+        threads=16,
+        shift_time=shift_time,
+        shift_bytes=scenario.size(4 * GB),
+    )
+    result = run_gups_case(scenario, system, gups)
+    engine = result["engine"]
+    series = engine.stats.series("app.ops_per_sec")
+    return {
+        "pre": window_mean(engine, shift_time - 3.0, shift_time) / 1e9,
+        "dip": window_mean(engine, shift_time, shift_time + 1.0) / 1e9,
+        "recovered": window_mean(engine, end - 3.0, end) / 1e9,
+        "series": [[float(t), float(v)] for t, v in zip(series.times, series.values)],
+    }
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case(system, _case, {"system": system}) for system in SYSTEMS]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Fig 9 — instantaneous GUPS through a hot set shift",
         ["system", "pre-shift", "dip", "recovered", "recovered/pre"],
@@ -30,20 +56,14 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for system in SYSTEMS:
-        gups = GupsConfig(
-            working_set=scenario.size(512 * GB),
-            hot_set=scenario.size(16 * GB),
-            threads=16,
-            shift_time=shift_time,
-            shift_bytes=scenario.size(4 * GB),
-        )
-        result = run_gups_case(scenario, system, gups)
-        engine = result["engine"]
-        pre = window_mean(engine, shift_time - 3.0, shift_time) / 1e9
-        dip = window_mean(engine, shift_time, shift_time + 1.0) / 1e9
-        recovered = window_mean(engine, end - 3.0, end) / 1e9
+        r = results[system]
+        pre, dip, recovered = r["pre"], r["dip"], r["recovered"]
         ratio = recovered / pre if pre else 0.0
         table.row(system, f"{pre:.4f}", f"{dip:.4f}", f"{recovered:.4f}", f"{ratio:.2f}")
-        series = engine.stats.series("app.ops_per_sec")
-        table.add_series(system, zip(series.times, series.values))
+        table.add_series(system, r["series"])
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

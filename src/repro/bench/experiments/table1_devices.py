@@ -2,35 +2,54 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.mem.devices import READ, SEQ, WRITE, ddr4_spec, optane_spec
 from repro.mem.machine import MachineSpec
 from repro.sim.units import GB
 
 
-def run(scenario: Scenario) -> Table:
-    table = Table(
-        "Table 1 — main memory technology comparison",
-        ["memory", "R lat (ns)", "W lat (ns)", "R GB/s", "W GB/s", "capacity"],
-        expectation="DDR4: 82 ns, 107/80 GB/s, 1x; Optane: 175/94 ns, 32/11.2 GB/s, 8x",
-    )
+def _compute(scenario: Scenario) -> Dict[str, Any]:
     spec = MachineSpec()
+    rows = []
     for label, dev, capacity in (
         ("DDR4 DRAM", ddr4_spec(), spec.dram_capacity),
         ("Optane DC", optane_spec(), spec.nvm_capacity),
     ):
-        table.row(
+        rows.append([
             label,
             f"{dev.read_latency * 1e9:.0f}",
             f"{dev.write_latency * 1e9:.0f}",
             f"{dev.peak_bw[(READ, SEQ)] / GB:.1f}",
             f"{dev.peak_bw[(WRITE, SEQ)] / GB:.1f}",
             f"{capacity // GB} GB",
-        )
+        ])
+    return {"rows": rows}
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case("all", _compute)]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
+    table = Table(
+        "Table 1 — main memory technology comparison",
+        ["memory", "R lat (ns)", "W lat (ns)", "R GB/s", "W GB/s", "capacity"],
+        expectation="DDR4: 82 ns, 107/80 GB/s, 1x; Optane: 175/94 ns, 32/11.2 GB/s, 8x",
+    )
+    for row in results["all"]["rows"]:
+        table.row(*row)
     table.note(
         "sequential-peak calibration uses the paper's 256 B cached-access "
         "microbenchmark ratios, hence Optane seq peaks below the spec-sheet "
         "32/11.2 GB/s (those are reachable only with non-temporal/SIMD access)"
     )
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -8,8 +8,11 @@ recognises the write-only data and keeps it in DRAM; MM ~14% and Nimble
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.gups_common import run_gups_case
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.workloads.gups import GupsConfig
 from repro.sim.units import GB
@@ -17,28 +20,36 @@ from repro.sim.units import GB
 SYSTEMS = ("nimble", "mm", "hemem")
 
 
-def run(scenario: Scenario) -> Table:
+def _case(scenario: Scenario, system: str) -> float:
+    # Write-hot classification of 128 GB takes ~4 store samples per page —
+    # tens of seconds at the 5k period, as on the paper's testbed (whose
+    # runs are ~300 s); run long enough to converge.
+    duration = scenario.duration * 6
+    gups = GupsConfig(
+        working_set=scenario.size(512 * GB),
+        hot_set=scenario.size(256 * GB),
+        write_only_bytes=scenario.size(128 * GB),
+        threads=16,
+    )
+    return run_gups_case(scenario, system, gups, duration=duration)["gups"]
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [Case(system, _case, {"system": system}) for system in SYSTEMS]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Table 2 — GUPS write skew",
         ["system", "gups", "x (vs hemem)"],
         expectation="paper: Nimble 0.36x, MM 0.86x, HeMem 1x",
     )
-    results = {}
-    # Write-hot classification of 128 GB takes ~4 store samples per page —
-    # tens of seconds at the 5k period, as on the paper's testbed (whose
-    # runs are ~300 s); run long enough to converge.
-    duration = scenario.duration * 6
-    for system in SYSTEMS:
-        gups = GupsConfig(
-            working_set=scenario.size(512 * GB),
-            hot_set=scenario.size(256 * GB),
-            write_only_bytes=scenario.size(128 * GB),
-            threads=16,
-        )
-        results[system] = run_gups_case(
-            scenario, system, gups, duration=duration
-        )["gups"]
     hemem = results["hemem"] or 1e-12
     for system in SYSTEMS:
         table.row(system, f"{results[system]:.4f}", f"{results[system] / hemem:.2f}")
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

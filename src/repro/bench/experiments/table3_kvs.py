@@ -8,7 +8,10 @@ at every quantile.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
 from repro.mem.machine import Machine
@@ -19,6 +22,8 @@ from repro.sim.units import GB, MB
 WORKING_SETS_GB = (16, 128, 700)
 SYSTEMS = ("mm", "hemem", "nimble", "nvm")
 PERCENTILES = (50, 90, 99, 99.9)
+#: systems measured for latency at the 700 GB working set
+LATENCY_SYSTEMS = ("mm", "hemem")
 
 
 def run_kvs_case(scenario: Scenario, system: str, ws_gb: int,
@@ -44,7 +49,33 @@ def _hit_fraction(system: str, case: dict) -> float:
     return workload.dram_hit_fraction()
 
 
-def run(scenario: Scenario) -> Table:
+def _throughput_case(scenario: Scenario, system: str, ws_gb: int) -> float:
+    case = run_kvs_case(scenario, system, ws_gb)
+    return case["workload"].throughput(case["engine"].clock.now) / 1e6
+
+
+def _latency_case(scenario: Scenario, system: str) -> List[float]:
+    case = run_kvs_case(scenario, system, 700, load=0.3)
+    hit = _hit_fraction(system, case)
+    lat = case["workload"].latency_percentiles(PERCENTILES, dram_fraction=hit)
+    return [lat[p] for p in PERCENTILES]
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    out = [
+        Case(f"{system}/{ws_gb}GB", _throughput_case,
+             {"system": system, "ws_gb": ws_gb})
+        for system in SYSTEMS
+        for ws_gb in WORKING_SETS_GB
+    ]
+    out.extend(
+        Case(f"{system}/latency", _latency_case, {"system": system})
+        for system in LATENCY_SYSTEMS
+    )
+    return out
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Table 3 — FlexKVS throughput (Mops/s) and latency at 700 GB (us)",
         ["system", "16GB", "128GB", "700GB", "p50", "p90", "p99", "p99.9"],
@@ -54,17 +85,18 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for system in SYSTEMS:
-        throughputs = []
-        latency_cells = ["-"] * len(PERCENTILES)
-        for ws_gb in WORKING_SETS_GB:
-            case = run_kvs_case(scenario, system, ws_gb)
-            workload = case["workload"]
-            throughputs.append(workload.throughput(case["engine"].clock.now) / 1e6)
-            if ws_gb == 700 and system in ("mm", "hemem"):
-                lat_case = run_kvs_case(scenario, system, 700, load=0.3)
-                lat_wl = lat_case["workload"]
-                hit = _hit_fraction(system, lat_case)
-                lat = lat_wl.latency_percentiles(PERCENTILES, dram_fraction=hit)
-                latency_cells = [f"{lat[p] * 1e6:.1f}" for p in PERCENTILES]
+        throughputs = [
+            results[f"{system}/{ws_gb}GB"] for ws_gb in WORKING_SETS_GB
+        ]
+        if system in LATENCY_SYSTEMS:
+            lat = results[f"{system}/latency"]
+            latency_cells = [f"{v * 1e6:.1f}" for v in lat]
+        else:
+            latency_cells = ["-"] * len(PERCENTILES)
         table.row(system, *[f"{t:.2f}" for t in throughputs], *latency_cells)
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

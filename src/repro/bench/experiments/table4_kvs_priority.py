@@ -9,7 +9,10 @@ materially hurting the regular instance; MM cannot prioritise.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.bench.report import Table
+from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
 from repro.mem.machine import Machine
@@ -22,7 +25,7 @@ PERCENTILES = (50, 99, 99.9)
 SYSTEMS = ("hemem", "mm")
 
 
-def run_priority_case(scenario: Scenario, system: str) -> dict:
+def run_priority_case(scenario: Scenario, system: str) -> Dict[str, List[float]]:
     priority = KvsWorkload(KvsConfig(
         working_set=scenario.size(16 * GB),
         head_bytes=scenario.size(64 * MB),
@@ -62,13 +65,21 @@ def run_priority_case(scenario: Scenario, system: str) -> dict:
             hit = manager.hit_rate(part.config.instance + "_items")
         else:
             hit = part.dram_hit_fraction()
-        out[label] = part.latency_percentiles(
+        lat = part.latency_percentiles(
             PERCENTILES, dram_fraction=hit, nvm_wait_inflation=inflation
         )
+        out[label] = [lat[p] for p in PERCENTILES]
     return out
 
 
-def run(scenario: Scenario) -> Table:
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(system, run_priority_case, {"system": system})
+        for system in SYSTEMS
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
     table = Table(
         "Table 4 — FlexKVS latency with priority (us)",
         ["system", "prio p50", "prio p99", "prio p99.9",
@@ -79,10 +90,15 @@ def run(scenario: Scenario) -> Table:
         ),
     )
     for system in SYSTEMS:
-        lat = run_priority_case(scenario, system)
+        lat = results[system]
         table.row(
             system,
-            *[f"{lat['priority'][p] * 1e6:.0f}" for p in PERCENTILES],
-            *[f"{lat['regular'][p] * 1e6:.0f}" for p in PERCENTILES],
+            *[f"{v * 1e6:.0f}" for v in lat["priority"]],
+            *[f"{v * 1e6:.0f}" for v in lat["regular"]],
         )
     return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -30,29 +30,43 @@ from repro.bench.experiments import (
 from repro.bench.report import Table
 from repro.bench.scenario import Scenario
 
-EXPERIMENTS: Dict[str, Callable[[Scenario], Table]] = {
-    "table1": table1_devices.run,
-    "fig1": fig1_thread_scaling.run,
-    "fig2": fig2_access_size.run,
-    "fig3": fig3_pt_scan.run,
-    "fig5": fig5_gups_uniform.run,
-    "fig6": fig6_gups_hotset.run,
-    "fig7": fig7_scalability.run,
-    "fig8": fig8_overheads.run,
-    "fig9": fig9_dynamic.run,
-    "fig10": fig10_pebs_period.run,
-    "fig11": fig11_hot_threshold.run,
-    "fig12": fig12_cooling.run,
-    "table2": table2_write_skew.run,
-    "fig13": fig13_silo.run,
-    "table3": table3_kvs.run,
-    "table4": table4_kvs_priority.run,
-    "fig14": fig14_bc_small.run,
-    "fig15": fig15_bc_large.run,
-    "fig16": fig16_nvm_wear.run,
-    "ablations": ablations.run,
-    "dma": dma_sweep.run,
+#: experiment name -> module implementing cases()/assemble()/run()
+MODULES = {
+    "table1": table1_devices,
+    "fig1": fig1_thread_scaling,
+    "fig2": fig2_access_size,
+    "fig3": fig3_pt_scan,
+    "fig5": fig5_gups_uniform,
+    "fig6": fig6_gups_hotset,
+    "fig7": fig7_scalability,
+    "fig8": fig8_overheads,
+    "fig9": fig9_dynamic,
+    "fig10": fig10_pebs_period,
+    "fig11": fig11_hot_threshold,
+    "fig12": fig12_cooling,
+    "table2": table2_write_skew,
+    "fig13": fig13_silo,
+    "table3": table3_kvs,
+    "table4": table4_kvs_priority,
+    "fig14": fig14_bc_small,
+    "fig15": fig15_bc_large,
+    "fig16": fig16_nvm_wear,
+    "ablations": ablations,
+    "dma": dma_sweep,
 }
+
+EXPERIMENTS: Dict[str, Callable[[Scenario], Table]] = {
+    name: module.run for name, module in MODULES.items()
+}
+
+
+def get_module(name: str):
+    try:
+        return MODULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(MODULES)}"
+        ) from None
 
 
 def get_experiment(name: str) -> Callable[[Scenario], Table]:

@@ -1,0 +1,231 @@
+"""Parallel, cached execution of experiment cases.
+
+Every experiment module is split into two halves:
+
+- ``cases(scenario) -> [Case, ...]`` — the *expensive* half, a declarative
+  list of independent simulation runs.  Each :class:`Case` names a
+  module-level function plus JSON-able keyword arguments, so it can be
+  shipped to a worker process and its result written to an on-disk cache.
+- ``assemble(scenario, results) -> Table`` — the *pure* half: turns the
+  per-case results (keyed by case key) into the rendered table.  It must
+  not simulate anything, so replaying cached results is exact.
+
+The runner executes the cases of one experiment — serially or on a
+``ProcessPoolExecutor`` — consulting a content-addressed result cache
+first.  Cache entries are keyed by the experiment name, the case (function
+identity + arguments), the scenario, and a digest of the simulator source
+tree, so any code change invalidates every entry.
+
+Every case result, fresh or cached, is passed through a JSON round-trip
+before assembly.  That guarantees the fresh-run and cache-hit paths hand
+``assemble`` *identical* values (and forces case functions to stick to
+JSON-able primitives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bench.report import Table
+from repro.bench.scenario import Scenario
+
+#: default cache location, relative to the working directory
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+@dataclass(frozen=True)
+class Case:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level function (picklable for worker processes)
+    with signature ``fn(scenario, **kwargs) -> JSON-able``; ``kwargs`` must
+    hold only JSON-able primitives so the case can be digested and shipped
+    across processes.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunStats:
+    """Execution accounting for one experiment."""
+
+    experiment: str = ""
+    cases: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# digests
+# ---------------------------------------------------------------------------
+
+_code_digest_cache: Optional[str] = None
+
+
+def code_digest() -> str:
+    """Digest of the simulator source tree (any change invalidates caches)."""
+    global _code_digest_cache
+    if _code_digest_cache is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        hasher = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(str(path.relative_to(root)).encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _code_digest_cache = hasher.hexdigest()
+    return _code_digest_cache
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    fields = {
+        "scale": scenario.scale,
+        "seed": scenario.seed,
+        "duration": scenario.duration,
+        "warmup": scenario.warmup,
+        "tick": scenario.tick,
+        "repeats": scenario.repeats,
+    }
+    return hashlib.sha256(
+        json.dumps(fields, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def case_digest(experiment: str, case: Case, scenario: Scenario,
+                code: Optional[str] = None) -> str:
+    """Content address of one case result."""
+    payload = json.dumps(
+        {
+            "experiment": experiment,
+            "key": case.key,
+            "fn": f"{case.fn.__module__}.{case.fn.__qualname__}",
+            "kwargs": case.kwargs,
+            "scenario": scenario_digest(scenario),
+            "code": code if code is not None else code_digest(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed JSON result store (one file per case)."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[Any]:
+        path = self.path(digest)
+        try:
+            with open(path) as fh:
+                return json.load(fh)["result"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def store(self, digest: str, result: Any) -> None:
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump({"result": result}, fh)
+        os.replace(tmp, path)  # atomic: parallel writers can't corrupt
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any]) -> Any:
+    return fn(scenario, **kwargs)
+
+
+def _normalize(result: Any) -> Any:
+    """JSON round-trip so fresh and cached results are indistinguishable."""
+    return json.loads(json.dumps(result))
+
+
+def run_cases(
+    experiment: str,
+    cases: List[Case],
+    scenario: Scenario,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[RunStats] = None,
+) -> Dict[str, Any]:
+    """Execute ``cases``, via cache/pool, returning ``{case.key: result}``."""
+    keys = [c.key for c in cases]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"{experiment}: duplicate case keys: {keys}")
+    stats = stats if stats is not None else RunStats()
+    stats.cases += len(cases)
+
+    results: Dict[str, Any] = {}
+    misses: List[Case] = []
+    digests: Dict[str, str] = {}
+    if cache is not None:
+        code = code_digest()
+        for case in cases:
+            digest = case_digest(experiment, case, scenario, code)
+            digests[case.key] = digest
+            hit = cache.load(digest)
+            if hit is not None:
+                results[case.key] = _normalize(hit)
+                stats.cache_hits += 1
+            else:
+                misses.append(case)
+    else:
+        misses = list(cases)
+    stats.cache_misses += len(misses)
+
+    if misses:
+        if jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_execute_case, case.fn, scenario, case.kwargs)
+                    for case in misses
+                ]
+                fresh = [f.result() for f in futures]
+        else:
+            fresh = [
+                _execute_case(case.fn, scenario, case.kwargs) for case in misses
+            ]
+        for case, result in zip(misses, fresh):
+            result = _normalize(result)
+            results[case.key] = result
+            if cache is not None:
+                cache.store(digests[case.key], result)
+    return results
+
+
+def run_experiment(
+    module,
+    experiment: str,
+    scenario: Scenario,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[RunStats] = None,
+) -> Table:
+    """Run one experiment module through the case runner."""
+    stats = stats if stats is not None else RunStats()
+    stats.experiment = experiment
+    cases = module.cases(scenario)
+    results = run_cases(experiment, cases, scenario, jobs=jobs, cache=cache,
+                        stats=stats)
+    return module.assemble(scenario, results)

@@ -30,6 +30,9 @@ class TieredMemoryManager(ABC):
         self.machine: Optional[Machine] = None
         self.engine = None
         self.syscalls: Optional[SyscallLayer] = None
+        # Last (read_frac, write_frac) -> TierSplit; placement repeats in
+        # steady state, so most ticks reuse the previous (immutable) split.
+        self._split_cache: Optional[tuple] = None
 
     # -- lifecycle -------------------------------------------------------------
     def attach(self, machine: Machine, engine) -> None:
@@ -68,7 +71,12 @@ class TieredMemoryManager(ABC):
             write_frac = region.dram_fraction(write_weights)
         else:
             write_frac = read_frac
-        return TierSplit(dram_read_frac=read_frac, dram_write_frac=write_frac)
+        cached = self._split_cache
+        if cached is not None and cached[0] == read_frac and cached[1] == write_frac:
+            return cached[2]
+        split = TierSplit(dram_read_frac=read_frac, dram_write_frac=write_frac)
+        self._split_cache = (read_frac, write_frac, split)
+        return split
 
     # -- feedback ---------------------------------------------------------------
     def observe(

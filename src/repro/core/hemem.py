@@ -158,6 +158,7 @@ class HeMemManager(TieredMemoryManager):
             dax = dram if tier == Tier.DRAM else nvm
             offsets[page] = dax.alloc_page()
             region.tier[page] = tier
+            region.tier_version += 1
             region.mapped[page] = True
             self.uffd.post_fault(FaultKind.PAGE_MISSING, region, page, now)
             if region.pinned_tier is None:

@@ -112,6 +112,7 @@ class Migrator:
         offsets[node.page] = new_offset
 
         region.tier[node.page] = dst
+        region.tier_version += 1
         self.uffd.write_unprotect(region, [node.page])
         node.under_migration = False
         self.tracker.page_migrated(node)

@@ -26,6 +26,14 @@ from repro.mem.pebs import PebsEventKind, PebsRecord
 from repro.mem.sampling import WeightedSampler
 from repro.sim.service import Service
 
+# Enum members hoisted out of the per-tick feed path (class-level member
+# access goes through the enum metaclass's ``__getattr__``).
+_DRAM_READ = PebsEventKind.DRAM_READ
+_NVM_READ = PebsEventKind.NVM_READ
+_STORE = PebsEventKind.STORE
+_DRAM = Tier.DRAM
+_NVM = Tier.NVM
+
 
 class AccessSource(ABC):
     """Strategy interface: turn achieved traffic into tracker updates."""
@@ -74,19 +82,19 @@ class PebsSource(AccessSource):
         nvm_loads = loads - dram_loads
         if dram_loads > 0:
             pebs.feed(
-                PebsEventKind.DRAM_READ,
+                _DRAM_READ,
                 dram_loads,
-                lambda n: self._tier_records(PebsEventKind.DRAM_READ, stream, Tier.DRAM, n),
+                lambda n: self._tier_records(_DRAM_READ, stream, _DRAM, n),
             )
         if nvm_loads > 0:
             pebs.feed(
-                PebsEventKind.NVM_READ,
+                _NVM_READ,
                 nvm_loads,
-                lambda n: self._tier_records(PebsEventKind.NVM_READ, stream, Tier.NVM, n),
+                lambda n: self._tier_records(_NVM_READ, stream, _NVM, n),
             )
         if stores > 0:
             pebs.feed(
-                PebsEventKind.STORE,
+                _STORE,
                 stores,
                 lambda n: self._store_records(stream, n),
             )
@@ -102,15 +110,21 @@ class PebsSource(AccessSource):
         tick stays bounded.
         """
         region = stream.region
-        in_tier = region.tier == tier
+        region_tier = region.tier
+        tier_value = int(tier)
         records: List[PebsRecord] = []
         attempts = 0
         while len(records) < n and attempts < 8:
             want = (n - len(records)) * 2 + 8
             draw = self._sampler.sample(region.n_pages, stream.weights, want)
-            accepted = draw[in_tier[draw]]
-            for page in accepted[: n - len(records)]:
-                records.append(PebsRecord(kind, region, int(page)))
+            # Test only the drawn indices against the tier instead of
+            # materialising a full per-page mask each call; the accepted
+            # set (and therefore the RNG draw sequence) is unchanged.
+            accepted = draw[region_tier[draw] == tier_value]
+            records.extend(
+                PebsRecord(kind, region, int(page))
+                for page in accepted[: n - len(records)].tolist()
+            )
             attempts += 1
         return records
 
@@ -118,7 +132,7 @@ class PebsSource(AccessSource):
         region = stream.region
         weights = stream.write_weights if stream.write_weights is not None else stream.weights
         draw = self._sampler.sample(region.n_pages, weights, n)
-        return [PebsRecord(PebsEventKind.STORE, region, int(p)) for p in draw]
+        return [PebsRecord(_STORE, region, p) for p in draw.tolist()]
 
 
 class _PebsDrainService(Service):
@@ -146,8 +160,9 @@ class _PebsDrainService(Service):
         budget = int(dt / (spec.drain_ns_per_record * 1e-9))
         records = pebs.drain(budget)
         tracker = self.source.manager.tracker
+        record_sample = tracker.record_sample
         for rec in records[: self.APPLY_CAP_PER_TICK]:
-            tracker.record_sample(rec.region, rec.page, rec.kind.is_store)
+            record_sample(rec.region, rec.page, rec.kind is _STORE)
         return dt  # busy-polling: the whole tick, records or not
 
 

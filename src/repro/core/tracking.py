@@ -254,7 +254,9 @@ class HotColdTracker:
         was_write_heavy = node.write_heavy
         node.write_heavy = write_heavy
         prioritise = write_heavy and self.config.write_priority
-        target = self.list_for(node.tier, hot)
+        # raw int tier avoids constructing a Tier enum per sample; IntEnum
+        # keys hash/compare equal to their integer values.
+        target = self.lists[(int(node.region.tier[node.page]), hot)]
         if node.owner is target:
             if prioritise and not was_write_heavy and node is not target.front:
                 # Newly write-heavy pages jump to the front of the hot list

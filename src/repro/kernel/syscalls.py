@@ -60,6 +60,7 @@ class SyscallLayer:
         region = self.machine.make_region(size, kind=RegionKind.SMALL, name=name)
         region.managed = False
         region.tier[:] = Tier.DRAM
+        region.tier_version += 1
         region.mapped[:] = True  # faulted in lazily; modelled as immediate
         self.address_space.insert(region)
         return region

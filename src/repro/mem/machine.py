@@ -159,9 +159,11 @@ class Machine:
 
         results = self.perf.resolve(streams, splits, speed_factor, dt, reserved)
 
+        dram_traffic = self.dram.record_traffic
+        nvm_traffic = self.nvm.record_traffic
         for stream, result in zip(streams, results):
-            self.dram.record_traffic(result.dram_read_bytes, result.dram_write_bytes)
-            self.nvm.record_traffic(result.nvm_read_bytes, result.nvm_write_bytes)
+            dram_traffic(result.dram_read_bytes, result.dram_write_bytes)
+            nvm_traffic(result.nvm_read_bytes, result.nvm_write_bytes)
             # Ground truth for page-table access/dirty bits.  Reads and
             # writes may follow different per-page distributions.
             reads = result.ops * stream.reads_per_op

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Deque, List
+from typing import Callable, Deque, List, NamedTuple
 
 import numpy as np
 
@@ -38,9 +38,13 @@ class PebsEventKind(Enum):
         return self is PebsEventKind.STORE
 
 
-@dataclass(frozen=True)
-class PebsRecord:
-    """One sampled memory access (virtual address resolved to a page)."""
+class PebsRecord(NamedTuple):
+    """One sampled memory access (virtual address resolved to a page).
+
+    A ``NamedTuple`` rather than a dataclass: records are created by the
+    thousand per simulated second, and tuple construction is several times
+    cheaper than a frozen dataclass ``__init__``.
+    """
 
     kind: PebsEventKind
     region: Region
@@ -86,6 +90,9 @@ class PebsUnit:
         self._rng = rng
         self._buffer: Deque[PebsRecord] = deque()
         self._carry = {kind: 0.0 for kind in PebsEventKind}
+        # hoisted constants for the per-tick feed() fast path
+        self._period = spec.sample_period * period_scale
+        self._capacity = spec.buffer_capacity
         self._sampled = stats.counter("pebs.records")
         self._dropped = stats.counter("pebs.dropped")
 
@@ -119,15 +126,16 @@ class PebsUnit:
         """
         if n_events < 0:
             raise ValueError(f"negative event count: {n_events}")
-        period = self.spec.sample_period * self.period_scale
-        self._carry[kind] += n_events
-        n_samples = int(self._carry[kind] // period)
+        period = self._period
+        carry = self._carry[kind] + n_events
+        n_samples = int(carry // period)
         if n_samples <= 0:
+            self._carry[kind] = carry
             return 0
-        self._carry[kind] -= n_samples * period
+        self._carry[kind] = carry - n_samples * period
         # Records beyond the buffer's free space are dropped by the
         # hardware; don't bother materialising them.
-        room = self.spec.buffer_capacity - len(self._buffer)
+        room = self._capacity - len(self._buffer)
         n_emit = min(n_samples, max(room, 0))
         if n_emit < n_samples:
             self._dropped.add(n_samples - n_emit)
@@ -142,10 +150,9 @@ class PebsUnit:
         """Pop up to ``max_records`` records in FIFO order."""
         if max_records < 0:
             raise ValueError(f"negative drain budget: {max_records}")
-        out: List[PebsRecord] = []
-        while self._buffer and len(out) < max_records:
-            out.append(self._buffer.popleft())
-        return out
+        buffer = self._buffer
+        popleft = buffer.popleft
+        return [popleft() for _ in range(min(max_records, len(buffer)))]
 
     def drain_cost(self, n_records: int) -> float:
         """Core-seconds the PEBS thread pays to process ``n_records``."""

@@ -56,14 +56,20 @@ class Region:
         self.name = name or f"region{self.region_id}"
         self.n_pages = size // page_size
 
-        # Per-page placement state.
+        # Per-page placement state.  ANY writer of ``tier`` must increment
+        # ``tier_version`` afterwards — placement queries cache the derived
+        # in-DRAM mask against it.
         self.tier = np.full(self.n_pages, Tier.DRAM, dtype=np.uint8)
+        self.tier_version = 0
+        self._mask_version = -1
+        self._in_dram: Optional[np.ndarray] = None
         self.mapped = np.zeros(self.n_pages, dtype=bool)
 
         # Ground-truth expected access counts per page since the last
         # page-table clear (used to derive access/dirty bits).
         self.pending_reads = np.zeros(self.n_pages, dtype=np.float64)
         self.pending_writes = np.zeros(self.n_pages, dtype=np.float64)
+        self._scratch = np.empty(self.n_pages, dtype=np.float64)
 
         # Policy annotations.
         self.pinned_tier: Optional[Tier] = None  # priority instances pin DRAM
@@ -83,9 +89,16 @@ class Region:
         return (va - self.start) // self.page_size
 
     # -- placement queries --------------------------------------------------
+    def _in_dram_mask(self) -> np.ndarray:
+        """Float mask of DRAM-resident pages, cached against ``tier_version``."""
+        if self._mask_version != self.tier_version:
+            self._in_dram = (self.tier == Tier.DRAM).astype(np.float64)
+            self._mask_version = self.tier_version
+        return self._in_dram
+
     def dram_fraction(self, weights: Optional[np.ndarray] = None) -> float:
         """Probability an access with ``weights`` lands on a DRAM page."""
-        in_dram = self.tier == Tier.DRAM
+        in_dram = self._in_dram_mask()
         if weights is None:
             if self.n_pages == 0:
                 return 1.0
@@ -112,10 +125,15 @@ class Region:
             self.pending_reads += per_page_r
             self.pending_writes += per_page_w
         else:
+            # Scale into a reused scratch buffer: same arithmetic, no
+            # per-tick temporary allocation.
+            scratch = self._scratch
             if reads:
-                self.pending_reads += weights * reads
+                np.multiply(weights, reads, out=scratch)
+                self.pending_reads += scratch
             if writes:
-                self.pending_writes += weights * writes
+                np.multiply(weights, writes, out=scratch)
+                self.pending_writes += scratch
 
     def clear_access_bits(self) -> None:
         self.pending_reads[:] = 0.0

@@ -13,14 +13,18 @@ Per tick the engine:
 
 The engine knows nothing about HeMem or any specific policy; managers and
 workloads plug in through small protocols (duck-typed, documented here).
+
+Set ``REPRO_PROFILE=1`` to attribute wall time to the engine's subsystems
+(see :mod:`repro.sim.profiling`); the instrumentation is a no-op otherwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.sim.clock import VirtualClock
+from repro.sim.profiling import TickProfiler, profiler_enabled
 from repro.sim.rng import make_rng
 from repro.sim.service import Service
 from repro.sim.stats import StatsRegistry
@@ -57,9 +61,18 @@ class Engine:
         self.manager = manager
         self.workload = workload
         self.stats: StatsRegistry = machine.stats
-        self.services: List[Service] = []
+        # Insertion-ordered registry; membership and removal are O(1) so
+        # managers registering many services never pay quadratic cost.
+        # Services are hashed by identity (no Service.__eq__/__hash__).
+        self._services: Dict[Service, None] = {}
         self.rng = make_rng(self.config.seed, "engine")
         self.last_app_threads = 0.0
+        self.profiler: Optional[TickProfiler] = (
+            TickProfiler() if profiler_enabled() else None
+        )
+        self._splits_scratch: list = []
+        self._series_ops = self.stats.series("app.ops_per_sec")
+        self._series_util = self.stats.series("cpu.service_util")
 
         # Wire components together.  Order matters: the manager must be
         # attached (so mmap works) before the workload allocates memory.
@@ -68,15 +81,18 @@ class Engine:
         self.workload.setup(self.manager, self.machine, make_rng(self.config.seed, "workload"))
 
     # -- service management -------------------------------------------------
+    @property
+    def services(self) -> List[Service]:
+        """Registered services in insertion order (a fresh list)."""
+        return list(self._services)
+
     def add_service(self, service: Service) -> Service:
         """Register a background service (idempotent per instance)."""
-        if service not in self.services:
-            self.services.append(service)
+        self._services[service] = None
         return service
 
     def remove_service(self, service: Service) -> None:
-        if service in self.services:
-            self.services.remove(service)
+        self._services.pop(service, None)
 
     # -- main loop ----------------------------------------------------------
     def run(self, duration: Optional[float] = None) -> dict:
@@ -86,13 +102,18 @@ class Engine:
         aggregates.
         """
         end = self.clock.now + (duration if duration is not None else self.config.max_duration)
-        while self.clock.now < end - 1e-12:
-            self.step()
-            if self.workload.finished(self.clock.now):
+        step = self.step
+        finished = self.workload.finished
+        clock = self.clock
+        while clock.now < end - 1e-12:
+            step()
+            if finished(clock.now):
                 break
         result = dict(self.workload.result())
         result["elapsed"] = self.clock.now
         result["counters"] = self.stats.counters()
+        if self.profiler is not None:
+            self.profiler.emit(self)
         return result
 
     def step(self) -> None:
@@ -100,46 +121,74 @@ class Engine:
         now = self.clock.now
         dt = self.config.tick
         cpu = self.machine.cpu
+        prof = self.profiler
         cpu.begin_tick(dt)
 
         # 0. Hardware background progress: DMA/copy-thread migrations move
         #    first so their bandwidth and CPU consumption shape this tick.
+        if prof is not None:
+            prof.start()
         self.machine.begin_tick(now, dt)
+        if prof is not None:
+            prof.lap("movers")
 
         # 1. Background services (manager threads, scanners, copy threads).
-        for service in self.services:
+        #    Services must not register/unregister services mid-tick.
+        for service in self._services:
             if service.due(now):
                 wanted = service.run(self, now, dt)
                 if wanted:
                     cpu.consume(wanted)
                 service.mark_ran(now)
+        if prof is not None:
+            prof.lap("services")
 
         # 2. Application access streams for this tick.
         streams = self.workload.access_mix(now, dt)
         app_threads = sum(s.threads for s in streams)
         self.last_app_threads = app_threads
         speed = cpu.app_speed_factor(app_threads, dt) if app_threads else 0.0
+        if prof is not None:
+            prof.lap("access_mix")
 
         # 3. Where do accesses land?  The manager owns placement (for MM this
-        #    is a cache-hit model, for the others true page placement).
-        splits = [self.manager.split_by_tier(s, now) for s in streams]
+        #    is a cache-hit model, for the others true page placement).  The
+        #    scratch list is reused across ticks (nothing retains it).
+        splits = self._splits_scratch
+        splits.clear()
+        split_by_tier = self.manager.split_by_tier
+        for s in streams:
+            splits.append(split_by_tier(s, now))
+        if prof is not None:
+            prof.lap("split")
 
         # 4. Resolve achieved throughput against the device models, leaving
         #    room for in-flight migration traffic.
         results = self.machine.resolve(streams, splits, speed, dt)
+        if prof is not None:
+            prof.lap("resolve")
 
         # 5. Observations back to manager and workload.
+        observe = self.manager.observe
+        on_progress = self.workload.on_progress
         for stream, split, result in zip(streams, splits, results):
-            self.manager.observe(stream, split, result, now, dt)
-            self.workload.on_progress(stream, result, now, dt)
+            observe(stream, split, result, now, dt)
+            on_progress(stream, result, now, dt)
+        if prof is not None:
+            prof.lap("observe")
 
         # 6. Hardware background progress (DMA copies, etc.).
         self.machine.end_tick(now, dt)
 
         # 7. Bookkeeping.
-        total_ops = sum(r.ops for r in results)
-        self.stats.series("app.ops_per_sec").record(now, total_ops / dt)
-        self.stats.series("cpu.service_util").record(now, cpu.service_utilization)
+        total_ops = 0.0
+        for r in results:
+            total_ops += r.ops
+        self._series_ops.record(now, total_ops / dt)
+        self._series_util.record(now, cpu.service_utilization)
         self.manager.end_tick(now, dt)
+        if prof is not None:
+            prof.lap("bookkeeping")
+            prof.tick()
 
         self.clock.advance(dt)

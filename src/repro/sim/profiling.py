@@ -1,0 +1,87 @@
+"""Opt-in per-subsystem tick-time attribution.
+
+Set ``REPRO_PROFILE=1`` in the environment and every :class:`Engine` run
+prints a breakdown of wall time per engine subsystem (movers, services,
+access-mix generation, tier splitting, performance-model resolution,
+observation feedback, bookkeeping) when it finishes::
+
+    REPRO_PROFILE=1 python -m repro.bench fig6 --preset fast
+
+The point is attribution, not micro-benchmarking: when a change regresses
+tick time, the report says *which* subsystem absorbed it.  When the flag is
+unset the engine carries a single ``is None`` check per section and no
+timer calls, so the fast path is unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from time import perf_counter
+from typing import Dict
+
+#: Subsystem display order in the report.
+SECTIONS = (
+    "movers", "services", "access_mix", "split", "resolve", "observe",
+    "bookkeeping",
+)
+
+
+def profiler_enabled() -> bool:
+    """True when the ``REPRO_PROFILE`` environment flag is set (non-empty, not 0)."""
+    value = os.environ.get("REPRO_PROFILE", "")
+    return value not in ("", "0", "false", "no")
+
+
+class TickProfiler:
+    """Accumulates wall time per engine subsystem across ticks.
+
+    Usage inside the tick loop: ``start()`` once at tick begin, ``lap(name)``
+    after each section (charges the elapsed time since the previous lap to
+    ``name``), ``tick()`` at tick end.
+    """
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {name: 0.0 for name in SECTIONS}
+        self.ticks = 0
+        self._mark = 0.0
+
+    def start(self) -> None:
+        self._mark = perf_counter()
+
+    def lap(self, name: str) -> None:
+        now = perf_counter()
+        self.seconds[name] = self.seconds.get(name, 0.0) + (now - self._mark)
+        self._mark = now
+
+    def tick(self) -> None:
+        self.ticks += 1
+
+    # -- reporting -----------------------------------------------------------
+    def report(self, label: str = "") -> str:
+        total = sum(self.seconds.values())
+        lines = [
+            f"[profile{': ' + label if label else ''}] "
+            f"{self.ticks} ticks, {total:.3f}s in engine sections"
+        ]
+        if total > 0 and self.ticks > 0:
+            per_tick = total / self.ticks
+            lines.append(
+                f"[profile]   {per_tick * 1e6:.1f} us/tick across sections"
+            )
+            for name in sorted(self.seconds, key=self.seconds.get, reverse=True):
+                secs = self.seconds[name]
+                if secs <= 0:
+                    continue
+                lines.append(
+                    f"[profile]   {name:<12} {secs:8.3f}s  {secs / total * 100:5.1f}%"
+                )
+        return "\n".join(lines)
+
+    def emit(self, engine) -> None:
+        """Print the report for one finished engine run (stderr)."""
+        label = (
+            f"{getattr(engine.workload, 'name', '?')}"
+            f"/{getattr(engine.manager, 'name', '?')}"
+        )
+        print(self.report(label), file=sys.stderr)

@@ -72,6 +72,7 @@ class GupsWorkload(Workload):
         self._cache_classes = None
         self._shifted = False
         self._pending_content_shift = 0.0
+        self._stream: Optional[AccessStream] = None
 
     # -- setup ----------------------------------------------------------------
     def setup(self, manager, machine, rng: np.random.Generator) -> None:
@@ -119,6 +120,20 @@ class GupsWorkload(Workload):
             and now >= cfg.shift_time
         ):
             self._apply_shift()
+        content_shift = self._pending_content_shift
+        self._pending_content_shift = 0.0
+        # Steady-state ticks (the overwhelming majority) reuse one cached
+        # stream object; a shift tick returns a one-off snapshot carrying the
+        # content-shift hint so earlier ticks' streams are never mutated.
+        stream = self._stream
+        if stream is None or content_shift:
+            stream = self._build_stream(content_shift)
+            if not content_shift:
+                self._stream = stream
+        return [stream]
+
+    def _build_stream(self, content_shift: float) -> AccessStream:
+        cfg = self.config
         if cfg.write_only_bytes:
             # Table 2 semantics: ops against write-only data are stores,
             # the rest are loads.
@@ -128,25 +143,21 @@ class GupsWorkload(Workload):
         else:
             reads_per_op = 1.0
             writes_per_op = 1.0
-        content_shift = self._pending_content_shift
-        self._pending_content_shift = 0.0
-        return [
-            AccessStream(
-                name="gups",
-                region=self.region,
-                threads=cfg.threads,
-                op_size=cfg.object_size,
-                reads_per_op=reads_per_op,
-                writes_per_op=writes_per_op,
-                pattern=Pattern.RANDOM,
-                cpu_ns_per_op=cfg.cpu_ns_per_op,
-                mlp=cfg.mlp,
-                weights=self._weights,
-                write_weights=self._write_weights,
-                cache_classes=self._cache_classes,
-                content_shift=content_shift,
-            )
-        ]
+        return AccessStream(
+            name="gups",
+            region=self.region,
+            threads=cfg.threads,
+            op_size=cfg.object_size,
+            reads_per_op=reads_per_op,
+            writes_per_op=writes_per_op,
+            pattern=Pattern.RANDOM,
+            cpu_ns_per_op=cfg.cpu_ns_per_op,
+            mlp=cfg.mlp,
+            weights=self._weights,
+            write_weights=self._write_weights,
+            cache_classes=self._cache_classes,
+            content_shift=content_shift,
+        )
 
     def _apply_shift(self) -> None:
         """Move ``shift_bytes`` of the hot set onto previously-cold pages."""
@@ -163,6 +174,7 @@ class GupsWorkload(Workload):
         self._hot_pages = np.concatenate([kept, newly_hot])
         self._rebuild_weights()
         self._shifted = True
+        self._stream = None  # weights changed; rebuild the cached stream
         # Share of accesses that now target previously-cold content.
         self._pending_content_shift = cfg.hot_access_frac * (
             n_shift / len(self._hot_pages)

@@ -1,0 +1,152 @@
+"""Tests for the parallel + cached case runner.
+
+The determinism tests drive a miniature real experiment (tiny GUPS runs)
+through every execution path — serial, process pool, cache replay — and
+require byte-identical rendered tables.
+"""
+
+import types
+
+import pytest
+
+from repro.bench.gups_common import run_gups_case
+from repro.bench.report import Table
+from repro.bench.runner import (
+    Case,
+    ResultCache,
+    RunStats,
+    case_digest,
+    run_cases,
+    run_experiment,
+    scenario_digest,
+)
+from repro.bench.scenario import Scenario
+from repro.workloads.gups import GupsConfig
+from repro.sim.units import GB
+
+SYSTEMS = ("hemem", "mm")
+WORKING_SETS_GB = (64, 320)
+
+
+def tiny_scenario() -> Scenario:
+    return Scenario(scale=2048.0, duration=2.0, warmup=0.5)
+
+
+def _gups(scenario, system, ws_gb):
+    gups = GupsConfig(working_set=scenario.size(ws_gb * GB), threads=4)
+    return run_gups_case(scenario, system, gups)["gups"]
+
+
+def _cases(scenario):
+    return [
+        Case(f"{ws}GB/{system}", _gups, {"system": system, "ws_gb": ws})
+        for ws in WORKING_SETS_GB
+        for system in SYSTEMS
+    ]
+
+
+def _assemble(scenario, results):
+    table = Table("tiny", ["ws"] + list(SYSTEMS))
+    for ws in WORKING_SETS_GB:
+        table.row(ws, *[f"{results[f'{ws}GB/{s}']:.6f}" for s in SYSTEMS])
+    return table
+
+
+TINY = types.SimpleNamespace(cases=_cases, assemble=_assemble)
+
+
+class TestDeterminism:
+    def test_serial_parallel_and_replay_byte_identical(self, tmp_path):
+        scenario = tiny_scenario()
+
+        serial_stats = RunStats()
+        serial_cache = ResultCache(tmp_path / "serial")
+        serial = run_experiment(TINY, "tiny", scenario, jobs=1,
+                                cache=serial_cache, stats=serial_stats)
+        assert serial_stats.cache_hits == 0
+        assert serial_stats.cache_misses == 4
+
+        parallel = run_experiment(TINY, "tiny", scenario, jobs=4,
+                                  cache=ResultCache(tmp_path / "parallel"))
+        assert parallel.render() == serial.render()
+
+        replay_stats = RunStats()
+        replay = run_experiment(TINY, "tiny", scenario, jobs=1,
+                                cache=serial_cache, stats=replay_stats)
+        assert replay_stats.cache_hits == 4
+        assert replay_stats.cache_misses == 0
+        assert replay.render() == serial.render()
+
+    def test_uncached_matches_cached(self, tmp_path):
+        scenario = tiny_scenario()
+        uncached = run_experiment(TINY, "tiny", scenario, jobs=1, cache=None)
+        cached = run_experiment(TINY, "tiny", scenario, jobs=1,
+                                cache=ResultCache(tmp_path / "c"))
+        assert uncached.render() == cached.render()
+
+
+class TestCacheKeying:
+    def test_scenario_change_invalidates(self):
+        scenario = tiny_scenario()
+        case = _cases(scenario)[0]
+        base = case_digest("tiny", case, scenario, code="c0")
+        for changed in (
+            scenario.with_(seed=scenario.seed + 1),
+            scenario.with_(scale=scenario.scale * 2),
+            scenario.with_(duration=scenario.duration + 1),
+        ):
+            assert case_digest("tiny", case, changed, code="c0") != base
+
+    def test_code_version_invalidates(self):
+        scenario = tiny_scenario()
+        case = _cases(scenario)[0]
+        assert case_digest("tiny", case, scenario, code="c0") != case_digest(
+            "tiny", case, scenario, code="c1"
+        )
+
+    def test_distinct_cases_and_experiments_distinct(self):
+        scenario = tiny_scenario()
+        a, b = _cases(scenario)[:2]
+        assert case_digest("tiny", a, scenario, code="c0") != case_digest(
+            "tiny", b, scenario, code="c0"
+        )
+        assert case_digest("tiny", a, scenario, code="c0") != case_digest(
+            "other", a, scenario, code="c0"
+        )
+
+    def test_scenario_digest_stable(self):
+        assert scenario_digest(tiny_scenario()) == scenario_digest(
+            tiny_scenario()
+        )
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = "ab" * 32
+        cache.store(digest, {"x": 1})
+        assert cache.load(digest) == {"x": 1}
+        cache.path(digest).write_text("not json")
+        assert cache.load(digest) is None
+
+
+class TestRunCases:
+    def test_duplicate_keys_rejected(self):
+        scenario = tiny_scenario()
+
+        def fn(s):
+            return 0
+
+        with pytest.raises(ValueError, match="duplicate"):
+            run_cases("tiny", [Case("k", fn), Case("k", fn)], scenario)
+
+    def test_results_are_json_normalized(self, tmp_path):
+        scenario = tiny_scenario()
+
+        def fn(s):
+            return {"pair": (1, 2.5)}
+
+        fresh = run_cases("tiny", [Case("k", fn)], scenario)
+        assert fresh["k"] == {"pair": [1, 2.5]}
+        cache = ResultCache(tmp_path)
+        stored = run_cases("tiny", [Case("k", fn)], scenario, cache=cache)
+        replayed = run_cases("tiny", [Case("k", fn)], scenario, cache=cache)
+        assert stored == replayed == fresh
