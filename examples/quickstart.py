@@ -49,7 +49,7 @@ def main():
     print(f"  hot pages now in DRAM:   {hot_in_dram:.0%}")
     print(f"  pages promoted to DRAM:  {counters['hemem.pages_promoted']:.0f}")
     print(f"  pages demoted to NVM:    {counters['hemem.pages_demoted']:.0f}")
-    print(f"  PEBS records processed:  {counters['tracker.samples']:.0f}")
+    print(f"  PEBS records processed:  {counters['hemem.tracker.samples']:.0f}")
     print(f"  bytes moved by the DMA:  {fmt_bytes(counters['dma.bytes_moved'])}")
     print(f"  NVM media written:       {fmt_bytes(counters['nvm.write_bytes'])}")
     mm_writes = results["memory-mode"]["counters"]["nvm.write_bytes"]

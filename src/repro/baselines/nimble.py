@@ -78,7 +78,7 @@ class NimbleManager(TieredMemoryManager):
             self.config = self.config.scaled(machine.spec.scale)
         self.numa = NumaTopology(machine.spec.dram_capacity, machine.spec.nvm_capacity)
         self.mover = ThreadCopyEngine(
-            machine.stats,
+            machine.stats.scoped(self.name),
             n_threads=self.config.copy_threads,
             per_thread_bw=self.config.per_thread_copy_bw,
         )

@@ -5,6 +5,19 @@ fan out over a process pool (``-j``) and completed case results are reused
 from an on-disk content-addressed cache (``.bench_cache/`` by default,
 disable with ``--no-cache``).  ``-j 1`` with a cold cache reproduces the
 serial tables exactly.
+
+Observability: ``--trace-out FILE`` captures the structured event trace of
+every case (forcing those cases to re-run — traces are never cached) and
+``--metrics-out FILE`` turns on metric capture and exports the per-case
+summaries (counters, histograms, time series); captured summaries also
+land in the cache, so later metrics runs replay them.  Both write JSON,
+or long-format CSV when the file name ends in ``.csv``.  Without these
+flags nothing is captured and the simulations run at full speed.
+
+``--update-golden`` refreshes the committed golden tables
+(``tests/golden/<experiment>.csv``) that the regression suite compares
+against; run it after any intentional behaviour change, with the fast
+preset and no overrides.
 """
 
 from __future__ import annotations
@@ -13,8 +26,10 @@ import argparse
 import os
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.registry import MODULES, get_module
+from repro.bench.report import save_observations
 from repro.bench.runner import (
     DEFAULT_CACHE_DIR,
     ResultCache,
@@ -22,6 +37,9 @@ from repro.bench.runner import (
     run_experiment,
 )
 from repro.bench.scenario import PRESETS
+
+#: where --update-golden writes, relative to the repository root
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 
 
 def main(argv=None) -> int:
@@ -43,6 +61,17 @@ def main(argv=None) -> int:
                         help="override capacity scale divisor")
     parser.add_argument("--duration", type=float, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="capture structured event traces and write them "
+                             "to FILE (.json or .csv); forces re-runs")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write per-case metric summaries to FILE "
+                             "(.json or .csv)")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="write each experiment's table to the golden "
+                             "directory instead of asserting against it")
+    parser.add_argument("--golden-dir", default=str(DEFAULT_GOLDEN_DIR),
+                        help="golden-table directory for --update-golden")
     args = parser.parse_args(argv)
 
     scenario = PRESETS[args.preset]()
@@ -69,19 +98,42 @@ def main(argv=None) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     jobs = max(args.jobs or 1, 1)
+    tracing = args.trace_out is not None
+    # Metric capture costs per-tick sampling plus summary serialisation, so
+    # the default CLI path runs without it; asking for an export turns it on
+    # (and the captured summaries land in the cache for later replays).
+    metrics = args.metrics_out is not None
 
     all_stats = []
+    observed: dict = {}
     total_start = time.time()
     for name in names:
         stats = RunStats()
+        observations: dict = {}
         start = time.time()
         table = run_experiment(get_module(name), name, scenario,
-                               jobs=jobs, cache=cache, stats=stats)
+                               jobs=jobs, cache=cache, stats=stats,
+                               trace=tracing, metrics=metrics,
+                               observations=observations)
         stats.wall_seconds = time.time() - start
         all_stats.append(stats)
+        observed[name] = observations
         print(table.render())
         print(f"[{name}: {stats.wall_seconds:.1f}s wall, "
               f"{stats.cases} cases, {stats.cache_hits} cached]\n")
+        if args.update_golden:
+            golden_dir = Path(args.golden_dir)
+            golden_dir.mkdir(parents=True, exist_ok=True)
+            golden_path = golden_dir / f"{name}.csv"
+            golden_path.write_text(table.to_csv())
+            print(f"[golden updated: {golden_path}]\n")
+
+    if args.trace_out:
+        save_observations(args.trace_out, observed, "trace")
+        print(f"[traces written: {args.trace_out}]")
+    if args.metrics_out:
+        save_observations(args.metrics_out, observed, "metrics")
+        print(f"[metrics written: {args.metrics_out}]")
 
     if len(names) > 1:
         cases = sum(s.cases for s in all_stats)

@@ -1,7 +1,10 @@
-"""Plain-text result tables with paper-expectation annotations."""
+"""Plain-text result tables, paper-expectation annotations, and the
+JSON/CSV exporters behind ``--trace-out``/``--metrics-out``."""
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, List, Sequence
 
 
@@ -88,3 +91,104 @@ def _fmt(value) -> str:
             return f"{value:.3g}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+# ---------------------------------------------------------------------------
+# observability exports
+# ---------------------------------------------------------------------------
+#
+# ``observations`` maps experiment -> case key -> one per-machine list, as
+# filled in by the runner: traces are lists of event dicts, metrics are
+# ``{"counters", "histograms", "series"}`` summaries.  The exporters pick a
+# format from the file suffix: ``.csv`` writes a flat long-format table,
+# anything else a single JSON document (the JSON form is what
+# :meth:`repro.obs.replay.Trace.load` reads back).
+
+def _csv_line(cells: Sequence[str]) -> str:
+    def esc(cell: str) -> str:
+        if "," in cell or '"' in cell or "\n" in cell:
+            return '"' + cell.replace('"', '""') + '"'
+        return cell
+
+    return ",".join(esc(str(c)) for c in cells)
+
+
+def _iter_payloads(observations: Dict[str, dict], what: str):
+    """Yield ``(experiment, case, machine_index, payload)`` rows."""
+    for experiment, cases in observations.items():
+        for case_key, obs in cases.items():
+            payloads = (obs or {}).get(what)
+            if payloads is None:
+                continue
+            for index, payload in enumerate(payloads):
+                if payload is not None:
+                    yield experiment, case_key, index, payload
+
+
+def trace_export_json(observations: Dict[str, dict]) -> dict:
+    return {
+        "kind": "trace",
+        "experiments": {
+            exp: {case: obs.get("trace") for case, obs in cases.items()}
+            for exp, cases in observations.items()
+        },
+    }
+
+
+def trace_export_csv(observations: Dict[str, dict]) -> str:
+    lines = [_csv_line(["experiment", "case", "machine", "t", "kind", "data"])]
+    for experiment, case_key, index, events in _iter_payloads(observations, "trace"):
+        for event in events:
+            data = {k: v for k, v in event.items() if k not in ("t", "kind")}
+            lines.append(_csv_line([
+                experiment, case_key, index, event["t"], event["kind"],
+                json.dumps(data, sort_keys=True),
+            ]))
+    return "\n".join(lines) + "\n"
+
+
+def metrics_export_json(observations: Dict[str, dict]) -> dict:
+    return {
+        "kind": "metrics",
+        "experiments": {
+            exp: {case: obs.get("metrics") for case, obs in cases.items()}
+            for exp, cases in observations.items()
+        },
+    }
+
+
+def metrics_export_csv(observations: Dict[str, dict]) -> str:
+    """Long-format CSV: counters and every time-series sample; histogram
+    states ride along JSON-encoded (they are not naturally tabular)."""
+    lines = [_csv_line(["experiment", "case", "machine", "record", "name",
+                        "time", "value"])]
+    for experiment, case_key, index, summary in _iter_payloads(observations, "metrics"):
+        base = [experiment, case_key, index]
+        for name, value in summary.get("counters", {}).items():
+            lines.append(_csv_line(base + ["counter", name, "", value]))
+        for name, hist in summary.get("histograms", {}).items():
+            lines.append(_csv_line(
+                base + ["histogram", name, "", json.dumps(hist, sort_keys=True)]
+            ))
+        for name, series in summary.get("series", {}).items():
+            for t, v in zip(series["times"], series["values"]):
+                lines.append(_csv_line(base + ["series", name, t, v]))
+    return "\n".join(lines) + "\n"
+
+
+def save_observations(path, observations: Dict[str, dict], what: str) -> None:
+    """Write collected observations to ``path`` (CSV iff suffix is .csv)."""
+    if what not in ("trace", "metrics"):
+        raise ValueError(f"unknown observation kind: {what!r}")
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        text = (trace_export_csv if what == "trace" else metrics_export_csv)(
+            observations
+        )
+        path.write_text(text)
+    else:
+        doc = (trace_export_json if what == "trace" else metrics_export_json)(
+            observations
+        )
+        with open(path, "w") as fh:
+            json.dump(doc, fh)

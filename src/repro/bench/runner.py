@@ -20,6 +20,16 @@ Every case result, fresh or cached, is passed through a JSON round-trip
 before assembly.  That guarantees the fresh-run and cache-hit paths hand
 ``assemble`` *identical* values (and forces case functions to stick to
 JSON-able primitives).
+
+Observability (:mod:`repro.obs`) threads through the same machinery: cases
+execute inside a capture scope, so every machine a case builds — in this
+process or a pool worker — is instrumented.  Metric summaries (on by
+default for the programmatic API; the CLI enables them with
+``--metrics-out``) are stored alongside the result in the cache entry and
+replayed on hits; an entry without them is a miss for a metrics run.
+Traces are *never* cached (they are large and derivable), so requesting
+one forces the affected cases to re-run; results are bit-identical with
+tracing on, so the re-run cannot change any table.
 """
 
 from __future__ import annotations
@@ -123,7 +133,12 @@ def case_digest(experiment: str, case: Case, scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 class ResultCache:
-    """Content-addressed JSON result store (one file per case)."""
+    """Content-addressed JSON result store (one file per case).
+
+    Entries are ``{"result": ..., "metrics": [...]}``; ``metrics`` (one
+    summary per machine the case built) is present only when the case ran
+    with metrics capture on.
+    """
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR):
         self.root = Path(root)
@@ -131,20 +146,30 @@ class ResultCache:
     def path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
-    def load(self, digest: str) -> Optional[Any]:
+    def load_entry(self, digest: str) -> Optional[Dict[str, Any]]:
         path = self.path(digest)
         try:
             with open(path) as fh:
-                return json.load(fh)["result"]
-        except (OSError, ValueError, KeyError):
+                entry = json.load(fh)
+            entry["result"]  # malformed without a result
+            return entry
+        except (OSError, ValueError, TypeError, KeyError):
             return None
 
-    def store(self, digest: str, result: Any) -> None:
+    def load(self, digest: str) -> Optional[Any]:
+        entry = self.load_entry(digest)
+        return entry["result"] if entry is not None else None
+
+    def store(self, digest: str, result: Any,
+              metrics: Optional[List[Any]] = None) -> None:
+        entry: Dict[str, Any] = {"result": result}
+        if metrics is not None:
+            entry["metrics"] = metrics
         path = self.path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w") as fh:
-            json.dump({"result": result}, fh)
+            json.dump(entry, fh)
         os.replace(tmp, path)  # atomic: parallel writers can't corrupt
 
 
@@ -152,8 +177,23 @@ class ResultCache:
 # execution
 # ---------------------------------------------------------------------------
 
-def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any]) -> Any:
-    return fn(scenario, **kwargs)
+def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any],
+                  trace: bool = False, metrics: bool = False) -> Any:
+    """Run one case, optionally inside an observability capture.
+
+    Runs in the worker process under a pool, so the capture scope is opened
+    here (process-global state does not cross the fork/spawn boundary).
+    Returns ``(result, payloads)`` where ``payloads`` is one
+    ``{"trace", "metrics"}`` dict per machine the case built (None when no
+    capture was requested).
+    """
+    if not trace and not metrics:
+        return fn(scenario, **kwargs), None
+    from repro.obs.runtime import capture
+
+    with capture(trace=trace, metrics=metrics) as cap:
+        result = fn(scenario, **kwargs)
+    return result, cap.payloads()
 
 
 def _normalize(result: Any) -> Any:
@@ -168,8 +208,18 @@ def run_cases(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     stats: Optional[RunStats] = None,
+    trace: bool = False,
+    metrics: bool = True,
+    observations: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Execute ``cases``, via cache/pool, returning ``{case.key: result}``."""
+    """Execute ``cases``, via cache/pool, returning ``{case.key: result}``.
+
+    When ``observations`` is a dict it is filled with
+    ``{case.key: {"trace": [...]|None, "metrics": [...]|None}}`` (one list
+    element per machine the case built).  ``trace=True`` bypasses the cache
+    for loading — traces are never stored — but results still get written,
+    since tracing cannot change them.
+    """
     keys = [c.key for c in cases]
     if len(set(keys)) != len(keys):
         raise ValueError(f"{experiment}: duplicate case keys: {keys}")
@@ -184,9 +234,16 @@ def run_cases(
         for case in cases:
             digest = case_digest(experiment, case, scenario, code)
             digests[case.key] = digest
-            hit = cache.load(digest)
-            if hit is not None:
-                results[case.key] = _normalize(hit)
+            entry = None if trace else cache.load_entry(digest)
+            if entry is not None and metrics and "metrics" not in entry:
+                entry = None  # pre-metrics entry; re-run to capture them
+            if entry is not None:
+                results[case.key] = _normalize(entry["result"])
+                if observations is not None:
+                    observations[case.key] = {
+                        "trace": None,
+                        "metrics": entry.get("metrics"),
+                    }
                 stats.cache_hits += 1
             else:
                 misses.append(case)
@@ -198,19 +255,33 @@ def run_cases(
         if jobs > 1 and len(misses) > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = [
-                    pool.submit(_execute_case, case.fn, scenario, case.kwargs)
+                    pool.submit(_execute_case, case.fn, scenario, case.kwargs,
+                                trace, metrics)
                     for case in misses
                 ]
                 fresh = [f.result() for f in futures]
         else:
             fresh = [
-                _execute_case(case.fn, scenario, case.kwargs) for case in misses
+                _execute_case(case.fn, scenario, case.kwargs, trace, metrics)
+                for case in misses
             ]
-        for case, result in zip(misses, fresh):
+        for case, (result, payloads) in zip(misses, fresh):
             result = _normalize(result)
             results[case.key] = result
+            case_metrics = None
+            case_traces = None
+            if payloads is not None:
+                if metrics:
+                    case_metrics = _normalize([p["metrics"] for p in payloads])
+                if trace:
+                    case_traces = [p["trace"] for p in payloads]
+            if observations is not None and payloads is not None:
+                observations[case.key] = {
+                    "trace": case_traces,
+                    "metrics": case_metrics,
+                }
             if cache is not None:
-                cache.store(digests[case.key], result)
+                cache.store(digests[case.key], result, metrics=case_metrics)
     return results
 
 
@@ -221,11 +292,15 @@ def run_experiment(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     stats: Optional[RunStats] = None,
+    trace: bool = False,
+    metrics: bool = True,
+    observations: Optional[Dict[str, Any]] = None,
 ) -> Table:
     """Run one experiment module through the case runner."""
     stats = stats if stats is not None else RunStats()
     stats.experiment = experiment
     cases = module.cases(scenario)
     results = run_cases(experiment, cases, scenario, jobs=jobs, cache=cache,
-                        stats=stats)
+                        stats=stats, trace=trace, metrics=metrics,
+                        observations=observations)
     return module.assemble(scenario, results)

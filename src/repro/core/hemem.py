@@ -66,21 +66,25 @@ class HeMemManager(TieredMemoryManager):
             Tier.DRAM: DaxFile(Tier.DRAM, machine.spec.dram_capacity, page),
             Tier.NVM: DaxFile(Tier.NVM, machine.spec.nvm_capacity, page),
         }
-        self.uffd = UserFaultFd(machine.stats)
-        self.tracker = HotColdTracker(self.config, machine.stats)
+        # Every manager-owned component registers its stats under the
+        # manager's name, so two managers on one machine cannot collide.
+        scoped = machine.stats.scoped(self.name)
+        self.uffd = UserFaultFd(scoped, tracer=machine.tracer)
+        self.tracker = HotColdTracker(self.config, scoped, tracer=machine.tracer)
 
         if self.config.use_dma:
             mover = machine.dma
             mover.max_rate = self.config.migration_max_rate
         else:
             mover = ThreadCopyEngine(
-                machine.stats,
+                scoped,
                 n_threads=self.config.copy_threads,
                 max_rate=self.config.migration_max_rate,
             )
             machine.register_mover(mover)
         self.migrator = Migrator(
-            mover, self.dax, self.uffd, self.tracker, machine, self.fault_costs
+            mover, self.dax, self.uffd, self.tracker, machine, self.fault_costs,
+            stats=scoped,
         )
 
         if self._source_factory is not None:

@@ -23,6 +23,7 @@ from repro.kernel.fault import FaultCostModel
 from repro.kernel.userfaultfd import UserFaultFd
 from repro.mem.dma import CopyEngine, CopyRequest
 from repro.mem.page import Tier
+from repro.obs.events import MigrationDone, MigrationStart
 
 
 class Migrator:
@@ -36,6 +37,7 @@ class Migrator:
         tracker: HotColdTracker,
         machine,
         fault_costs: Optional[FaultCostModel] = None,
+        stats=None,
     ):
         self.mover = mover
         self.dax = dax
@@ -44,10 +46,15 @@ class Migrator:
         self.machine = machine
         self.fault_costs = fault_costs or FaultCostModel()
         self._offsets = {}  # region_id -> offset array (owned by manager)
-        self._migrated = machine.stats.counter("hemem.pages_migrated")
-        self._promoted = machine.stats.counter("hemem.pages_promoted")
-        self._demoted = machine.stats.counter("hemem.pages_demoted")
-        self._wp_stalls = machine.stats.counter("hemem.wp_write_stalls")
+        # Counters live in a manager-named scope so two managers on one
+        # machine can never merge (the default matches HeMem's own name).
+        stats = stats if stats is not None else machine.stats.scoped("hemem")
+        self._migrated = stats.counter("pages_migrated")
+        self._promoted = stats.counter("pages_promoted")
+        self._demoted = stats.counter("pages_demoted")
+        self._wp_stalls = stats.counter("wp_write_stalls")
+        self._latency = stats.histogram("migration_latency_s")
+        self._tracer = machine.tracer
 
     def bind_offsets(self, region_id: int, offsets) -> None:
         """Manager hands us the region's per-page DAX offset array."""
@@ -92,14 +99,19 @@ class Migrator:
             nbytes=region.page_size,
             src_tier=src,
             dst_tier=dst,
-            tag=(node, new_offset, writes_at_submit),
+            tag=(node, new_offset, writes_at_submit, now),
             on_complete=self._complete,
         )
         self.mover.submit(request)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(MigrationStart(
+                now, region.name, node.page, src.name, dst.name, region.page_size,
+            ))
         return True
 
     def _complete(self, request: CopyRequest, now: float) -> None:
-        node, new_offset, writes_at_submit = request.tag
+        node, new_offset, writes_at_submit, submitted_at = request.tag
         region = node.region
         src = Tier(region.tier[node.page])
         dst = request.dst_tier
@@ -123,8 +135,16 @@ class Migrator:
             self._wp_stalls.add(stalled)
             self.machine.add_interference(stalled * self.fault_costs.wp_resolution)
 
+        latency = max(now - submitted_at, 0.0)
+        self._latency.observe(latency)
         self._migrated.add(1)
         if dst == Tier.DRAM:
             self._promoted.add(1)
         else:
             self._demoted.add(1)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(MigrationDone(
+                now, region.name, node.page, src.name, dst.name,
+                region.page_size, latency,
+            ))

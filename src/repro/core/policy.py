@@ -18,6 +18,7 @@ backlog never exceeds ``migration_queue_limit`` bytes.
 from __future__ import annotations
 
 from repro.mem.page import Tier
+from repro.obs.events import PolicyPass
 from repro.sim.service import Service
 
 
@@ -37,9 +38,12 @@ class PolicyService(Service):
 
     def run(self, engine, now, dt) -> float:
         if now + 1e-12 >= self._next_decision:
-            self._promote(now)
-            self._enforce_watermark(now)
+            promoted = self._promote(now)
+            demoted = self._enforce_watermark(now)
             self._next_decision = now + self.manager.config.policy_period
+            tracer = engine.machine.tracer
+            if tracer is not None and (promoted or demoted):
+                tracer.emit(PolicyPass(now, promoted, demoted))
         return dt
 
     # -- promotion ------------------------------------------------------------

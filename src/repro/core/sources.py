@@ -24,6 +24,7 @@ from repro.mem.access import AccessStream, StreamResult, TierSplit
 from repro.mem.page import Tier
 from repro.mem.pebs import PebsEventKind, PebsRecord
 from repro.mem.sampling import WeightedSampler
+from repro.obs.events import PebsDrain
 from repro.sim.service import Service
 
 # Enum members hoisted out of the per-tick feed path (class-level member
@@ -161,8 +162,12 @@ class _PebsDrainService(Service):
         records = pebs.drain(budget)
         tracker = self.source.manager.tracker
         record_sample = tracker.record_sample
-        for rec in records[: self.APPLY_CAP_PER_TICK]:
+        applied = min(len(records), self.APPLY_CAP_PER_TICK)
+        for rec in records[:applied]:
             record_sample(rec.region, rec.page, rec.kind is _STORE)
+        tracer = engine.machine.tracer
+        if tracer is not None and records:
+            tracer.emit(PebsDrain(now, len(records), applied))
         return dt  # busy-polling: the whole tick, records or not
 
 

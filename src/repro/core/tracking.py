@@ -21,6 +21,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.core.config import HeMemConfig
 from repro.mem.page import Tier
 from repro.mem.region import Region
+from repro.obs.events import CoolingPass
 
 
 class PageNode:
@@ -143,7 +144,7 @@ class PageList:
 class HotColdTracker:
     """The PEBS-thread-side data classification state (§3.1)."""
 
-    def __init__(self, config: HeMemConfig, stats):
+    def __init__(self, config: HeMemConfig, stats, tracer=None):
         self.config = config
         self.global_clock = 0
         self.lists: Dict[Tuple[Tier, bool], PageList] = {
@@ -154,6 +155,15 @@ class HotColdTracker:
         self._nodes: Dict[Tuple[int, int], PageNode] = {}
         self._samples = stats.counter("tracker.samples")
         self._coolings = stats.counter("tracker.cooling_events")
+        self._tracer = tracer
+
+    def _advance_clock(self) -> None:
+        """Tick the global cooling clock (and trace the pass)."""
+        self.global_clock += 1
+        self._coolings.add(1)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(CoolingPass(tracer.now, self.global_clock))
 
     # -- structure ------------------------------------------------------------
     def list_for(self, tier: Tier, hot: bool) -> PageList:
@@ -208,8 +218,7 @@ class HotColdTracker:
         if node.reads + node.writes >= self.config.cooling_threshold:
             # Any page reaching the cooling threshold advances the clock;
             # the triggering page is cooled immediately, the rest lazily.
-            self.global_clock += 1
-            self._coolings.add(1)
+            self._advance_clock()
             self.cool_if_stale(node)
         self._reclassify(node)
         return node
@@ -226,8 +235,7 @@ class HotColdTracker:
             node.writes += 1
         self._samples.add(1)
         if node.reads + node.writes >= self.config.cooling_threshold:
-            self.global_clock += 1
-            self._coolings.add(1)
+            self._advance_clock()
             self.cool_if_stale(node)
         self._reclassify(node)
 

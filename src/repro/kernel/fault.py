@@ -1,15 +1,21 @@
-"""Page-fault cost model.
+"""Page-fault cost model and fault-event tracing.
 
 The paper measures userfaultfd overhead and finds it irrelevant for its
 workloads because big-data applications pre-fault their heaps precisely to
 avoid faults at runtime.  We still model the costs so the pre-fault phase
 and any residual runtime faults (e.g. write-protection faults hitting pages
-under migration) are charged.
+under migration) are charged — and, when tracing is enabled, every
+forwarded fault lands in the trace as a
+:class:`~repro.obs.events.PageFault` carrying the tier the page occupies,
+which is what lets replay reconstruct initial placement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.mem.page import Tier
+from repro.obs.events import PageFault
 
 
 @dataclass(frozen=True)
@@ -26,3 +32,22 @@ class FaultCostModel:
             raise ValueError(f"negative page count: {n_pages}")
         per_fault = self.uffd_forward if forwarded else self.kernel_fault
         return n_pages * per_fault
+
+
+def trace_fault(tracer, fault_kind_value: str, region, page: int) -> None:
+    """Emit one :class:`PageFault` event (no-op when ``tracer`` is None).
+
+    The tier is read from the region's placement at post time: for
+    page-missing faults that is where the page was just installed, for
+    write-protection faults where the protected page currently lives.
+    """
+    if tracer is None:
+        return
+    tracer.emit(PageFault(
+        tracer.now,
+        fault_kind_value,
+        region.name,
+        page,
+        Tier(region.tier[page]).name,
+        region.page_size,
+    ))

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Deque, List, Set
 
+from repro.kernel.fault import trace_fault
 from repro.mem.region import Region
 
 
@@ -39,12 +40,13 @@ class FaultEvent:
 class UserFaultFd:
     """Registration + event queue between the kernel and the manager."""
 
-    def __init__(self, stats):
+    def __init__(self, stats, tracer=None):
         self._registered: Set[int] = set()
         self._queue: Deque[FaultEvent] = deque()
         self._write_protected = {}  # region_id -> set of protected pages
         self._missing_ctr = stats.counter("uffd.missing_faults")
         self._wp_ctr = stats.counter("uffd.wp_faults")
+        self._tracer = tracer
 
     # -- registration ----------------------------------------------------------
     def register(self, region: Region) -> None:
@@ -86,6 +88,8 @@ class UserFaultFd:
             self._missing_ctr.add(1)
         else:
             self._wp_ctr.add(1)
+        if self._tracer is not None:
+            trace_fault(self._tracer, kind.value, region, page)
 
     def read_events(self, max_events: int = 0) -> List[FaultEvent]:
         """User side: drain pending fault events (0 = all)."""

@@ -21,6 +21,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.mem.devices import READ, WRITE
 from repro.mem.page import Tier
+from repro.obs.events import DmaTransfer
 from repro.sim.units import gbps
 
 
@@ -50,6 +51,7 @@ class CopyEngine:
         if total_bw <= 0:
             raise ValueError(f"mover bandwidth must be positive: {total_bw}")
         self.total_bw = total_bw
+        self.name = name
         #: administrative cap (HeMem sets 10 GB/s so migration never swamps
         #: the application); None = unlimited.
         self.max_rate = max_rate
@@ -57,6 +59,8 @@ class CopyEngine:
         self._moved = stats.counter(f"{name}.bytes_moved")
         self._last_bw: Dict[Tuple[Tier, str], float] = {}
         self.cpu_cost_last_tick = 0.0
+        #: set by Machine.install_tracer / register_mover when tracing
+        self.tracer = None
 
     def submit(self, request: CopyRequest) -> None:
         self._queue.append(request)
@@ -118,7 +122,13 @@ class CopyEngine:
                     device.record_traffic(volume, 0.0)
                 else:
                     device.record_traffic(0.0, volume)
+        tracer = self.tracer
         for req in completed:
+            if tracer is not None:
+                tracer.emit(DmaTransfer(
+                    tracer.now, self.name, req.src_tier.name,
+                    req.dst_tier.name, req.nbytes,
+                ))
             if req.on_complete is not None:
                 req.on_complete(req, now)
         return completed

@@ -19,6 +19,7 @@ from repro.mem.pebs import PebsSpec, PebsUnit
 from repro.mem.perf import PerfModel
 from repro.mem.region import Region, RegionKind
 from repro.mem.tlb import TlbModel, TlbSpec
+from repro.obs.runtime import on_machine_created
 from repro.sim.cpu import Cpu
 from repro.sim.rng import make_rng
 from repro.sim.stats import StatsRegistry
@@ -99,16 +100,36 @@ class Machine:
         self._interference = 0.0
         self._next_va = 0x0000_6000_0000_0000
         self.regions: List[Region] = []
+        #: observability hooks; None unless installed before the engine is
+        #: built (see repro.obs) — every emit site is then a no-op check.
+        self.tracer = None
+        self.metrics = None
+        on_machine_created(self)
 
     # -- wiring ---------------------------------------------------------------
     def attach_engine(self, engine) -> None:
         self.engine = engine
 
+    def install_tracer(self, tracer) -> None:
+        """Install an event tracer (must precede engine construction, since
+        components cache the tracer reference when they are wired up)."""
+        if self.engine is not None:
+            raise RuntimeError("install the tracer before building the engine")
+        self.tracer = tracer
+        self.pebs.tracer = tracer
+        for mover in self._movers:
+            mover.tracer = tracer
+
     def register_mover(self, mover: CopyEngine) -> CopyEngine:
         """Add an alternative data mover (e.g. copy threads) to the tick loop."""
         if mover not in self._movers:
+            mover.tracer = self.tracer
             self._movers.append(mover)
         return mover
+
+    def movers(self) -> List[CopyEngine]:
+        """All registered data movers (the DMA engine plus any copy threads)."""
+        return list(self._movers)
 
     # -- address space ---------------------------------------------------------
     def make_region(

@@ -24,6 +24,7 @@ from typing import Callable, Deque, List, NamedTuple
 import numpy as np
 
 from repro.mem.region import Region
+from repro.obs.events import PebsDrop
 
 
 class PebsEventKind(Enum):
@@ -95,6 +96,8 @@ class PebsUnit:
         self._capacity = spec.buffer_capacity
         self._sampled = stats.counter("pebs.records")
         self._dropped = stats.counter("pebs.dropped")
+        #: set by Machine.install_tracer when tracing is enabled
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -139,6 +142,9 @@ class PebsUnit:
         n_emit = min(n_samples, max(room, 0))
         if n_emit < n_samples:
             self._dropped.add(n_samples - n_emit)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(PebsDrop(tracer.now, kind.value, n_samples - n_emit))
         if n_emit == 0:
             return 0
         records = sampler(n_emit)

@@ -1,0 +1,63 @@
+"""Structured observability for the simulator (tracing + metrics).
+
+``repro.obs`` exposes the simulator's internal dynamics — migration
+lifecycles, PEBS sample drops, cooling passes, policy decisions, service
+scheduling — as a typed, timestamped event stream (:mod:`repro.obs.trace`)
+plus derived per-run metrics (:mod:`repro.obs.metrics`).  Both are strictly
+opt-in: with observability disabled every instrumentation site is a single
+``is None`` check, mirroring the ``REPRO_PROFILE`` tick profiler.
+
+Three ways in:
+
+- explicit: ``machine.install_tracer(Tracer())`` before building the engine,
+- scoped: ``with obs.capture(trace=True) as cap: ...`` auto-instruments
+  every :class:`~repro.mem.machine.Machine` created inside the block,
+- CLI: ``python -m repro.bench fig9 --trace-out trace.json`` (and
+  ``--metrics-out``) through the bench runner.
+
+Traces round-trip through :mod:`repro.obs.replay`, which computes derived
+views (migration latencies, migration-rate time series, tier byte deltas).
+"""
+
+from repro.obs.events import (
+    CoolingPass,
+    DmaTransfer,
+    EVENT_KINDS,
+    MigrationDone,
+    MigrationStart,
+    PageFault,
+    PebsDrain,
+    PebsDrop,
+    PolicyPass,
+    ServiceRun,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.metrics import MetricsSampler, metrics_summary
+from repro.obs.replay import Trace, load_bench_export
+from repro.obs.runtime import capture, capture_active, is_metrics, is_tracing
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "CoolingPass",
+    "DmaTransfer",
+    "EVENT_KINDS",
+    "MetricsSampler",
+    "MigrationDone",
+    "MigrationStart",
+    "PageFault",
+    "PebsDrain",
+    "PebsDrop",
+    "PolicyPass",
+    "ServiceRun",
+    "Trace",
+    "Tracer",
+    "capture",
+    "capture_active",
+    "event_from_dict",
+    "event_to_dict",
+    "is_metrics",
+    "is_tracing",
+    "load_bench_export",
+    "metrics_summary",
+]

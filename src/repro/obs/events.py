@@ -1,0 +1,143 @@
+"""Typed trace events.
+
+Every event is a ``NamedTuple`` (records are created on hot paths; tuple
+construction is several times cheaper than a dataclass ``__init__``) whose
+first field ``t`` is the virtual-time timestamp.  Regions and tiers are
+recorded as *names*, not object references, so events serialise trivially
+and a trace never pins simulation state alive.
+
+The JSON wire form of an event is its ``_asdict()`` plus a ``kind``
+discriminator (see :data:`EVENT_KINDS`); :func:`event_from_dict` inverts
+it, so traces survive a save/load round trip exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Type
+
+
+class MigrationStart(NamedTuple):
+    """A page copy was submitted to the data mover (page write-protected)."""
+
+    t: float
+    region: str
+    page: int
+    src: str
+    dst: str
+    nbytes: int
+
+
+class MigrationDone(NamedTuple):
+    """The copy completed and the page was remapped to the new tier.
+
+    ``latency`` is virtual seconds between submission and completion
+    (0.0 when both happen within one tick).
+    """
+
+    t: float
+    region: str
+    page: int
+    src: str
+    dst: str
+    nbytes: int
+    latency: float
+
+
+class PageFault(NamedTuple):
+    """A fault was forwarded to the user-level handler.
+
+    ``fault`` is ``"missing"`` (first touch) or ``"wp"`` (store hit a
+    write-protected page under migration); ``tier`` is where the page
+    resides when the fault is posted.
+    """
+
+    t: float
+    fault: str
+    region: str
+    page: int
+    tier: str
+    nbytes: int
+
+
+class PebsDrop(NamedTuple):
+    """The PEBS ring buffer was full; ``n`` records of ``event`` were lost."""
+
+    t: float
+    event: str
+    n: int
+
+
+class PebsDrain(NamedTuple):
+    """One PEBS-thread activation: ``drained`` records popped, ``applied``
+    of them fed into the hot/cold tracker."""
+
+    t: float
+    drained: int
+    applied: int
+
+
+class CoolingPass(NamedTuple):
+    """The global cooling clock advanced to ``clock``."""
+
+    t: float
+    clock: int
+
+
+class PolicyPass(NamedTuple):
+    """One policy-thread decision: promotions and demotions queued."""
+
+    t: float
+    promoted: int
+    demoted: int
+
+
+class DmaTransfer(NamedTuple):
+    """A queued copy request finished moving through mover ``mover``."""
+
+    t: float
+    mover: str
+    src: str
+    dst: str
+    nbytes: int
+
+
+class ServiceRun(NamedTuple):
+    """A background service ran for one activation, consuming ``cpu``
+    core-seconds."""
+
+    t: float
+    service: str
+    cpu: float
+
+
+#: event class -> wire discriminator (stable; the trace format depends on it)
+EVENT_KINDS: Dict[Type, str] = {
+    MigrationStart: "migration_start",
+    MigrationDone: "migration_done",
+    PageFault: "page_fault",
+    PebsDrop: "pebs_drop",
+    PebsDrain: "pebs_drain",
+    CoolingPass: "cooling_pass",
+    PolicyPass: "policy_pass",
+    DmaTransfer: "dma_transfer",
+    ServiceRun: "service_run",
+}
+
+KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}
+
+
+def event_to_dict(event) -> dict:
+    """JSON-able form: ``{"kind": ..., <fields>}``."""
+    out = {"kind": EVENT_KINDS[type(event)]}
+    out.update(event._asdict())
+    return out
+
+
+def event_from_dict(data: dict):
+    """Inverse of :func:`event_to_dict`."""
+    try:
+        cls = KIND_TO_EVENT[data["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind: {data.get('kind')!r}") from None
+    fields = {name: data[name] for name in cls._fields}
+    return cls(**fields)

@@ -1,0 +1,90 @@
+"""Per-tick metrics capture and per-run metric summaries.
+
+A :class:`MetricsSampler` is attached to a machine (by
+:mod:`repro.obs.runtime` or by hand) before the engine is built; the engine
+then calls :meth:`MetricsSampler.sample` once per tick.  It records the
+observability time series the paper's figures are built from:
+
+- ``obs.dram_bytes`` / ``obs.nvm_bytes`` — placement split across all
+  regions (Figs 6, 9: where the working set lives over time),
+- ``obs.pebs_loss_rate`` — per-tick PEBS sample-loss fraction (Fig 10),
+- ``obs.migration_queue_bytes`` — bytes queued across all data movers
+  (migration backlog; Fig 9's dynamic phases).
+
+:func:`metrics_summary` snapshots a machine's whole stats registry —
+counters, histograms, and every recorded time series — into a JSON-able
+dict, which is what the bench runner caches per case and what
+``--metrics-out`` exports.
+"""
+
+from __future__ import annotations
+
+# NOTE: nothing here may import repro.mem/repro.sim at module level —
+# repro.obs sits below both in the import graph (the engine and the machine
+# import it), so a top-level import would be circular.
+
+
+class MetricsSampler:
+    """Records per-tick observability series into the machine's stats."""
+
+    def __init__(self, machine):
+        # Deferred import: a machine exists, so repro.mem is fully loaded.
+        from repro.mem.page import Tier
+
+        self._dram_tier = Tier.DRAM
+        self.machine = machine
+        stats = machine.stats
+        self._dram = stats.series("obs.dram_bytes")
+        self._nvm = stats.series("obs.nvm_bytes")
+        self._loss = stats.series("obs.pebs_loss_rate")
+        self._queue = stats.series("obs.migration_queue_bytes")
+        self._last_sampled = 0.0
+        self._last_dropped = 0.0
+        # per-region occupancy memo keyed by tier_version: most ticks move
+        # nothing, so sampling must not rescan every region's tier array
+        self._occupancy = {}
+
+    def sample(self, now: float, dt: float) -> None:
+        """Record one tick's worth of samples (engine bookkeeping step)."""
+        machine = self.machine
+        occupancy = self._occupancy
+        dram = 0
+        nvm = 0
+        for region in machine.regions:
+            version = region.tier_version
+            cached = occupancy.get(region.region_id)
+            if cached is not None and cached[0] == version:
+                in_dram = cached[1]
+            else:
+                in_dram = region.bytes_in(self._dram_tier)
+                occupancy[region.region_id] = (version, in_dram)
+            dram += in_dram
+            nvm += region.size - in_dram
+        self._dram.record(now, float(dram))
+        self._nvm.record(now, float(nvm))
+
+        pebs = machine.pebs
+        sampled, dropped = pebs.records_sampled, pebs.records_dropped
+        d_sampled = sampled - self._last_sampled
+        d_dropped = dropped - self._last_dropped
+        self._last_sampled, self._last_dropped = sampled, dropped
+        total = d_sampled + d_dropped
+        self._loss.record(now, d_dropped / total if total else 0.0)
+
+        queued = sum(mover.pending_bytes for mover in machine.movers())
+        self._queue.record(now, float(queued))
+
+
+def metrics_summary(machine) -> dict:
+    """JSON-able snapshot of everything the machine's stats registry holds.
+
+    Includes counters (namespaced per manager), histogram states, and the
+    full data of every time series (engine throughput, CPU utilisation, and
+    the sampler's ``obs.*`` series when metrics capture was on).
+    """
+    stats = machine.stats
+    return {
+        "counters": stats.counters(),
+        "histograms": stats.histograms(),
+        "series": stats.series_data(),
+    }

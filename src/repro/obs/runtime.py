@@ -1,0 +1,100 @@
+"""Process-global observability capture.
+
+The bench runner executes case functions that build their own
+:class:`~repro.mem.machine.Machine` instances (possibly in worker
+processes), so observability cannot be threaded through their signatures.
+Instead, a :class:`Capture` context makes machine construction
+self-instrumenting: while a capture is active, every new machine gets a
+:class:`~repro.obs.trace.Tracer` and/or a
+:class:`~repro.obs.metrics.MetricsSampler` installed, and the capture
+remembers the machine so the trace and a metrics summary can be collected
+after the run::
+
+    with obs.capture(trace=True) as cap:
+        result = run_gups_case(scenario, "hemem", gups)
+    [payload] = cap.payloads()        # {"trace": [...], "metrics": {...}}
+
+Captures nest (innermost wins) and are strictly process-local; the bench
+runner re-creates them inside pool workers.  With no capture active,
+machine construction sets ``tracer``/``metrics`` to ``None`` and the
+simulator's emit sites all reduce to an ``is None`` check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsSampler, metrics_summary
+from repro.obs.trace import Tracer
+
+_captures: List["Capture"] = []
+
+
+def capture_active() -> bool:
+    return bool(_captures)
+
+
+def is_tracing() -> bool:
+    return bool(_captures) and _captures[-1].trace
+
+
+def is_metrics() -> bool:
+    return bool(_captures) and _captures[-1].metrics
+
+
+class Capture:
+    """Context manager that instruments machines created inside it."""
+
+    def __init__(self, trace: bool = True, metrics: bool = True):
+        self.trace = trace
+        self.metrics = metrics
+        self._records: List[dict] = []
+
+    def __enter__(self) -> "Capture":
+        _captures.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not _captures or _captures[-1] is not self:
+            raise RuntimeError("observability captures must unwind LIFO")
+        _captures.pop()
+
+    # -- collection ----------------------------------------------------------
+    def machines(self) -> List:
+        return [record["machine"] for record in self._records]
+
+    def payloads(self) -> List[dict]:
+        """One ``{"trace": [...]|None, "metrics": {...}|None}`` per machine
+        instrumented under this capture, in creation order."""
+        out = []
+        for record in self._records:
+            machine = record["machine"]
+            tracer: Optional[Tracer] = record["tracer"]
+            out.append(
+                {
+                    "trace": tracer.to_dicts() if tracer is not None else None,
+                    "metrics": metrics_summary(machine) if self.metrics else None,
+                }
+            )
+        return out
+
+    # -- hook ----------------------------------------------------------------
+    def _instrument(self, machine) -> None:
+        tracer = Tracer() if self.trace else None
+        if tracer is not None:
+            machine.install_tracer(tracer)
+        if self.metrics:
+            machine.metrics = MetricsSampler(machine)
+        self._records.append({"machine": machine, "tracer": tracer})
+
+
+def capture(trace: bool = True, metrics: bool = True) -> Capture:
+    """Shorthand: ``with obs.capture(trace=True, metrics=False) as cap:``."""
+    return Capture(trace=trace, metrics=metrics)
+
+
+def on_machine_created(machine) -> None:
+    """Called by ``Machine.__init__``; installs instrumentation if a capture
+    is active (and is a no-op — two attribute stores — otherwise)."""
+    if _captures:
+        _captures[-1]._instrument(machine)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.events import ServiceRun
 from repro.sim.clock import VirtualClock
 from repro.sim.profiling import TickProfiler, profiler_enabled
 from repro.sim.rng import make_rng
@@ -70,6 +71,11 @@ class Engine:
         self.profiler: Optional[TickProfiler] = (
             TickProfiler() if profiler_enabled() else None
         )
+        # Observability hooks (repro.obs).  Both stay None unless a capture
+        # installed them on the machine before the engine was built, so the
+        # per-tick guards below cost one attribute test each when disabled.
+        self.tracer = machine.tracer
+        self.metrics = machine.metrics
         self._splits_scratch: list = []
         self._series_ops = self.stats.series("app.ops_per_sec")
         self._series_util = self.stats.series("cpu.service_util")
@@ -112,6 +118,8 @@ class Engine:
         result = dict(self.workload.result())
         result["elapsed"] = self.clock.now
         result["counters"] = self.stats.counters()
+        if self.stats.histograms():
+            result["histograms"] = self.stats.histograms()
         if self.profiler is not None:
             self.profiler.emit(self)
         return result
@@ -122,6 +130,12 @@ class Engine:
         dt = self.config.tick
         cpu = self.machine.cpu
         prof = self.profiler
+        tracer = self.tracer
+        if tracer is not None:
+            # Refresh the tick-scoped trace clock once; every emit site deep
+            # in the simulator reads ``tracer.now`` instead of threading the
+            # timestamp through its call chain.
+            tracer.now = now
         cpu.begin_tick(dt)
 
         # 0. Hardware background progress: DMA/copy-thread migrations move
@@ -140,6 +154,8 @@ class Engine:
                 if wanted:
                     cpu.consume(wanted)
                 service.mark_ran(now)
+                if tracer is not None:
+                    tracer.emit(ServiceRun(now, service.name, wanted))
         if prof is not None:
             prof.lap("services")
 
@@ -186,6 +202,8 @@ class Engine:
             total_ops += r.ops
         self._series_ops.record(now, total_ops / dt)
         self._series_util.record(now, cpu.service_utilization)
+        if self.metrics is not None:
+            self.metrics.sample(now, dt)
         self.manager.end_tick(now, dt)
         if prof is not None:
             prof.lap("bookkeeping")

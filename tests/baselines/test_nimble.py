@@ -76,7 +76,7 @@ class TestDaemon:
         engine = result["engine"]
         daemon = next(s for s in engine.services if s.name == "nimble_daemon")
         assert daemon.cycles > 0
-        assert result["counters"]["copy_threads.bytes_moved"] > 0
+        assert result["counters"]["nimble.copy_threads.bytes_moved"] > 0
 
     def test_migration_churn_burns_nvm_writes(self):
         """Nimble's page exchanges write to NVM even with a stable hot set."""

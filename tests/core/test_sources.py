@@ -24,7 +24,7 @@ class TestPebsSource:
     def test_samples_flow_into_tracker(self):
         engine = gups_engine(HeMemManager())
         engine.run(1.0)
-        assert engine.stats.counter("tracker.samples").value > 0
+        assert engine.stats.counter("hemem.tracker.samples").value > 0
         assert engine.stats.counter("pebs.records").value > 0
 
     def test_sampling_classifies_the_hot_set(self):
@@ -79,7 +79,7 @@ class TestPtScanSource:
         engine = gups_engine(hemem_pt_async(), working_set=2 * GB)
         engine.run(2.0)
         assert engine.manager.source.scans_completed > 0
-        assert engine.stats.counter("tracker.samples").value > 0
+        assert engine.stats.counter("hemem-pt-async.tracker.samples").value > 0
 
     def test_scan_interference_charged(self):
         engine = gups_engine(hemem_pt_async(), working_set=2 * GB)

@@ -1,0 +1,123 @@
+"""End-to-end observability: capture a real HeMem run and check that the
+trace and metrics agree with the engine's own accounting."""
+
+import pytest
+
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.obs import capture
+from repro.obs.events import ServiceRun
+from repro.obs.replay import Trace
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+SCALE = 64
+SEED = 11
+
+
+def run_hemem(duration=3.0, trace=True, metrics=True, working_set=8 * GB):
+    with capture(trace=trace, metrics=metrics) as cap:
+        workload = GupsWorkload(
+            GupsConfig(working_set=working_set, hot_set=256 * MB)
+        )
+        machine = Machine(MachineSpec().scaled(SCALE), seed=SEED)
+        engine = Engine(machine, HeMemManager(), workload,
+                        EngineConfig(tick=0.01, seed=SEED))
+        result = engine.run(duration)
+    [payload] = cap.payloads()
+    return result, payload, machine
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_hemem()
+
+
+class TestTraceAgainstEngine:
+    def test_migration_events_match_counters(self, traced_run):
+        result, payload, _ = traced_run
+        trace = Trace.from_dicts(payload["trace"])
+        counts = trace.counts_by_kind()
+        migrated = result["counters"]["hemem.pages_migrated"]
+        assert migrated > 0
+        assert counts["migration_done"] == migrated
+        assert counts["migration_start"] >= counts["migration_done"]
+
+    def test_every_start_pairs_with_a_done(self, traced_run):
+        _, payload, _ = traced_run
+        records = Trace.from_dicts(payload["trace"]).migrations()
+        for record in records:
+            if record.completed:
+                assert record.latency >= 0.0
+                assert record.done.t >= record.start.t
+
+    def test_latency_histogram_matches_trace(self, traced_run):
+        result, payload, _ = traced_run
+        latencies = Trace.from_dicts(payload["trace"]).migration_latencies()
+        hist = result["histograms"]["hemem.migration_latency_s"]
+        assert hist["count"] == len(latencies)
+        assert hist["total"] == pytest.approx(sum(latencies))
+
+    def test_tier_deltas_equal_final_occupancy(self, traced_run):
+        _, payload, machine = traced_run
+        deltas = Trace.from_dicts(payload["trace"]).tier_byte_deltas()
+        dram = sum(r.bytes_in(Tier.DRAM) for r in machine.regions if r.managed)
+        total = sum(r.size for r in machine.regions if r.managed)
+        assert deltas.get("DRAM", 0) == dram
+        assert deltas.get("NVM", 0) == total - dram
+
+    def test_events_are_time_ordered_per_tick(self, traced_run):
+        _, payload, _ = traced_run
+        times = [d["t"] for d in payload["trace"]]
+        assert times == sorted(times)
+
+    def test_service_runs_traced(self, traced_run):
+        _, payload, _ = traced_run
+        services = {
+            e.service
+            for e in Trace.from_dicts(payload["trace"]).of_kind(ServiceRun)
+        }
+        assert {"hemem_policy", "pebs_drain"} <= services
+
+
+class TestMetricsAgainstEngine:
+    def test_tier_series_tracks_occupancy(self, traced_run):
+        _, payload, machine = traced_run
+        series = payload["metrics"]["series"]
+        dram_series = series["obs.dram_bytes"]
+        nvm_series = series["obs.nvm_bytes"]
+        assert len(dram_series["times"]) == len(dram_series["values"]) > 0
+        dram = sum(r.bytes_in(Tier.DRAM) for r in machine.regions)
+        nvm = sum(r.size - r.bytes_in(Tier.DRAM) for r in machine.regions)
+        assert dram_series["values"][-1] == dram
+        assert nvm_series["values"][-1] == nvm
+
+    def test_loss_rate_bounded(self, traced_run):
+        _, payload, _ = traced_run
+        loss = payload["metrics"]["series"]["obs.pebs_loss_rate"]["values"]
+        assert all(0.0 <= v <= 1.0 for v in loss)
+
+    def test_counters_mirror_result(self, traced_run):
+        result, payload, _ = traced_run
+        assert payload["metrics"]["counters"] == result["counters"]
+
+
+class TestZeroOverheadContract:
+    def test_tracing_on_and_off_bit_identical(self):
+        on, _, _ = run_hemem(duration=1.5, trace=True, metrics=True)
+        off, payload, _ = run_hemem(duration=1.5, trace=False, metrics=False)
+        assert payload["trace"] is None and payload["metrics"] is None
+        assert on == off
+
+    def test_uncaptured_run_matches_too(self):
+        on, _, _ = run_hemem(duration=1.5)
+        workload = GupsWorkload(GupsConfig(working_set=8 * GB, hot_set=256 * MB))
+        machine = Machine(MachineSpec().scaled(SCALE), seed=SEED)
+        engine = Engine(machine, HeMemManager(), workload,
+                        EngineConfig(tick=0.01, seed=SEED))
+        plain = engine.run(1.5)
+        assert machine.tracer is None and machine.metrics is None
+        assert engine.tracer is None and engine.metrics is None
+        assert plain == on

@@ -1,0 +1,64 @@
+"""Tests for the typed trace events and their JSON wire form."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    KIND_TO_EVENT,
+    CoolingPass,
+    DmaTransfer,
+    MigrationDone,
+    MigrationStart,
+    PageFault,
+    PebsDrain,
+    PebsDrop,
+    PolicyPass,
+    ServiceRun,
+    event_from_dict,
+    event_to_dict,
+)
+
+SAMPLES = [
+    MigrationStart(0.5, "heap", 3, "NVM", "DRAM", 2 << 20),
+    MigrationDone(0.52, "heap", 3, "NVM", "DRAM", 2 << 20, 0.02),
+    PageFault(0.0, "missing", "heap", 0, "DRAM", 2 << 20),
+    PageFault(1.0, "wp", "heap", 9, "NVM", 2 << 20),
+    PebsDrop(0.3, "store", 17),
+    PebsDrain(0.31, 120, 100),
+    CoolingPass(0.4, 2),
+    PolicyPass(0.41, 5, 3),
+    DmaTransfer(0.42, "dma", "NVM", "DRAM", 2 << 20),
+    ServiceRun(0.43, "hemem_policy", 0.01),
+]
+
+
+class TestRegistry:
+    def test_every_event_class_has_a_kind(self):
+        assert set(EVENT_KINDS) == {type(e) for e in SAMPLES}
+
+    def test_kinds_are_unique_and_invertible(self):
+        assert len(set(EVENT_KINDS.values())) == len(EVENT_KINDS)
+        for cls, kind in EVENT_KINDS.items():
+            assert KIND_TO_EVENT[kind] is cls
+
+    def test_timestamp_is_the_first_field(self):
+        for cls in EVENT_KINDS:
+            assert cls._fields[0] == "t"
+
+
+class TestWireForm:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).__name__)
+    def test_round_trip_is_exact(self, event):
+        data = event_to_dict(event)
+        assert data["kind"] == EVENT_KINDS[type(event)]
+        clone = event_from_dict(data)
+        assert type(clone) is type(event)
+        assert clone == event
+
+    def test_dict_carries_all_fields(self):
+        data = event_to_dict(SAMPLES[0])
+        assert set(data) == {"kind"} | set(MigrationStart._fields)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "nope", "t": 0.0})

@@ -1,0 +1,106 @@
+"""Tests for the process-global capture scope and machine instrumentation."""
+
+import pytest
+
+from repro.mem.machine import Machine, MachineSpec
+from repro.obs import capture, capture_active, is_metrics, is_tracing
+from repro.obs.metrics import MetricsSampler
+from repro.obs.trace import Tracer
+from repro.sim.engine import Engine, EngineConfig
+from repro.core.hemem import HeMemManager
+
+from tests.conftest import IdleWorkload
+
+
+def make_machine():
+    return Machine(MachineSpec().scaled(64), seed=1)
+
+
+class TestCaptureScope:
+    def test_inactive_by_default(self):
+        assert not capture_active()
+        machine = make_machine()
+        assert machine.tracer is None
+        assert machine.metrics is None
+
+    def test_machines_inside_are_instrumented(self):
+        with capture() as cap:
+            assert capture_active() and is_tracing() and is_metrics()
+            machine = make_machine()
+        assert isinstance(machine.tracer, Tracer)
+        assert isinstance(machine.metrics, MetricsSampler)
+        assert cap.machines() == [machine]
+        assert not capture_active()
+
+    def test_trace_only(self):
+        with capture(trace=True, metrics=False) as cap:
+            machine = make_machine()
+        assert machine.tracer is not None
+        assert machine.metrics is None
+        [payload] = cap.payloads()
+        assert payload["trace"] == []
+        assert payload["metrics"] is None
+
+    def test_metrics_only(self):
+        with capture(trace=False, metrics=True) as cap:
+            machine = make_machine()
+        assert machine.tracer is None
+        assert machine.metrics is not None
+        [payload] = cap.payloads()
+        assert payload["trace"] is None
+        assert set(payload["metrics"]) == {"counters", "histograms", "series"}
+
+    def test_nested_innermost_wins(self):
+        with capture(trace=True) as outer:
+            with capture(trace=False, metrics=True) as inner:
+                machine = make_machine()
+            assert is_tracing()  # outer scope visible again
+        assert machine.tracer is None
+        assert inner.machines() == [machine]
+        assert outer.machines() == []
+
+    def test_exit_enforces_lifo(self):
+        outer = capture()
+        inner = capture()
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="LIFO"):
+            outer.__exit__(None, None, None)
+        # unwind correctly so the global stack is clean for other tests
+        inner.__exit__(None, None, None)
+        outer.__exit__(None, None, None)
+        assert not capture_active()
+
+    def test_payloads_one_entry_per_machine(self):
+        with capture() as cap:
+            make_machine()
+            make_machine()
+        assert len(cap.payloads()) == 2
+
+
+class TestInstallTracer:
+    def test_explicit_install(self):
+        machine = make_machine()
+        tracer = Tracer()
+        machine.install_tracer(tracer)
+        assert machine.tracer is tracer
+        assert machine.pebs.tracer is tracer
+        for mover in machine.movers():
+            assert mover.tracer is tracer
+
+    def test_install_after_engine_attach_rejected(self):
+        machine = make_machine()
+        Engine(machine, HeMemManager(), IdleWorkload(), EngineConfig(seed=1))
+        with pytest.raises(RuntimeError, match="engine"):
+            machine.install_tracer(Tracer())
+
+    def test_movers_registered_later_inherit_the_tracer(self):
+        with capture(trace=True):
+            machine = make_machine()
+            # HeMem with use_dma=False registers a ThreadCopyEngine at
+            # attach time, after the tracer was installed.
+            from repro.core.config import HeMemConfig
+
+            manager = HeMemManager(HeMemConfig(use_dma=False))
+            Engine(machine, manager, IdleWorkload(), EngineConfig(seed=1))
+        assert all(m.tracer is machine.tracer for m in machine.movers())

@@ -1,0 +1,153 @@
+"""Property-based tests for the observability layer.
+
+Two families:
+
+- *pure data* properties over randomly generated traces (serialisation
+  round trips, FIFO migration pairing), cheap enough for many examples;
+- *whole simulation* invariants, where hypothesis picks the scenario (seed,
+  working set, hot set) and a short HeMem run must uphold the trace
+  contracts: every completion pairs with a start at non-negative latency,
+  trace-derived tier byte deltas equal the final occupancy, and enabling
+  the tracer never changes simulation results.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.hemem import HeMemManager
+from repro.mem.machine import Machine, MachineSpec
+from repro.mem.page import Tier
+from repro.obs import capture
+from repro.obs.events import MigrationDone, MigrationStart
+from repro.obs.replay import Trace
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.units import GB, MB
+
+PAGE = 2 << 20
+
+# ---------------------------------------------------------------------------
+# pure-data properties
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def lifecycles(draw):
+    """A list of migration lifecycles with FIFO-consistent timestamps."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    out = []
+    clock = 0.0
+    for i in range(n):
+        page = draw(st.integers(min_value=0, max_value=5))
+        clock += draw(st.floats(min_value=0.0, max_value=1.0))
+        latency = draw(st.floats(min_value=0.0, max_value=2.0))
+        completed = draw(st.booleans())
+        out.append((page, clock, latency, completed))
+    return out
+
+
+@given(lifecycles())
+@settings(max_examples=150, deadline=None)
+def test_fifo_pairing_recovers_every_lifecycle(cycles):
+    # A FIFO mover completes each page's migrations in submission order, so
+    # once one lifecycle of a page is left in flight, every later lifecycle
+    # of that page is too.  Enforce that on the generated data, then emit
+    # all starts followed by the completions.
+    stalled = set()
+    consistent = []
+    for page, t, lat, completed in cycles:
+        if page in stalled:
+            completed = False
+        if not completed:
+            stalled.add(page)
+        consistent.append((page, t, lat, completed))
+    events = [
+        MigrationStart(t, "heap", page, "NVM", "DRAM", PAGE)
+        for page, t, _, _ in consistent
+    ]
+    events += [
+        MigrationDone(t + lat, "heap", page, "NVM", "DRAM", PAGE, lat)
+        for page, t, lat, completed in consistent
+        if completed
+    ]
+    records = Trace(events).migrations()
+    assert len(records) == len(consistent)
+    completed_records = [r for r in records if r.completed]
+    assert len(completed_records) == sum(1 for c in consistent if c[3])
+    for record in completed_records:
+        assert record.latency >= 0.0
+        assert record.done.t == record.start.t + record.latency
+
+
+@given(cycles=lifecycles())
+@settings(max_examples=150, deadline=None)
+def test_trace_json_round_trip_is_exact(tmp_path_factory, cycles):
+    events = []
+    for page, t, lat, completed in cycles:
+        events.append(MigrationStart(t, "heap", page, "NVM", "DRAM", PAGE))
+        if completed:
+            events.append(
+                MigrationDone(t + lat, "heap", page, "NVM", "DRAM", PAGE, lat)
+            )
+    path = tmp_path_factory.mktemp("traces") / "t.json"
+    Trace(events).save(path)
+    loaded = Trace.load(path)
+    assert loaded.events == events
+    assert loaded.counts_by_kind() == Trace(events).counts_by_kind()
+
+
+# ---------------------------------------------------------------------------
+# whole-simulation invariants
+# ---------------------------------------------------------------------------
+
+SIM = {
+    "seeds": st.integers(min_value=0, max_value=2**16),
+    "ws_gb": st.sampled_from([4, 6, 8, 10]),
+    "hot_mb": st.sampled_from([128, 256, 512]),
+}
+
+
+def run_sim(seed, ws_gb, hot_mb, duration=1.5, trace=True):
+    from repro.workloads.gups import GupsConfig, GupsWorkload
+
+    with capture(trace=trace, metrics=False) as cap:
+        workload = GupsWorkload(
+            GupsConfig(working_set=ws_gb * GB, hot_set=hot_mb * MB)
+        )
+        machine = Machine(MachineSpec().scaled(64), seed=seed)
+        engine = Engine(machine, HeMemManager(), workload,
+                        EngineConfig(tick=0.01, seed=seed))
+        result = engine.run(duration)
+    [payload] = cap.payloads()
+    return result, payload, machine
+
+
+@given(seed=SIM["seeds"], ws_gb=SIM["ws_gb"], hot_mb=SIM["hot_mb"])
+@settings(max_examples=5, deadline=None)
+def test_sim_trace_invariants(seed, ws_gb, hot_mb):
+    result, payload, machine = run_sim(seed, ws_gb, hot_mb)
+    trace = Trace.from_dicts(payload["trace"])
+
+    # 1. Migration lifecycles pair up; completions carry sane latencies.
+    records = trace.migrations()
+    completed = [r for r in records if r.completed]
+    for record in completed:
+        assert record.latency >= 0.0
+        assert record.done.t >= record.start.t
+    assert len(completed) == result["counters"]["hemem.pages_migrated"]
+
+    # 2. Trace-derived tier byte deltas equal the managed regions' final
+    #    occupancy (first-touch placements + completed migration flows).
+    deltas = trace.tier_byte_deltas()
+    dram = sum(r.bytes_in(Tier.DRAM) for r in machine.regions if r.managed)
+    total = sum(r.size for r in machine.regions if r.managed)
+    assert deltas.get("DRAM", 0) == dram
+    assert deltas.get("NVM", 0) == total - dram
+
+
+@given(seed=SIM["seeds"], ws_gb=SIM["ws_gb"], hot_mb=SIM["hot_mb"])
+@settings(max_examples=3, deadline=None)
+def test_tracing_never_changes_results(seed, ws_gb, hot_mb):
+    traced, _, _ = run_sim(seed, ws_gb, hot_mb, trace=True)
+    plain, payload, _ = run_sim(seed, ws_gb, hot_mb, trace=False)
+    assert payload["trace"] is None
+    assert traced == plain
