@@ -2,12 +2,22 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
+from repro.faults.plan import FaultPlan
 from repro.mem.machine import Machine, MachineSpec
 from repro.sim.engine import Engine, EngineConfig
 from repro.workloads.base import Workload
 from repro.workloads.gups import GupsConfig, GupsWorkload
+
+#: a fault plan, or the ``--faults`` CLI string form of one
+Faults = Union[FaultPlan, str, None]
+
+
+def _resolve_faults(faults: Faults) -> Optional[FaultPlan]:
+    if faults is None or isinstance(faults, FaultPlan):
+        return faults
+    return FaultPlan.parse(faults)
 
 
 def make_engine(
@@ -17,12 +27,16 @@ def make_engine(
     scale: float = 1.0,
     seed: int = 42,
     tick: float = 0.01,
+    faults: Faults = None,
 ) -> Engine:
     """Wire a manager and workload onto a (possibly scaled) machine."""
     spec = spec or MachineSpec()
     if scale != 1.0:
         spec = spec.scaled(scale)
     machine = Machine(spec, seed=seed)
+    plan = _resolve_faults(faults)
+    if plan:
+        machine.install_faults(plan)
     config = EngineConfig(tick=tick, seed=seed)
     return Engine(machine, manager, workload, config)
 
@@ -35,9 +49,11 @@ def run_workload(
     scale: float = 1.0,
     seed: int = 42,
     tick: float = 0.01,
+    faults: Faults = None,
 ) -> dict:
     """Run ``workload`` under ``manager`` for ``duration`` virtual seconds."""
-    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed, tick=tick)
+    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed,
+                         tick=tick, faults=faults)
     result = engine.run(duration)
     result["engine"] = engine
     return result
@@ -52,6 +68,7 @@ def run_gups(
     spec: Optional[MachineSpec] = None,
     seed: int = 42,
     tick: float = 0.01,
+    faults: Faults = None,
 ) -> dict:
     """Run the GUPS microbenchmark; adds the measured GUPS to the result.
 
@@ -59,7 +76,8 @@ def run_gups(
     as the machine (the bench scenarios handle this).
     """
     workload = GupsWorkload(config, warmup=warmup)
-    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed, tick=tick)
+    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed,
+                         tick=tick, faults=faults)
     result = engine.run(duration)
     result["gups"] = workload.gups(engine.clock.now)
     result["engine"] = engine

@@ -61,6 +61,10 @@ def main(argv=None) -> int:
                         help="override capacity scale divisor")
     parser.add_argument("--duration", type=float, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="inject faults into every case, e.g. "
+                             "'dma_channel_down@t=2.0,nvm_degrade:0.5@t=5.0' "
+                             "(grammar: kind[:value][@t=start[+duration]])")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="capture structured event traces and write them "
                              "to FILE (.json or .csv); forces re-runs")
@@ -82,8 +86,13 @@ def main(argv=None) -> int:
         overrides["duration"] = args.duration
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.faults is not None:
+        overrides["faults"] = args.faults
     if overrides:
         scenario = scenario.with_(**overrides)
+    if args.update_golden and scenario.faults:
+        parser.error("--update-golden with --faults would poison the golden "
+                     "tables; goldens are defined for fault-free runs only")
 
     names = []
     for name in args.experiments:

@@ -37,13 +37,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from repro.bench.gups_common import run_gups_case, window_mean
+from repro.bench.gups_common import make_machine, run_gups_case, window_mean
 from repro.bench.report import Table
 from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.core.config import HeMemConfig
 from repro.core.hemem import HeMemManager
-from repro.mem.machine import Machine
 from repro.sim.engine import Engine, EngineConfig
 from repro.workloads.gups import GupsConfig
 from repro.workloads.silo import SiloConfig, SiloWorkload
@@ -107,7 +106,7 @@ def _ephemeral_ops(scenario: Scenario, config: HeMemConfig) -> float:
         buffer_lifetime=0.5,
     )
     workload = EphemeralWorkload(eph, warmup=scenario.warmup)
-    machine = Machine(spec, seed=scenario.seed)
+    machine = make_machine(scenario, spec=spec)
     engine = Engine(machine, HeMemManager(config), workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))
     engine.run(scenario.duration)
@@ -121,7 +120,7 @@ def _silo_tx(scenario: Scenario, config: HeMemConfig) -> float:
         meta_bytes=scenario.size(256 * MB),
     )
     workload = SiloWorkload(silo, warmup=scenario.warmup)
-    machine = Machine(scenario.machine_spec(), seed=scenario.seed)
+    machine = make_machine(scenario)
     engine = Engine(machine, HeMemManager(config), workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))
     engine.run(scenario.duration)

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.bench.gups_common import make_machine
 from repro.bench.report import Table
 from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
-from repro.mem.machine import Machine
 from repro.sim.engine import Engine, EngineConfig
 from repro.workloads.silo import SiloConfig, SiloWorkload
 from repro.sim.units import MB
@@ -30,7 +30,7 @@ def run_silo_case(scenario: Scenario, system: str, warehouses: int) -> float:
         meta_bytes=scenario.size(256 * MB),
     )
     workload = SiloWorkload(config, warmup=scenario.warmup)
-    machine = Machine(scenario.machine_spec(), seed=scenario.seed)
+    machine = make_machine(scenario)
     engine = Engine(machine, make_manager(system), workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))
     engine.run(scenario.duration)

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.bench.gups_common import make_machine
 from repro.bench.report import Table
 from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
-from repro.mem.machine import Machine
 from repro.sim.engine import Engine, EngineConfig
 from repro.workloads.gap import BcConfig, BcWorkload
 
@@ -31,7 +31,7 @@ def run_bc_case(scenario: Scenario, system: str, logical_vertices: int,
         work_multiplier=max(scenario.scale / 8.0, 1.0),
     )
     workload = BcWorkload(config)
-    machine = Machine(scenario.machine_spec(), seed=scenario.seed)
+    machine = make_machine(scenario)
     engine = Engine(machine, make_manager(system), workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))
     # BC runs to completion (fixed iteration count); the bound is a backstop.

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.bench.gups_common import make_machine
 from repro.bench.report import Table
 from repro.bench.runner import Case
 from repro.bench.scenario import Scenario
 from repro.bench.managers import make_manager
-from repro.mem.machine import Machine
 from repro.sim.engine import Engine, EngineConfig
 from repro.workloads.kvs import KvsConfig, KvsWorkload
 from repro.workloads.multi import MultiWorkload
@@ -43,7 +43,7 @@ def run_priority_case(scenario: Scenario, system: str) -> Dict[str, List[float]]
         instance="reg",
     ), warmup=scenario.warmup)
     workload = MultiWorkload([priority, regular])
-    machine = Machine(scenario.machine_spec(), seed=scenario.seed)
+    machine = make_machine(scenario)
     manager = make_manager(system)
     engine = Engine(machine, manager, workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))

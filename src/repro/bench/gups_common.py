@@ -11,6 +11,24 @@ from repro.sim.engine import Engine, EngineConfig
 from repro.workloads.gups import GupsConfig, GupsWorkload
 
 
+def make_machine(
+    scenario: Scenario,
+    spec: Optional[MachineSpec] = None,
+    seed: Optional[int] = None,
+) -> Machine:
+    """Build the scenario's machine, installing its fault plan (if any).
+
+    Every experiment case that simulates a full machine goes through here
+    so ``--faults`` reaches all of them uniformly.
+    """
+    machine = Machine(spec or scenario.machine_spec(),
+                      seed=seed if seed is not None else scenario.seed)
+    plan = scenario.fault_plan()
+    if plan is not None:
+        machine.install_faults(plan)
+    return machine
+
+
 def run_gups_case(
     scenario: Scenario,
     manager_name: str,
@@ -21,8 +39,7 @@ def run_gups_case(
     seed: Optional[int] = None,
 ) -> dict:
     """Run one GUPS configuration; returns gups + counters + engine."""
-    spec = spec or scenario.machine_spec()
-    machine = Machine(spec, seed=seed if seed is not None else scenario.seed)
+    machine = make_machine(scenario, spec=spec, seed=seed)
     manager = manager if manager is not None else make_manager(manager_name)
     workload = GupsWorkload(gups, warmup=scenario.warmup)
     engine = Engine(

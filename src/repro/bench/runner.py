@@ -105,6 +105,7 @@ def scenario_digest(scenario: Scenario) -> str:
         "warmup": scenario.warmup,
         "tick": scenario.tick,
         "repeats": scenario.repeats,
+        "faults": scenario.faults,
     }
     return hashlib.sha256(
         json.dumps(fields, sort_keys=True).encode()

@@ -11,7 +11,9 @@ constants, so the presets pick durations long enough for both.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.mem.machine import MachineSpec
 
 
@@ -25,12 +27,24 @@ class Scenario:
     warmup: float = 8.0
     tick: float = 0.01
     repeats: int = 1
+    #: fault plan in ``--faults`` CLI syntax; kept as the canonical string
+    #: (not a FaultPlan) so scenarios stay JSON-able for the case digest
+    faults: Optional[str] = None
 
     def __post_init__(self):
         if self.scale <= 0:
             raise ValueError(f"scale must be positive: {self.scale}")
         if self.duration <= self.warmup:
             raise ValueError("duration must exceed warmup")
+        if self.faults is not None:
+            # Fail fast on bad syntax, and canonicalise so two spellings of
+            # one plan share a cache digest.
+            object.__setattr__(
+                self, "faults", FaultPlan.parse(self.faults).to_string()
+            )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return FaultPlan.parse(self.faults) if self.faults else None
 
     def size(self, paper_bytes: int) -> int:
         """Scale a paper-quoted size down to this scenario's machine."""

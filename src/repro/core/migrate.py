@@ -11,11 +11,19 @@ To migrate a page HeMem:
 The migrator owns DAX offset accounting: the destination page is reserved
 at submit time and the source page freed at completion, so a migration
 transiently holds both (copy-then-remap).
+
+Migrations are *transactional* in the face of injected copy failures
+(Nomad-style): a failed copy never commits any placement state.  The
+destination reservation is kept across retries — resubmitted with capped
+exponential backoff — and only two outcomes exist: the copy eventually
+completes (source freed, page remapped) or the migration is aborted after
+``max_retries`` (reservation rolled back, page stays put, write protection
+lifted).  Either way no DAX page is leaked or double-freed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.tracking import HotColdTracker, PageNode
 from repro.kernel.dax import DaxFile
@@ -23,11 +31,21 @@ from repro.kernel.fault import FaultCostModel
 from repro.kernel.userfaultfd import UserFaultFd
 from repro.mem.dma import CopyEngine, CopyRequest
 from repro.mem.page import Tier
-from repro.obs.events import MigrationDone, MigrationStart
+from repro.obs.events import (
+    MigrationAborted,
+    MigrationDone,
+    MigrationRetried,
+    MigrationStart,
+)
 
 
 class Migrator:
     """Submits and completes write-protected page copies."""
+
+    #: retry policy for failure-injected copies: capped exponential backoff
+    MAX_RETRIES = 5
+    RETRY_BACKOFF_BASE = 0.01  # seconds (one policy period)
+    RETRY_BACKOFF_CAP = 0.16
 
     def __init__(
         self,
@@ -53,8 +71,16 @@ class Migrator:
         self._promoted = stats.counter("pages_promoted")
         self._demoted = stats.counter("pages_demoted")
         self._wp_stalls = stats.counter("wp_write_stalls")
+        self._retried = stats.counter("migration_retries")
+        self._aborted = stats.counter("migrations_aborted")
         self._latency = stats.histogram("migration_latency_s")
         self._tracer = machine.tracer
+        #: fault-injection hook: ``hook(request, now) -> True`` marks the
+        #: completing copy as failed.  None (the default) skips the entire
+        #: retry machinery, keeping the no-fault path byte-identical.
+        self.copy_fault_hook: Optional[Callable[[CopyRequest, float], bool]] = None
+        #: (ready_at, request) pairs waiting out their retry backoff
+        self._retry_queue: List[Tuple[float, CopyRequest]] = []
 
     def bind_offsets(self, region_id: int, offsets) -> None:
         """Manager hands us the region's per-page DAX offset array."""
@@ -63,11 +89,27 @@ class Migrator:
     # -- queue state -----------------------------------------------------------
     @property
     def busy(self) -> bool:
-        return self.mover.busy
+        return self.mover.busy or bool(self._retry_queue)
 
     @property
-    def queued_bytes(self) -> int:
+    def queued_bytes(self) -> float:
         return self.mover.pending_bytes
+
+    @property
+    def retries_pending(self) -> int:
+        return len(self._retry_queue)
+
+    def switch_mover(self, mover: CopyEngine) -> None:
+        """Re-route all queued copies onto ``mover`` (DMA-down fallback).
+
+        Queue order is preserved, so FIFO completion (and the trace
+        pairing that relies on it) survives the switch.
+        """
+        if mover is self.mover:
+            return
+        for request in self.mover.drain_queue():
+            mover.submit(request)
+        self.mover = mover
 
     # -- migration -------------------------------------------------------------
     def can_reserve(self, dst: Tier) -> bool:
@@ -101,6 +143,7 @@ class Migrator:
             dst_tier=dst,
             tag=(node, new_offset, writes_at_submit, now),
             on_complete=self._complete,
+            submitted_at=now,
         )
         self.mover.submit(request)
         tracer = self._tracer
@@ -111,6 +154,9 @@ class Migrator:
         return True
 
     def _complete(self, request: CopyRequest, now: float) -> None:
+        if self.copy_fault_hook is not None and self.copy_fault_hook(request, now):
+            self._on_copy_failure(request, now)
+            return
         node, new_offset, writes_at_submit, submitted_at = request.tag
         region = node.region
         src = Tier(region.tier[node.page])
@@ -148,3 +194,73 @@ class Migrator:
                 now, region.name, node.page, src.name, dst.name,
                 region.page_size, latency,
             ))
+
+    # -- failure handling (fault injection) -------------------------------------
+    def _on_copy_failure(self, request: CopyRequest, now: float) -> None:
+        """A copy completed *unsuccessfully*: retry with backoff or abort.
+
+        The destination DAX reservation is deliberately kept across retries
+        — releasing and re-acquiring it would let a concurrent allocation
+        steal the slot and strand the migration halfway (the partial-failure
+        corruption transactional migration exists to prevent).
+        """
+        node, _new_offset, _writes_at_submit, _submitted_at = request.tag
+        region = node.region
+        attempt = request.attempt + 1
+        if attempt > self.MAX_RETRIES:
+            self._abort(request, now)
+            return
+        backoff = min(
+            self.RETRY_BACKOFF_BASE * (2 ** (attempt - 1)),
+            self.RETRY_BACKOFF_CAP,
+        )
+        request.attempt = attempt
+        request.remaining = float(request.nbytes)
+        self._retry_queue.append((now + backoff, request))
+        self._retried.add(1)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(MigrationRetried(
+                now, region.name, node.page, attempt, backoff,
+            ))
+
+    def _abort(self, request: CopyRequest, now: float) -> None:
+        """Roll the migration back: release the reservation, leave the page
+        where it is, and lift the write protection."""
+        node, new_offset, writes_at_submit, _submitted_at = request.tag
+        region = node.region
+        self.dax[request.dst_tier].free_page(int(new_offset))
+        self.uffd.write_unprotect(region, [node.page])
+        node.under_migration = False
+        # Tier never changed; re-home the node on its current tier's list.
+        self.tracker.page_migrated(node)
+        stalled = max(float(region.pending_writes[node.page]) - writes_at_submit, 0.0)
+        if stalled > 0:
+            self._wp_stalls.add(stalled)
+            self.machine.add_interference(stalled * self.fault_costs.wp_resolution)
+        self._aborted.add(1)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(MigrationAborted(
+                now, region.name, node.page, request.src_tier.name,
+                request.dst_tier.name, request.attempt,
+            ))
+
+    def flush_retries(self, now: float) -> int:
+        """Resubmit every retry whose backoff has expired; returns the count.
+
+        Driven each tick by the fault injector service; a no-op (one list
+        check) when no failures have been injected.
+        """
+        if not self._retry_queue:
+            return 0
+        due = [entry for entry in self._retry_queue if entry[0] <= now + 1e-12]
+        if not due:
+            return 0
+        self._retry_queue = [
+            entry for entry in self._retry_queue if entry[0] > now + 1e-12
+        ]
+        for _ready_at, request in due:
+            request.submitted_at = now
+            self.mover.submit(request)
+        return len(due)

@@ -38,8 +38,8 @@ class PolicyService(Service):
 
     def run(self, engine, now, dt) -> float:
         if now + 1e-12 >= self._next_decision:
-            promoted = self._promote(now)
-            demoted = self._enforce_watermark(now)
+            promoted, swap_demoted = self._promote(now)
+            demoted = swap_demoted + self._enforce_watermark(now)
             self._next_decision = now + self.manager.config.policy_period
             tracer = engine.machine.tracer
             if tracer is not None and (promoted or demoted):
@@ -47,7 +47,13 @@ class PolicyService(Service):
         return dt
 
     # -- promotion ------------------------------------------------------------
-    def _promote(self, now: float) -> int:
+    def _promote(self, now: float) -> tuple:
+        """Promote NVM-hot pages; returns ``(promoted, demoted)``.
+
+        Swap-path victim demotions are counted as *demotions* — lumping
+        them into the promoted total (as an earlier revision did) misstates
+        both directions in ``PolicyPass`` traces and pass counters.
+        """
         manager = self.manager
         config = manager.config
         tracker = manager.tracker
@@ -55,7 +61,9 @@ class PolicyService(Service):
         nvm_hot = tracker.list_for(Tier.NVM, hot=True)
         dram_cold = tracker.list_for(Tier.DRAM, hot=False)
         dram_dax = manager.dax[Tier.DRAM]
-        count = 0
+        nvm_dax = manager.dax[Tier.NVM]
+        promoted = 0
+        demoted = 0
         while nvm_hot and migrator.queued_bytes < config.migration_queue_limit:
             node = nvm_hot.front
             # Freshness check: cool before spending migration bandwidth.
@@ -66,19 +74,26 @@ class PolicyService(Service):
             if have_free:
                 if not migrator.migrate(node, Tier.DRAM, now):
                     break
-                count += 1
+                promoted += 1
                 continue
             victim = self._pick_demotion_victim(dram_cold, tracker)
             if victim is None:
                 # Hot set exceeds DRAM: stop migrating (§3.3).
                 break
+            # Atomic swap: a demotion frees its DRAM slot only at copy
+            # *completion*, so the hot page's DRAM reservation must exist
+            # up front.  Check both sides before submitting either copy —
+            # submitting the demotion first and then failing to reserve
+            # would churn the watermark for nothing.
+            if dram_dax.free_pages == 0 or nvm_dax.free_pages == 0:
+                break
             if not migrator.migrate(victim, Tier.NVM, now):
                 break
-            count += 1
+            demoted += 1
             if not migrator.migrate(node, Tier.DRAM, now):
                 break
-            count += 1
-        return count
+            promoted += 1
+        return promoted, demoted
 
     # -- watermark ------------------------------------------------------------
     def _enforce_watermark(self, now: float) -> int:

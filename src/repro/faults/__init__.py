@@ -1,0 +1,14 @@
+"""Deterministic fault injection and graceful degradation (``repro.faults``).
+
+Declare *what goes wrong and when* as a :class:`FaultPlan` — from config or
+the compact ``--faults`` CLI syntax — install it on a machine with
+:meth:`Machine.install_faults`, and the engine spins up a
+:class:`FaultInjectorService` that replays the plan deterministically.
+With no plan installed the subsystem costs nothing and every simulation is
+byte-identical to a build without this package.
+"""
+
+from repro.faults.injector import FaultInjectorService
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "FaultInjectorService"]

@@ -1,0 +1,282 @@
+"""The fault injector: replays a :class:`FaultPlan` against a live machine.
+
+The injector is a zero-CPU background service (the harness analogue of a
+chaos monkey, not a simulated thread) registered by the engine *before*
+the manager's services, so state it changes in a tick is visible to every
+service that runs in the same tick.  Per activation it:
+
+1. fires every timeline event (injection or recovery) that has come due,
+2. advances the continuous NVM wear curve, if one is active,
+3. flushes the migrator's retry backoff queue, and
+4. runs the migration watchdog (stranded-queue rescue + stuck-head
+   re-queueing).
+
+Injection handlers per fault kind:
+
+- ``dma_channel_down`` / ``dma_down`` — I/OAT channels go offline; when
+  none remain the migrator's queue is drained onto a
+  :class:`~repro.mem.dma.ThreadCopyEngine` fallback (order-preserving),
+  exactly the DMA-vs-copy-thread trade-off of Fig 7.  Recovery restores
+  the channels and routes migration back to the DMA engine.
+- ``nvm_degrade`` — Optane media bandwidth x factor and latency / factor;
+  composed with the wear curve below and pushed through
+  :meth:`~repro.mem.perf.PerfModel.refresh` so the perf memo re-derives
+  its constants (see DESIGN.md §8).
+- ``nvm_wear`` — continuous degradation: bandwidth halves for every
+  ``value`` GB written to NVM media after injection (extends Fig 16's
+  wear accounting into behaviour).  The factor is quantised to 1% steps
+  so the perf caches are only invalidated when the curve actually moves.
+- ``copy_fail`` — each completing page copy fails with probability
+  ``value`` (deterministic draw from the ``faults`` RNG substream); the
+  migrator retries with capped exponential backoff and rolls back after
+  ``MAX_RETRIES`` (see :mod:`repro.core.migrate`).
+- ``pebs_spike`` — the PEBS ring buffer shrinks to ``value`` x capacity,
+  reproducing drain-lag record loss (Fig 10) on demand.
+
+Determinism: the timeline is data, the RNG is a named substream of the
+engine seed, and every handler is a pure function of (machine state, spec)
+— so a fixed (seed, plan) pair replays the identical trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec, wear_half_bytes
+from repro.mem.dma import CopyRequest, ThreadCopyEngine
+from repro.obs.events import FaultInjected, FaultRecovered, MigrationRetried
+from repro.sim.rng import make_rng
+from repro.sim.service import Service
+
+#: wear factors are quantised to this step so the perf-model caches are
+#: refreshed at most once per visible bandwidth change
+_WEAR_STEP = 0.01
+#: the wear curve bottoms out here (a worn device is slow, not absent)
+_WEAR_FLOOR = 0.05
+
+
+class FaultInjectorService(Service):
+    """Drives one machine's fault plan; see module docstring."""
+
+    #: a queued copy older than this (virtual seconds) is considered stuck
+    WATCHDOG_TIMEOUT = 1.0
+
+    def __init__(self, plan: FaultPlan, machine, seed: int = 42):
+        super().__init__("fault_injector", period=0.0)
+        self.plan = plan
+        self.machine = machine
+        self._timeline: List[Tuple[float, str, FaultSpec]] = plan.timeline()
+        self._cursor = 0
+        self._rng = make_rng(seed, "faults")
+        stats = machine.stats.scoped("faults")
+        self._injected = stats.counter("injected")
+        self._recovered = stats.counter("recovered")
+        self._copy_failures = stats.counter("copy_failures")
+        self._watchdog_requeued = stats.counter("watchdog_requeued")
+        self._watchdog_stalls = stats.counter("watchdog_stalls")
+        # mutable fault state
+        self._fail_probability = 0.0
+        self._nvm_bw_factor = 1.0
+        self._wear_spec: Optional[FaultSpec] = None
+        self._wear_base_written = 0.0
+        self._wear_factor = 1.0
+        self._fallback: Optional[ThreadCopyEngine] = None
+        self._dma_failed_over = False
+
+    # -- service protocol ----------------------------------------------------
+    def run(self, engine, now: float, dt: float) -> float:
+        timeline = self._timeline
+        while self._cursor < len(timeline) and timeline[self._cursor][0] <= now + 1e-12:
+            _t, action, spec = timeline[self._cursor]
+            self._cursor += 1
+            if action == "inject":
+                self._inject(engine, spec, now)
+            else:
+                self._recover(engine, spec, now)
+        if self._wear_spec is not None:
+            self._advance_wear()
+        migrator = getattr(engine.manager, "migrator", None)
+        if migrator is not None:
+            migrator.flush_retries(now)
+            self._watchdog(migrator, now)
+        return 0.0  # harness construct: burns no simulated cores
+
+    # -- dispatch ------------------------------------------------------------
+    def _inject(self, engine, spec: FaultSpec, now: float) -> None:
+        getattr(self, f"_inject_{spec.kind}")(engine, spec, now)
+        self._injected.add(1)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(FaultInjected(now, spec.kind, spec.value or 0.0))
+
+    def _recover(self, engine, spec: FaultSpec, now: float) -> None:
+        getattr(self, f"_recover_{spec.kind}")(engine, spec, now)
+        self._recovered.add(1)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(FaultRecovered(now, spec.kind))
+
+    # -- DMA faults ----------------------------------------------------------
+    def _inject_dma_channel_down(self, engine, spec: FaultSpec, now: float) -> None:
+        dma = self.machine.dma
+        remaining = max(dma.active_channels - int(spec.value), 0)
+        dma.set_active_channels(remaining)
+        if remaining == 0:
+            self._fail_over_to_threads(engine, now)
+
+    def _recover_dma_channel_down(self, engine, spec: FaultSpec, now: float) -> None:
+        dma = self.machine.dma
+        restored = min(dma.active_channels + int(spec.value), dma.spec.channels_used)
+        dma.set_active_channels(restored)
+        self._restore_dma_routing(engine)
+
+    def _inject_dma_down(self, engine, spec: FaultSpec, now: float) -> None:
+        self.machine.dma.set_active_channels(0)
+        self._fail_over_to_threads(engine, now)
+
+    def _recover_dma_down(self, engine, spec: FaultSpec, now: float) -> None:
+        dma = self.machine.dma
+        dma.set_active_channels(dma.spec.channels_used)
+        self._restore_dma_routing(engine)
+
+    def _fail_over_to_threads(self, engine, now: float) -> None:
+        """Re-route migration onto copy threads while the DMA engine is dead."""
+        machine = self.machine
+        migrator = getattr(engine.manager, "migrator", None)
+        if migrator is None or migrator.mover is not machine.dma:
+            return  # manager was never using the DMA engine
+        if self._fallback is None:
+            config = getattr(engine.manager, "config", None)
+            self._fallback = ThreadCopyEngine(
+                machine.stats.scoped("faults"),
+                n_threads=getattr(config, "copy_threads", 4),
+                max_rate=machine.dma.max_rate,
+            )
+            machine.register_mover(self._fallback)
+        migrator.switch_mover(self._fallback)
+        self._dma_failed_over = True
+
+    def _restore_dma_routing(self, engine) -> None:
+        machine = self.machine
+        if not self._dma_failed_over or not machine.dma.operational:
+            return
+        migrator = getattr(engine.manager, "migrator", None)
+        if migrator is not None and migrator.mover is self._fallback:
+            migrator.switch_mover(machine.dma)
+        self._dma_failed_over = False
+
+    # -- NVM degradation -----------------------------------------------------
+    def _inject_nvm_degrade(self, engine, spec: FaultSpec, now: float) -> None:
+        self._nvm_bw_factor = spec.value
+        self._apply_nvm_degradation()
+
+    def _recover_nvm_degrade(self, engine, spec: FaultSpec, now: float) -> None:
+        self._nvm_bw_factor = 1.0
+        self._apply_nvm_degradation()
+
+    def _inject_nvm_wear(self, engine, spec: FaultSpec, now: float) -> None:
+        self._wear_spec = spec
+        self._wear_base_written = self.machine.nvm.bytes_written
+        self._wear_factor = 1.0
+
+    def _recover_nvm_wear(self, engine, spec: FaultSpec, now: float) -> None:
+        self._wear_spec = None
+        self._wear_factor = 1.0
+        self._apply_nvm_degradation()
+
+    def _advance_wear(self) -> None:
+        """Move the wear curve: bandwidth halves per half-wear GB written."""
+        written = self.machine.nvm.bytes_written - self._wear_base_written
+        half = wear_half_bytes(self._wear_spec)
+        raw = 2.0 ** (-written / half)
+        quantised = max(math.floor(raw / _WEAR_STEP) * _WEAR_STEP, _WEAR_FLOOR)
+        if quantised != self._wear_factor:
+            self._wear_factor = quantised
+            self._apply_nvm_degradation()
+
+    def _apply_nvm_degradation(self) -> None:
+        """Compose step degradation with wear and push through the machine.
+
+        Bandwidth factors multiply; latency scales inversely with the
+        combined bandwidth factor (a congested, worn medium serves each
+        access slower).  Any actual change invalidates the perf model's
+        shape/memo caches so the new physics takes effect next tick.
+        """
+        combined = self._nvm_bw_factor * self._wear_factor
+        changed = self.machine.nvm.degrade(
+            bw_factor=combined, lat_factor=1.0 / combined
+        )
+        if changed:
+            self.machine.perf.refresh()
+
+    # -- transient copy failures ----------------------------------------------
+    def _inject_copy_fail(self, engine, spec: FaultSpec, now: float) -> None:
+        self._fail_probability = spec.value
+        migrator = getattr(engine.manager, "migrator", None)
+        if migrator is not None:
+            migrator.copy_fault_hook = self._copy_should_fail
+
+    def _recover_copy_fail(self, engine, spec: FaultSpec, now: float) -> None:
+        self._fail_probability = 0.0
+        migrator = getattr(engine.manager, "migrator", None)
+        if migrator is not None:
+            migrator.copy_fault_hook = None
+
+    def _copy_should_fail(self, request: CopyRequest, now: float) -> bool:
+        if self._rng.random() >= self._fail_probability:
+            return False
+        self._copy_failures.add(1)
+        return True
+
+    # -- PEBS buffer pressure --------------------------------------------------
+    def _inject_pebs_spike(self, engine, spec: FaultSpec, now: float) -> None:
+        self.machine.pebs.set_capacity_factor(spec.value)
+
+    def _recover_pebs_spike(self, engine, spec: FaultSpec, now: float) -> None:
+        self.machine.pebs.set_capacity_factor(1.0)
+
+    # -- watchdog --------------------------------------------------------------
+    def _watchdog(self, migrator, now: float) -> None:
+        """Detect and re-queue stuck migrations.
+
+        Two hazards: (a) copies stranded in the dead DMA engine's queue —
+        e.g. submitted in the same tick the engine died, after the
+        fail-over drain ran — are moved onto the active mover; (b) the
+        active mover's head outliving the timeout, which with a FIFO
+        mover means the mover itself is starved — counted (and re-queued
+        once the mover can make progress again) rather than silently hung.
+        """
+        machine = self.machine
+        dma = machine.dma
+        if migrator.mover is not dma and not dma.operational and dma.busy:
+            for request in dma.drain_queue():
+                request.submitted_at = now
+                migrator.mover.submit(request)
+                self._watchdog_requeued.add(1)
+                self._emit_requeue(request, now)
+        head = migrator.mover.peek()
+        if head is None or now - head.submitted_at <= self.WATCHDOG_TIMEOUT:
+            return
+        self._watchdog_stalls.add(1)
+        if migrator.mover.total_bw > 0:
+            # Mover is live but this copy sat out the timeout anyway (e.g.
+            # re-routed twice): cycle it to the back with a fresh age so one
+            # request cannot pin the stall counter forever.
+            migrator.mover.remove(head)
+            head.submitted_at = now
+            migrator.mover.submit(head)
+            self._watchdog_requeued.add(1)
+            self._emit_requeue(head, now)
+
+    def _emit_requeue(self, request: CopyRequest, now: float) -> None:
+        tracer = self.machine.tracer
+        if tracer is None:
+            return
+        tag = request.tag
+        node = tag[0] if isinstance(tag, tuple) and tag else None
+        region_name = getattr(getattr(node, "region", None), "name", "?")
+        page = getattr(node, "page", -1)
+        tracer.emit(MigrationRetried(
+            now, region_name, page, request.attempt, 0.0,
+        ))

@@ -176,6 +176,73 @@ class MemoryDevice:
         self.tier = tier
         self._read_ctr = stats.counter(f"{tier.name.lower()}.read_bytes")
         self._write_ctr = stats.counter(f"{tier.name.lower()}.write_bytes")
+        # Media degradation state (fault injection / wear modelling).  At the
+        # pristine (1.0, 1.0) point every accessor returns the spec value
+        # bit-for-bit, so undegraded runs are unaffected.
+        self._bw_factor = 1.0
+        self._lat_factor = 1.0
+        #: bumped on every degradation change; consumers holding derived
+        #: constants (the perf model's shape/memo caches) key off it.
+        self.degradation_version = 0
+
+    # -- degradation (fault injection) --------------------------------------
+    def degrade(self, bw_factor: float = 1.0, lat_factor: float = 1.0) -> bool:
+        """Scale media bandwidth and latency; returns True if state changed.
+
+        ``bw_factor`` multiplies every peak/per-thread bandwidth (< 1.0
+        degrades); ``lat_factor`` multiplies both access latencies (> 1.0
+        degrades).  Callers that cache derived values (see
+        :meth:`repro.mem.perf.PerfModel.refresh`) must refresh after a
+        change — :attr:`degradation_version` makes staleness detectable.
+        """
+        if bw_factor <= 0 or lat_factor <= 0:
+            raise ValueError(
+                f"{self.spec.name}: degradation factors must be positive: "
+                f"bw={bw_factor}, lat={lat_factor}"
+            )
+        if bw_factor == self._bw_factor and lat_factor == self._lat_factor:
+            return False
+        self._bw_factor = bw_factor
+        self._lat_factor = lat_factor
+        self.degradation_version += 1
+        return True
+
+    def restore(self) -> bool:
+        """Lift any degradation (fault recovery)."""
+        return self.degrade(1.0, 1.0)
+
+    @property
+    def degraded(self) -> bool:
+        return self._bw_factor != 1.0 or self._lat_factor != 1.0
+
+    @property
+    def bw_factor(self) -> float:
+        return self._bw_factor
+
+    @property
+    def lat_factor(self) -> float:
+        return self._lat_factor
+
+    # -- degradation-aware spec views ---------------------------------------
+    def latency(self, op: str) -> float:
+        lat = self.spec.latency(op)
+        return lat if self._lat_factor == 1.0 else lat * self._lat_factor
+
+    def capacity_bw(self, op: str, pattern: str) -> float:
+        bw = self.spec.peak_bw[(op, pattern)]
+        return bw if self._bw_factor == 1.0 else bw * self._bw_factor
+
+    @property
+    def peak_bw(self) -> Dict[Tuple[str, str], float]:
+        if self._bw_factor == 1.0:
+            return self.spec.peak_bw
+        return {k: v * self._bw_factor for k, v in self.spec.peak_bw.items()}
+
+    @property
+    def thread_bw(self) -> Dict[Tuple[str, str], float]:
+        if self._bw_factor == 1.0:
+            return self.spec.thread_bw
+        return {k: v * self._bw_factor for k, v in self.spec.thread_bw.items()}
 
     def record_traffic(self, read_bytes: float, write_bytes: float) -> None:
         if read_bytes:

@@ -27,21 +27,30 @@ from repro.sim.units import gbps
 
 @dataclass
 class CopyRequest:
-    """One page-range copy between tiers."""
+    """One page-range copy between tiers.
+
+    ``remaining`` is kept as a float throughout its life: progress is
+    subtracted in (possibly fractional) rate x dt chunks, and mixing int
+    and float states made downstream accounting type-unstable.  ``attempt``
+    counts failure-injected resubmissions of the same logical migration;
+    ``submitted_at`` is stamped by the submitter for watchdog age checks.
+    """
 
     nbytes: int
     src_tier: Tier
     dst_tier: Tier
     on_complete: Optional[Callable[["CopyRequest", float], None]] = None
     tag: object = None
-    remaining: int = field(init=False)
+    attempt: int = 0
+    submitted_at: float = 0.0
+    remaining: float = field(init=False)
 
     def __post_init__(self):
         if self.nbytes <= 0:
             raise ValueError(f"copy must move a positive byte count: {self.nbytes}")
         if self.src_tier == self.dst_tier:
             raise ValueError("copy source and destination tiers are identical")
-        self.remaining = self.nbytes
+        self.remaining = float(self.nbytes)
 
 
 class CopyEngine:
@@ -59,19 +68,51 @@ class CopyEngine:
         self._moved = stats.counter(f"{name}.bytes_moved")
         self._last_bw: Dict[Tuple[Tier, str], float] = {}
         self.cpu_cost_last_tick = 0.0
+        # Running total of queued ``remaining`` bytes.  Extended on submit
+        # exactly as ``sum()`` over the grown queue would (left-to-right
+        # float addition) and recomputed once per mutation of the queue's
+        # interior (advance/remove/drain), so reads are O(1) while the value
+        # stays bit-identical to a fresh ``sum(r.remaining for r in queue)``.
+        self._pending = 0.0
         #: set by Machine.install_tracer / register_mover when tracing
         self.tracer = None
 
     def submit(self, request: CopyRequest) -> None:
         self._queue.append(request)
+        self._pending += request.remaining
 
     def submit_batch(self, requests: List[CopyRequest]) -> None:
         for req in requests:
             self.submit(req)
 
+    def _recompute_pending(self) -> None:
+        self._pending = sum(r.remaining for r in self._queue)
+
     @property
-    def pending_bytes(self) -> int:
-        return sum(r.remaining for r in self._queue)
+    def pending_bytes(self) -> float:
+        return self._pending
+
+    def peek(self) -> Optional[CopyRequest]:
+        """Oldest queued request (None when idle)."""
+        return self._queue[0] if self._queue else None
+
+    def remove(self, request: CopyRequest) -> bool:
+        """Withdraw one queued request (watchdog re-queueing); False if absent."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return False
+        self._recompute_pending()
+        return True
+
+    def drain_queue(self) -> List[CopyRequest]:
+        """Withdraw every queued request, e.g. to re-route onto a fallback
+        mover when this one fails.  In-progress partial copies keep their
+        ``remaining`` byte count."""
+        pending = list(self._queue)
+        self._queue.clear()
+        self._pending = 0.0
+        return pending
 
     @property
     def busy(self) -> bool:
@@ -104,7 +145,7 @@ class CopyEngine:
         while self._queue and budget > 0:
             req = self._queue[0]
             moved = min(req.remaining, budget)
-            req.remaining -= int(moved) if moved == int(moved) else moved
+            req.remaining -= moved
             budget -= moved
             self._moved.add(moved)
             flows[(req.src_tier, READ)] = flows.get((req.src_tier, READ), 0.0) + moved
@@ -114,6 +155,7 @@ class CopyEngine:
                 completed.append(req)
             else:
                 break
+        self._recompute_pending()
         self._last_bw = {key: volume / dt for key, volume in flows.items()}
         if devices is not None:
             for (tier, op), volume in flows.items():
@@ -190,6 +232,27 @@ class DmaEngine(CopyEngine):
             max_rate=max_rate,
         )
         self.spec = spec
+        #: channels currently operational (fault injection can take channels
+        #: offline and bring them back; 0 means the engine is dead)
+        self.active_channels = spec.channels_used
+
+    def set_active_channels(self, n: int) -> None:
+        """Fault-injection hook: run on ``n`` of the configured channels.
+
+        With 0 channels the engine still accepts submissions but makes no
+        progress (``advance`` gets a zero byte budget) — callers are
+        expected to re-route its queue to a fallback mover.
+        """
+        if not 0 <= n <= self.spec.channels_used:
+            raise ValueError(
+                f"active channels {n} out of range 0..{self.spec.channels_used}"
+            )
+        self.active_channels = n
+        self.total_bw = self.spec.channel_bw * n
+
+    @property
+    def operational(self) -> bool:
+        return self.active_channels > 0
 
 
 class ThreadCopyEngine(CopyEngine):

@@ -104,6 +104,9 @@ class Machine:
         #: built (see repro.obs) — every emit site is then a no-op check.
         self.tracer = None
         self.metrics = None
+        #: fault-injection plan; None (the default) leaves every component
+        #: on the happy path with zero added work per tick.
+        self.fault_plan = None
         on_machine_created(self)
 
     # -- wiring ---------------------------------------------------------------
@@ -119,6 +122,14 @@ class Machine:
         self.pebs.tracer = tracer
         for mover in self._movers:
             mover.tracer = tracer
+
+    def install_faults(self, plan) -> None:
+        """Install a :class:`repro.faults.FaultPlan` (must precede engine
+        construction — the engine instantiates the injector service while
+        wiring itself up)."""
+        if self.engine is not None:
+            raise RuntimeError("install the fault plan before building the engine")
+        self.fault_plan = plan
 
     def register_mover(self, mover: CopyEngine) -> CopyEngine:
         """Add an alternative data mover (e.g. copy threads) to the tick loop."""

@@ -102,6 +102,22 @@ class PebsUnit:
     def __len__(self) -> int:
         return len(self._buffer)
 
+    def set_capacity_factor(self, factor: float) -> None:
+        """Fault-injection hook: shrink/restore the effective ring buffer.
+
+        A buffer-pressure spike (``factor`` < 1) models the kernel stealing
+        PEBS buffer pages or a mis-sized mmap: records beyond the shrunken
+        capacity are dropped exactly as on a lagging drain thread (Fig 10).
+        ``factor=1.0`` restores the configured capacity bit-exactly.
+        """
+        if factor <= 0:
+            raise ValueError(f"capacity factor must be positive: {factor}")
+        self._capacity = max(int(self.spec.buffer_capacity * factor), 1)
+
+    @property
+    def effective_capacity(self) -> int:
+        return self._capacity
+
     @property
     def records_sampled(self) -> float:
         return self._sampled.value

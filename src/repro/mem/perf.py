@@ -131,6 +131,26 @@ class PerfModel:
         #: (shape, f_r, f_w, extra_r, extra_w) -> (op_time, demand entries)
         self._memo: Dict[tuple, Tuple[float, tuple]] = {}
 
+    def refresh(self) -> None:
+        """Re-derive all device-dependent constants and drop both caches.
+
+        The shape table and the (shape, split) memo bake device latencies
+        and bandwidths in at first use, which is exactly what makes the
+        model fast — but it also means a mid-run device change (fault
+        injection degrading NVM, wear curves) would silently keep serving
+        stale physics.  Degrading callers must invoke ``refresh`` after
+        mutating a device; undegraded runs never call it, so the memo's
+        exactness guarantees are untouched.
+        """
+        dram = self.devices[Tier.DRAM]
+        nvm = self.devices[Tier.NVM]
+        self._dram_read_lat = dram.latency(READ)
+        self._nvm_read_lat = nvm.latency(READ)
+        self._dram_write_lat = dram.latency(WRITE)
+        self._nvm_write_lat = nvm.latency(WRITE)
+        self._shapes.clear()
+        self._memo.clear()
+
     # -- shape/memo plumbing -------------------------------------------------
     def _shape_of(self, stream: AccessStream) -> _StreamShape:
         key = (

@@ -110,6 +110,57 @@ class ServiceRun(NamedTuple):
     cpu: float
 
 
+class FaultInjected(NamedTuple):
+    """The fault injector activated one scheduled fault.
+
+    ``fault`` names the fault kind (``fault``, not ``kind``: the wire form
+    reserves ``kind`` for the event discriminator).  ``value`` is the
+    fault's parameter (degradation factor, failure probability, channel
+    count, ...); 0.0 when the kind takes none.
+    """
+
+    t: float
+    fault: str
+    value: float
+
+
+class FaultRecovered(NamedTuple):
+    """A previously injected fault's recovery fired (state restored)."""
+
+    t: float
+    fault: str
+
+
+class MigrationRetried(NamedTuple):
+    """An in-flight copy failed and was re-queued with backoff.
+
+    ``attempt`` is the retry ordinal (1 = first retry); ``backoff`` is the
+    virtual seconds the migrator waits before resubmitting.
+    """
+
+    t: float
+    region: str
+    page: int
+    attempt: int
+    backoff: float
+
+
+class MigrationAborted(NamedTuple):
+    """A migration exhausted its retries and was rolled back.
+
+    The reserved destination DAX page is released and the page stays in
+    ``src``; in a replayed trace the matching ``MigrationStart`` remains
+    unpaired (``MigrationRecord.done is None``).
+    """
+
+    t: float
+    region: str
+    page: int
+    src: str
+    dst: str
+    attempts: int
+
+
 #: event class -> wire discriminator (stable; the trace format depends on it)
 EVENT_KINDS: Dict[Type, str] = {
     MigrationStart: "migration_start",
@@ -121,6 +172,10 @@ EVENT_KINDS: Dict[Type, str] = {
     PolicyPass: "policy_pass",
     DmaTransfer: "dma_transfer",
     ServiceRun: "service_run",
+    FaultInjected: "fault_injected",
+    FaultRecovered: "fault_recovered",
+    MigrationRetried: "migration_retried",
+    MigrationAborted: "migration_aborted",
 }
 
 KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}

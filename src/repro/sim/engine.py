@@ -83,6 +83,18 @@ class Engine:
         # Wire components together.  Order matters: the manager must be
         # attached (so mmap works) before the workload allocates memory.
         self.machine.attach_engine(self)
+        if machine.fault_plan is not None:
+            # Registered before the manager's services so injected state
+            # changes are visible to every service in the same tick.  Local
+            # import: repro.faults sits above the engine in the layering.
+            from repro.faults.injector import FaultInjectorService
+
+            self.fault_injector = self.add_service(
+                FaultInjectorService(machine.fault_plan, machine,
+                                     seed=self.config.seed)
+            )
+        else:
+            self.fault_injector = None
         self.manager.attach(self.machine, self)
         self.workload.setup(self.manager, self.machine, make_rng(self.config.seed, "workload"))
 

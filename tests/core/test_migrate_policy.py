@@ -139,6 +139,49 @@ class TestPolicyThread:
                 break
         assert manager.dram_free_bytes() >= manager.config.dram_free_watermark
 
+    def test_swap_demotions_counted_as_demotions(self):
+        """Promote-by-swap demotes the victim: it must count as a demotion,
+        not inflate the promoted total (regression: both were lumped into
+        ``promoted``)."""
+        from repro.core.policy import PolicyService
+
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        # Prefault leaves exactly the watermark free, so promotion must go
+        # through the swap path (demote a DRAM cold victim first).
+        assert manager.dram_free_bytes() == manager.config.dram_free_watermark
+        nvm_page = int(region.pages_in(Tier.NVM)[0])
+        for _ in range(4):
+            manager.tracker.record_sample(region, nvm_page, is_store=True)
+        policy = PolicyService(manager)
+        promoted, demoted = policy._promote(0.0)
+        assert promoted == 1
+        assert demoted == 1
+
+    def test_swap_needs_both_reservations_up_front(self):
+        """If either side of a swap cannot reserve, neither copy may be
+        submitted (regression: the demotion was queued, then the promotion
+        failed to reserve, churning the watermark for nothing)."""
+        from repro.core.policy import PolicyService
+
+        engine, manager, machine = make_setup()
+        region = manager.mmap(4 * GB, name="big")
+        manager.prefault(region)
+        nvm_page = int(region.pages_in(Tier.NVM)[0])
+        for _ in range(4):
+            manager.tracker.record_sample(region, nvm_page, is_store=True)
+        # Exhaust NVM: the swap's demotion leg has nowhere to reserve.
+        nvm_dax = manager.dax[Tier.NVM]
+        grabbed = [nvm_dax.alloc_page() for _ in range(nvm_dax.free_pages)]
+        assert nvm_dax.free_pages == 0
+        policy = PolicyService(manager)
+        promoted, demoted = policy._promote(0.0)
+        assert (promoted, demoted) == (0, 0)
+        assert not manager.migrator.busy  # nothing was half-submitted
+        for page in grabbed:
+            nvm_dax.free_page(page)
+
     def test_write_heavy_promoted_before_read_hot(self):
         engine, manager, machine = make_setup()
         region = manager.mmap(6 * GB, name="big")

@@ -1,0 +1,51 @@
+"""Seed + plan => bit-identical traces and final statistics."""
+
+import json
+
+from repro.api import run_gups
+from repro.core.hemem import HeMemManager
+from repro.obs import capture
+from repro.sim.units import GB, MB
+from repro.workloads.gups import GupsConfig
+
+#: exercises the RNG-driven kind (copy_fail), a mover switch, and a device
+#: degradation window in one plan
+PLAN = "copy_fail:0.4@t=0.5+2.0,dma_down@t=1.0+1.0,nvm_degrade:0.5@t=2.0+1.0"
+
+
+def faulted_run(seed):
+    with capture(trace=True, metrics=False) as cap:
+        result = run_gups(
+            HeMemManager(),
+            GupsConfig(working_set=8 * GB, hot_set=256 * MB),
+            duration=4.0, warmup=1.0, scale=64.0, seed=seed, faults=PLAN,
+        )
+    result.pop("engine")
+    [payload] = cap.payloads()
+    return result, payload["trace"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan_identical(self):
+        first, trace_a = faulted_run(seed=11)
+        second, trace_b = faulted_run(seed=11)
+        assert first["counters"] == second["counters"]
+        assert first["gups"] == second["gups"]
+        assert first.get("histograms") == second.get("histograms")
+        # Trace equality is the strongest check: every event, in order,
+        # field for field.
+        assert json.dumps(trace_a) == json.dumps(trace_b)
+
+    def test_faults_actually_fired(self):
+        result, trace = faulted_run(seed=11)
+        counters = result["counters"]
+        assert counters["faults.injected"] == 3
+        assert counters["faults.recovered"] == 3
+        assert counters["hemem.migration_retries"] > 0
+
+    def test_different_seed_diverges(self):
+        # Sanity check that the identity above is not vacuous: another
+        # seed must produce a different trajectory under the same plan.
+        first, _ = faulted_run(seed=11)
+        other, _ = faulted_run(seed=12)
+        assert first["counters"] != other["counters"]

@@ -1,0 +1,108 @@
+"""Tests for fault-plan parsing, validation, and timelines."""
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, wear_half_bytes
+from repro.sim.units import GB
+
+
+class TestFaultSpec:
+    def test_defaults_applied_per_kind(self):
+        assert FaultSpec("dma_channel_down").value == 1.0
+        assert FaultSpec("nvm_degrade").value == 0.5
+        assert FaultSpec("dma_down").value is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic_ray")
+
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("dma_channel_down", value=0.5)  # fractional channels
+        with pytest.raises(ValueError):
+            FaultSpec("nvm_degrade", value=1.5)  # >1 is an upgrade
+        with pytest.raises(ValueError):
+            FaultSpec("nvm_degrade", value=0.0)  # zero bandwidth
+        with pytest.raises(ValueError):
+            FaultSpec("copy_fail", value=1.0)  # would never complete
+        with pytest.raises(ValueError):
+            FaultSpec("nvm_wear", value=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("pebs_spike", value=0.5, t=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("pebs_spike", value=0.5, duration=0.0)
+
+    def test_recovers_at(self):
+        assert FaultSpec("dma_down", t=2.0).recovers_at is None
+        assert FaultSpec("dma_down", t=2.0, duration=1.5).recovers_at == 3.5
+
+    def test_wear_half_bytes(self):
+        assert wear_half_bytes(FaultSpec("nvm_wear", value=64.0)) == 64 * GB
+
+
+class TestParsing:
+    def test_issue_example(self):
+        plan = FaultPlan.parse("dma_channel_down@t=2.0,nvm_degrade:0.5@t=5.0")
+        assert len(plan) == 2
+        first, second = plan.specs
+        assert (first.kind, first.value, first.t) == ("dma_channel_down", 1.0, 2.0)
+        assert (second.kind, second.value, second.t) == ("nvm_degrade", 0.5, 5.0)
+
+    def test_duration_suffix(self):
+        [spec] = FaultPlan.parse("copy_fail:0.3@t=1.0+4.0").specs
+        assert spec.value == 0.3
+        assert spec.t == 1.0
+        assert spec.duration == 4.0
+
+    def test_bare_kind(self):
+        [spec] = FaultPlan.parse("nvm_wear:16").specs
+        assert spec.t == 0.0
+        assert spec.duration is None
+        assert spec.value == 16.0
+
+    def test_round_trip(self):
+        text = "copy_fail:0.3@t=1.0+4.0,pebs_spike:0.05@t=3.0+2.0,nvm_wear:16"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.to_string()) == plan
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("dma_down@2.0")  # missing t=
+        with pytest.raises(ValueError):
+            FaultPlan.parse("nvm_degrade:half")
+
+    def test_all_kinds_parse_with_defaults(self):
+        for kind in FAULT_KINDS:
+            [spec] = FaultPlan.parse(kind).specs
+            assert spec.kind == kind
+
+
+class TestTimeline:
+    def test_specs_sorted_by_time(self):
+        plan = FaultPlan.of(
+            FaultSpec("dma_down", t=5.0),
+            FaultSpec("nvm_degrade", t=1.0),
+        )
+        assert [s.t for s in plan.specs] == [1.0, 5.0]
+
+    def test_inject_and_recover_events(self):
+        plan = FaultPlan.parse("copy_fail:0.3@t=1.0+4.0")
+        assert plan.timeline() == [
+            (1.0, "inject", plan.specs[0]),
+            (5.0, "recover", plan.specs[0]),
+        ]
+
+    def test_recover_sorts_before_inject_at_same_instant(self):
+        plan = FaultPlan.parse("nvm_degrade:0.5@t=1.0+1.0,nvm_degrade:0.25@t=2.0")
+        actions = [(t, action) for t, action, _ in plan.timeline()]
+        assert actions == [(1.0, "inject"), (2.0, "recover"), (2.0, "inject")]
+        # The recovery belongs to the first window, the injection to the second.
+        events = plan.timeline()
+        assert events[1][2].value == 0.5
+        assert events[2][2].value == 0.25
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan.parse("dma_down")

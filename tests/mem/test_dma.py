@@ -21,6 +21,16 @@ class TestCopyRequest:
         with pytest.raises(ValueError):
             CopyRequest(nbytes=0, src_tier=Tier.DRAM, dst_tier=Tier.NVM)
 
+    def test_remaining_stays_float(self, stats):
+        """Progress accounting must not flip between int and float."""
+        req = make_request(nbytes=1 * MB)
+        assert isinstance(req.remaining, float)
+        dma = DmaEngine(DmaSpec(), stats, max_rate=int(0.25 * MB / 0.01))
+        dma.submit(req)
+        for _ in range(3):
+            dma.advance(0.0, 0.01)
+            assert isinstance(req.remaining, float)
+
 
 class TestDmaEngine:
     def test_moves_at_configured_rate(self, stats):
@@ -87,6 +97,48 @@ class TestDmaEngine:
         dma.advance(0.0, 0.01, devices=machine64.devices)
         assert machine64.nvm.bytes_read == pytest.approx(4 * MB)
         assert machine64.dram.bytes_written == pytest.approx(4 * MB)
+
+    def test_pending_bytes_tracks_queue(self, stats):
+        dma = DmaEngine(DmaSpec(), stats)
+        assert dma.pending_bytes == 0.0
+        dma.submit(make_request(nbytes=10 * GB))
+        dma.submit(make_request(nbytes=3 * MB))
+        assert dma.pending_bytes == sum(r.remaining for r in dma._queue)
+        dma.advance(0.0, 0.01)
+        assert dma.pending_bytes == sum(r.remaining for r in dma._queue)
+
+    def test_remove_and_drain_update_pending(self, stats):
+        dma = DmaEngine(DmaSpec(), stats)
+        first = make_request(nbytes=4 * MB)
+        second = make_request(nbytes=8 * MB)
+        dma.submit(first)
+        dma.submit(second)
+        assert dma.peek() is first
+        assert dma.remove(first)
+        assert not dma.remove(first)  # already gone
+        assert dma.pending_bytes == second.remaining
+        assert dma.drain_queue() == [second]
+        assert dma.pending_bytes == 0.0
+        assert not dma.busy
+
+    def test_channel_faults(self, stats):
+        dma = DmaEngine(DmaSpec(channel_bw=gbps(3.2), channels_used=2), stats)
+        assert dma.operational
+        dma.set_active_channels(1)
+        dma.submit(make_request(nbytes=10 * GB))
+        dma.advance(0.0, 0.01)
+        assert dma.bytes_moved == pytest.approx(gbps(3.2) * 0.01)
+        dma.set_active_channels(0)
+        assert not dma.operational
+        moved_before = dma.bytes_moved
+        dma.advance(0.01, 0.01)
+        assert dma.bytes_moved == moved_before  # dead engine makes no progress
+        dma.set_active_channels(2)
+        assert dma.total_bw == pytest.approx(gbps(6.4))
+        with pytest.raises(ValueError):
+            dma.set_active_channels(3)
+        with pytest.raises(ValueError):
+            dma.set_active_channels(-1)
 
     def test_spec_validation(self):
         with pytest.raises(ValueError):

@@ -7,7 +7,11 @@ from repro.obs.events import (
     KIND_TO_EVENT,
     CoolingPass,
     DmaTransfer,
+    FaultInjected,
+    FaultRecovered,
+    MigrationAborted,
     MigrationDone,
+    MigrationRetried,
     MigrationStart,
     PageFault,
     PebsDrain,
@@ -21,6 +25,8 @@ from repro.obs.events import (
 SAMPLES = [
     MigrationStart(0.5, "heap", 3, "NVM", "DRAM", 2 << 20),
     MigrationDone(0.52, "heap", 3, "NVM", "DRAM", 2 << 20, 0.02),
+    MigrationRetried(0.53, "heap", 3, 1, 0.01),
+    MigrationAborted(0.6, "heap", 3, "NVM", "DRAM", 5),
     PageFault(0.0, "missing", "heap", 0, "DRAM", 2 << 20),
     PageFault(1.0, "wp", "heap", 9, "NVM", 2 << 20),
     PebsDrop(0.3, "store", 17),
@@ -29,6 +35,8 @@ SAMPLES = [
     PolicyPass(0.41, 5, 3),
     DmaTransfer(0.42, "dma", "NVM", "DRAM", 2 << 20),
     ServiceRun(0.43, "hemem_policy", 0.01),
+    FaultInjected(2.0, "nvm_degrade", 0.5),
+    FaultRecovered(4.0, "nvm_degrade"),
 ]
 
 
