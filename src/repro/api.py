@@ -59,6 +59,43 @@ def run_workload(
     return result
 
 
+def run_colocation(
+    tenants,
+    duration: float,
+    policy: str = "fair",
+    bandwidth: str = "fair",
+    spec: Optional[MachineSpec] = None,
+    scale: float = 1.0,
+    seed: int = 42,
+    tick: float = 0.01,
+    faults: Faults = None,
+    arbiter_period: float = 0.1,
+) -> dict:
+    """Run N colocated tenants on one machine under a DRAM arbiter.
+
+    ``tenants`` is a sequence of :class:`repro.colo.TenantSpec`; ``policy``
+    picks the DRAM sharing policy (``static``/``fair``/``priority``/``none``)
+    and ``bandwidth`` the device-bandwidth mode (``shared``/``fair``/
+    ``priority``).  The result carries a per-tenant SLO summary under
+    ``"tenants_slo"`` alongside each tenant's raw workload result.
+    """
+    # Local import: repro.colo sits above the api's other dependencies.
+    from repro.colo import ColoConfig, ColoManager, ColoWorkload, colocation_summary
+
+    manager = ColoManager(tenants, ColoConfig(
+        policy=policy, bandwidth=bandwidth, arbiter_period=arbiter_period,
+    ))
+    workload = ColoWorkload()
+    engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed,
+                         tick=tick, faults=faults)
+    result = engine.run(duration)
+    result["tenants_slo"] = colocation_summary(
+        manager, engine.clock.now, duration=engine.clock.now
+    )
+    result["engine"] = engine
+    return result
+
+
 def run_gups(
     manager,
     config: GupsConfig,

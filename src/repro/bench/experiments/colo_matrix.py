@@ -1,0 +1,143 @@
+"""MaxMem-style colocation matrix: one tenant mix, every arbiter policy.
+
+Four tenants share the machine — a weighted priority FlexKVS, a hot GUPS,
+a scan-heavy GUPS, and a late-arriving "burst" GUPS that departs before
+the run ends (churn) — and the same mix is run under each DRAM sharing
+policy.  The table reports, per (policy, tenant): the DRAM quota the
+arbiter granted, actual DRAM residency, the measured hot set, the quota's
+share of machine DRAM, throughput, and how many pages cross-tenant
+eviction took from the tenant.  Expected: ``static`` tracks the
+configured weights, ``fair`` tracks the measured hot-set sizes,
+``priority`` serves the high class's demand first, and the burst tenant's
+pages are fully reclaimed on departure under every policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.bench.report import Table
+from repro.bench.runner import Case
+from repro.bench.scenario import Scenario
+from repro.sim.units import GB, MB
+
+POLICIES = ("none", "static", "fair", "priority")
+TENANTS = ("kvs", "gups-hot", "gups-scan", "burst")
+
+
+def run_matrix_case(scenario: Scenario, policy: str) -> Dict[str, Any]:
+    from repro.api import run_colocation
+    from repro.colo import TenantSpec
+    from repro.workloads.gups import GupsConfig, GupsWorkload
+    from repro.workloads.kvs import KvsConfig, KvsWorkload
+
+    depart = scenario.warmup + 0.75 * (scenario.duration - scenario.warmup)
+    specs = [
+        TenantSpec(
+            "kvs",
+            KvsWorkload(KvsConfig(
+                working_set=scenario.size(64 * GB),
+                head_bytes=scenario.size(128 * MB),
+                load=0.5,
+                instance="kvs",
+            ), warmup=scenario.warmup),
+            weight=2.0, priority=1, dram_floor_frac=0.1,
+        ),
+        TenantSpec(
+            "gups-hot",
+            GupsWorkload(GupsConfig(
+                working_set=scenario.size(128 * GB),
+                hot_set=scenario.size(16 * GB),
+            ), warmup=scenario.warmup),
+            weight=1.0,
+        ),
+        TenantSpec(
+            "gups-scan",
+            GupsWorkload(GupsConfig(
+                working_set=scenario.size(384 * GB),
+                hot_set=scenario.size(192 * GB),
+            ), warmup=scenario.warmup),
+            weight=1.0,
+        ),
+        TenantSpec(
+            "burst",
+            GupsWorkload(GupsConfig(
+                working_set=scenario.size(64 * GB),
+                hot_set=scenario.size(8 * GB),
+            ), warmup=1.0),
+            weight=1.0,
+            arrival=scenario.warmup,
+            departure=depart,
+        ),
+    ]
+    bandwidth = "shared" if policy == "none" else "fair"
+    result = run_colocation(
+        specs,
+        duration=scenario.duration,
+        policy=policy,
+        bandwidth=bandwidth,
+        scale=scenario.scale,
+        seed=scenario.seed,
+        tick=scenario.tick,
+        faults=scenario.faults,
+    )
+    engine = result["engine"]
+    dram_total = engine.machine.dram.capacity
+    out: Dict[str, Any] = {"dram_total": dram_total, "tenants": {}}
+    for name, slo in result["tenants_slo"].items():
+        out["tenants"][name] = {
+            "quota_bytes": slo.get("dram_quota_bytes", 0),
+            "dram_bytes": slo["dram_bytes"],
+            "hot_bytes": slo["hot_bytes"],
+            "evicted_pages": slo["evicted_pages"],
+            "gups": slo.get("gups"),
+            "ops_per_sec": slo["ops_per_sec"],
+        }
+    return out
+
+
+def _throughput_cell(t: Dict[str, Any]) -> str:
+    if t["gups"] is not None:
+        return f"{t['gups']:.4f}"
+    return f"{t['ops_per_sec'] / 1e3:.0f} kops"
+
+
+def cases(scenario: Scenario) -> List[Case]:
+    return [
+        Case(policy, run_matrix_case, {"policy": policy})
+        for policy in POLICIES
+    ]
+
+
+def assemble(scenario: Scenario, results: Dict[str, Any]) -> Table:
+    table = Table(
+        "Colocation matrix — 4 tenants x arbiter policy",
+        ["policy", "tenant", "quota GB", "dram GB", "hot GB",
+         "share %", "throughput", "evicted"],
+        expectation=(
+            "static shares track weights, fair shares track measured "
+            "hot-set sizes, priority serves the high class first; the "
+            "burst tenant's DRAM is fully reclaimed after departure"
+        ),
+    )
+    for policy in POLICIES:
+        r = results[policy]
+        dram_total = r["dram_total"]
+        for name in TENANTS:
+            t = r["tenants"][name]
+            table.row(
+                policy,
+                name,
+                f"{t['quota_bytes'] / GB:.2f}",
+                f"{t['dram_bytes'] / GB:.2f}",
+                f"{t['hot_bytes'] / GB:.2f}",
+                f"{t['quota_bytes'] / dram_total * 100:.1f}",
+                _throughput_cell(t),
+                f"{t['evicted_pages']:.0f}",
+            )
+    return table
+
+
+def run(scenario: Scenario) -> Table:
+    results = {c.key: c.fn(scenario, **c.kwargs) for c in cases(scenario)}
+    return assemble(scenario, results)

@@ -44,6 +44,9 @@ SMOKE_PLANS: Dict[str, str] = {
     "nvm_wear": "nvm_wear:0.25@t=1.0+3.0",
     "copy_fail": "copy_fail:0.5@t=1.0+3.0",
     "pebs_spike": "pebs_spike:0.05@t=1.5+2.0",
+    # colocation: the fault targets tenant "a" only; tenant "b" must ride
+    # through untouched while the shared DAX pools stay leak-free
+    "colo": "copy_fail:0.5@t=1.0+3.0@tenant=a",
 }
 
 
@@ -51,6 +54,9 @@ def run_smoke_case(kind: str, plan: str, duration: float = 6.0,
                    scale: float = 64.0, seed: int = 11,
                    trace: bool = False) -> Tuple[dict, List[str]]:
     """Run one fault-kind smoke case; returns (report, violations)."""
+    if kind == "colo":
+        return run_colo_smoke_case(plan, duration=duration, scale=scale,
+                                   seed=seed, trace=trace)
     with capture(trace=trace, metrics=False) as cap:
         machine = Machine(MachineSpec().scaled(scale), seed=seed)
         from repro.faults import FaultPlan
@@ -78,6 +84,64 @@ def run_smoke_case(kind: str, plan: str, duration: float = 6.0,
         "trace": cap.payloads()[0]["trace"] if trace else None,
     }
     return report, violations
+
+
+def run_colo_smoke_case(plan: str, duration: float = 6.0,
+                        scale: float = 64.0, seed: int = 11,
+                        trace: bool = False) -> Tuple[dict, List[str]]:
+    """Tenant-targeted fault under colocation: the targeted tenant's
+    migrations retry, its neighbour is untouched, and the *shared* DAX
+    pools survive the failure window without leaks."""
+    from repro.api import run_colocation
+    from repro.colo import TenantSpec
+
+    def tenant_workload() -> GupsWorkload:
+        # Oversubscribed vs the per-tenant DRAM share, so migrations flow.
+        return GupsWorkload(
+            GupsConfig(working_set=4 * GB, hot_set=256 * MB), warmup=1.0
+        )
+
+    with capture(trace=trace, metrics=False) as cap:
+        result = run_colocation(
+            [TenantSpec("a", tenant_workload()),
+             TenantSpec("b", tenant_workload())],
+            duration=duration, policy="fair", scale=scale, seed=seed,
+            faults=plan,
+        )
+    engine = result["engine"]
+    machine = engine.machine
+    colo = engine.manager
+    counters = machine.stats.counters()
+    gups = sum(slo.get("gups", 0.0) for slo in result["tenants_slo"].values())
+
+    bad: List[str] = []
+    if counters.get("faults.injected", 0.0) < 1:
+        bad.append("fault was never injected")
+    if "+" in plan and counters.get("faults.recovered", 0.0) < 1:
+        bad.append("windowed fault never recovered")
+    for name, slo in result["tenants_slo"].items():
+        if slo.get("gups", 0.0) <= 0:
+            bad.append(f"tenant {name}: no forward progress under fault")
+    if counters.get("a.migration_retries", 0.0) < 1:
+        bad.append("targeted tenant 'a' saw no copy retries")
+    if counters.get("b.migration_retries", 0.0) != 0:
+        bad.append("untargeted tenant 'b' was hit by a tenant-scoped fault")
+    bad.extend(colo_occupancy_violations(colo, machine))
+
+    report = {
+        "kind": "colo",
+        "plan": plan,
+        "gups": gups,
+        "injected": counters.get("faults.injected", 0.0),
+        "recovered": counters.get("faults.recovered", 0.0),
+        "migrated": sum(counters.get(f"{t}.pages_migrated", 0.0)
+                        for t in ("a", "b")),
+        "retries": counters.get("a.migration_retries", 0.0),
+        "aborted": sum(counters.get(f"{t}.migrations_aborted", 0.0)
+                       for t in ("a", "b")),
+        "trace": cap.payloads()[0]["trace"] if trace else None,
+    }
+    return report, bad
 
 
 def check_case(kind: str, plan: str, counters: dict, gups: float,
@@ -131,6 +195,45 @@ def occupancy_violations(manager, machine) -> List[str]:
         if dax.used_pages != expected:
             bad.append(f"{tier.name}: used {dax.used_pages} != mapped "
                        f"{mapped} + in-flight {inflight[tier]}")
+    return bad
+
+
+def colo_occupancy_violations(colo, machine) -> List[str]:
+    """Shared-pool variant of :func:`occupancy_violations`.
+
+    Per tier the *shared* DAX file must satisfy used + free == total,
+    used == mapped + in-flight (summing every mover queue and every
+    tenant migrator's retry queue), and the per-tenant used counts must
+    sum to the shared used count — cross-tenant eviction and departure
+    reclaim conserve pages exactly.
+    """
+    bad: List[str] = []
+    inflight = {Tier.DRAM: 0, Tier.NVM: 0}
+    for mover in machine.movers():
+        for request in mover._queue:
+            inflight[request.dst_tier] += 1
+    for migrator in colo.migrators():
+        for request in migrator.retry_requests():
+            inflight[request.dst_tier] += 1
+    for tier, shared in colo.shared_dax.items():
+        if shared.used_pages + shared.free_pages != shared.n_pages:
+            bad.append(f"{tier.name}: used {shared.used_pages} + free "
+                       f"{shared.free_pages} != total {shared.n_pages}")
+        mapped = sum(
+            int((region.mapped & (region.tier == tier)).sum())
+            for region in machine.regions
+        )
+        expected = mapped + inflight[tier]
+        if shared.used_pages != expected:
+            bad.append(f"{tier.name}: shared used {shared.used_pages} != "
+                       f"mapped {mapped} + in-flight {inflight[tier]}")
+        tenant_used = sum(
+            (t.dram_dax if tier == Tier.DRAM else t.nvm_dax).used_pages
+            for t in colo.all_tenants() if t.dram_dax is not None
+        )
+        if tenant_used != shared.used_pages:
+            bad.append(f"{tier.name}: tenant used sum {tenant_used} != "
+                       f"shared used {shared.used_pages}")
     return bad
 
 

@@ -6,6 +6,8 @@ from typing import Callable, Dict, List
 
 from repro.bench.experiments import (
     ablations,
+    colo_matrix,
+    colo_table4,
     dma_sweep,
     fig1_thread_scaling,
     fig2_access_size,
@@ -53,6 +55,8 @@ MODULES = {
     "fig16": fig16_nvm_wear,
     "ablations": ablations,
     "dma": dma_sweep,
+    "colo_matrix": colo_matrix,
+    "colo_table4": colo_table4,
 }
 
 EXPERIMENTS: Dict[str, Callable[[Scenario], Table]] = {

@@ -1,0 +1,58 @@
+"""Multi-tenant colocation: N managed workloads sharing one machine.
+
+The subsystem the paper's Table 4 gestures at (a prioritised FlexKVS
+beside a regular one) generalised MaxMem-style: each tenant runs its own
+manager (HeMem by default) against quota-scoped views of shared per-tier
+DAX pools, a global arbiter re-divides DRAM between tenants by policy
+(static / fair-by-hotness / strict priority / none), a bandwidth
+partitioner splits congested device channels, and tenants may arrive and
+depart mid-run with full reclaim.
+
+Entry points: build a :class:`ColoManager` from :class:`TenantSpec`\\ s and
+drive it with a :class:`ColoWorkload`, or use
+:func:`repro.api.run_colocation` which wires everything.
+"""
+
+from repro.colo.arbiter import DramArbiter
+from repro.colo.bandwidth import BandwidthPartitioner, water_fill
+from repro.colo.dax import TenantDax
+from repro.colo.manager import ColoConfig, ColoManager
+from repro.colo.policies import (
+    POLICIES,
+    FairShare,
+    FreeForAll,
+    SharingPolicy,
+    StaticPartition,
+    StrictPriority,
+    TenantShare,
+    largest_remainder,
+    make_policy,
+)
+from repro.colo.slo import colocation_summary, nvm_wait_inflation, tenant_summary
+from repro.colo.tenant import Tenant, TenantHandle, TenantSpec
+from repro.colo.workload import ColoWorkload
+
+__all__ = [
+    "BandwidthPartitioner",
+    "ColoConfig",
+    "ColoManager",
+    "ColoWorkload",
+    "DramArbiter",
+    "FairShare",
+    "FreeForAll",
+    "POLICIES",
+    "SharingPolicy",
+    "StaticPartition",
+    "StrictPriority",
+    "Tenant",
+    "TenantDax",
+    "TenantHandle",
+    "TenantShare",
+    "TenantSpec",
+    "colocation_summary",
+    "largest_remainder",
+    "make_policy",
+    "nvm_wait_inflation",
+    "tenant_summary",
+    "water_fill",
+]

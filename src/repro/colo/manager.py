@@ -1,0 +1,320 @@
+"""The colocation manager: N tenants sharing one machine.
+
+``ColoManager`` implements the engine's manager protocol by *routing*:
+each tenant brings its own manager (HeMem by default, with its own VMAs,
+tracker, PEBS unit, policy thread and migrator), and the colocation
+layer owns only what is genuinely shared — the per-tier DAX pools, the
+DRAM arbiter, the bandwidth partitioner, and tenant lifecycle (arrival
+and departure mid-run, with full DAX reclaim on departure).
+
+Routing works by stream identity: :class:`~repro.colo.workload.ColoWorkload`
+registers each tick's streams with their owning tenant before the engine
+asks for placement, so ``split_by_tier``/``observe`` dispatch to the
+right tenant manager without touching the stream objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.colo.arbiter import DramArbiter
+from repro.colo.bandwidth import BandwidthPartitioner
+from repro.colo.dax import TenantDax
+from repro.colo.policies import POLICIES, make_policy
+from repro.colo.tenant import Tenant, TenantHandle, TenantSpec
+from repro.core.base import TieredMemoryManager
+from repro.core.hemem import HeMemManager
+from repro.kernel.dax import DaxFile
+from repro.mem.page import Tier
+from repro.mem.pebs import PebsUnit
+from repro.obs.events import TenantArrived, TenantDeparted
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ColoConfig:
+    """Colocation-layer knobs.
+
+    ``policy`` picks the DRAM sharing policy (see
+    :mod:`repro.colo.policies`); ``bandwidth`` is ``"shared"`` (device
+    model only, no per-tenant shares), ``"fair"`` or ``"priority"``.
+    """
+
+    policy: str = "fair"
+    bandwidth: str = "fair"
+    arbiter_period: float = 0.1
+    ewma_alpha: float = 0.3
+    max_evictions_per_pass: int = 64
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown sharing policy {self.policy!r}; have {sorted(POLICIES)}"
+            )
+        if self.bandwidth not in ("shared",) + BandwidthPartitioner.MODES:
+            raise ValueError(
+                f"unknown bandwidth mode {self.bandwidth!r}; "
+                f"have ('shared',) + {BandwidthPartitioner.MODES}"
+            )
+        if self.arbiter_period <= 0:
+            raise ValueError(
+                f"arbiter_period must be positive: {self.arbiter_period}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1]: {self.ewma_alpha}"
+            )
+        if self.max_evictions_per_pass <= 0:
+            raise ValueError(
+                f"max_evictions_per_pass must be positive: "
+                f"{self.max_evictions_per_pass}"
+            )
+
+
+class ColoManager(TieredMemoryManager):
+    """Multi-tenant front-end multiplexing per-tenant managers."""
+
+    name = "colo"
+
+    def __init__(self, specs: Sequence[TenantSpec],
+                 config: Optional[ColoConfig] = None):
+        super().__init__()
+        specs = list(specs)
+        if not specs:
+            raise ValueError("colocation needs at least one tenant")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+        self.specs = specs
+        self.config = config or ColoConfig()
+        #: admitted tenants by name (kept after departure for reporting)
+        self.tenants: Dict[str, Tenant] = {}
+        self._pending: List[TenantSpec] = []
+        self.shared_dax: Dict[Tier, DaxFile] = {}
+        self.arbiter: Optional[DramArbiter] = None
+        self._stream_tenant: Dict[int, Tenant] = {}
+        self._workload = None
+
+    # -- wiring ---------------------------------------------------------------
+    def _on_attach(self) -> None:
+        machine = self.machine
+        page = machine.spec.page_size
+        self.shared_dax = {
+            Tier.DRAM: DaxFile(Tier.DRAM, machine.spec.dram_capacity, page),
+            Tier.NVM: DaxFile(Tier.NVM, machine.spec.nvm_capacity, page),
+        }
+        scoped = machine.stats.scoped("colo")
+        self._arrivals = scoped.counter("tenants_arrived")
+        self._departures = scoped.counter("tenants_departed")
+        self.arbiter = DramArbiter(
+            self,
+            make_policy(self.config.policy),
+            period=self.config.arbiter_period,
+            ewma_alpha=self.config.ewma_alpha,
+            max_evictions_per_pass=self.config.max_evictions_per_pass,
+        )
+        self.engine.add_service(self.arbiter)
+        if self.config.bandwidth != "shared":
+            machine.bw_partitioner = BandwidthPartitioner(
+                self, mode=self.config.bandwidth
+            )
+        self._pending = sorted(
+            (spec for spec in self.specs if spec.arrival > 0.0),
+            key=lambda spec: (spec.arrival, spec.name),
+        )
+        for spec in self.specs:
+            if spec.arrival <= 0.0:
+                self._admit(spec, now=0.0)
+        self.arbiter.rebalance(0.0)
+
+    # -- tenant lifecycle -----------------------------------------------------
+    def _admit(self, spec: TenantSpec, now: float) -> Tenant:
+        machine = self.machine
+        if spec.manager_factory is not None:
+            manager = spec.manager_factory()
+            # Per-tenant stats scoping keys off the manager name.
+            manager.name = spec.name
+        else:
+            manager = HeMemManager(name=spec.name)
+        tenant = Tenant(spec, manager, machine)
+        if hasattr(manager, "dax_override"):
+            # HeMem-like manager: give it quota-scoped DAX views and a
+            # private PEBS unit (scoped stats, tenant-named RNG) before
+            # attach wires everything up.
+            dram_view = TenantDax(
+                self.shared_dax[Tier.DRAM],
+                self._initial_quota_pages(spec),
+                name=spec.name,
+            )
+            nvm_view = TenantDax(
+                self.shared_dax[Tier.NVM],
+                self.shared_dax[Tier.NVM].n_pages,
+                name=spec.name,
+            )
+            manager.dax_override = {Tier.DRAM: dram_view, Tier.NVM: nvm_view}
+            spec_pebs = machine.spec
+            period_scale = (
+                spec_pebs.pebs_period_scale
+                if spec_pebs.pebs_period_scale is not None
+                else spec_pebs.scale
+            )
+            pebs = PebsUnit(
+                spec_pebs.pebs,
+                machine.stats.scoped(spec.name),
+                make_rng(machine.seed, "pebs", spec.name),
+                period_scale=period_scale,
+            )
+            pebs.tracer = machine.tracer
+            manager.pebs_unit = pebs
+            tenant.dram_dax = dram_view
+            tenant.nvm_dax = nvm_view
+        manager.attach(machine, self.engine)
+        tenant.active = True
+        tenant.arrived_at = now
+        self.tenants[spec.name] = tenant
+        self._arrivals.add(1)
+        if machine.tracer is not None:
+            machine.tracer.emit(TenantArrived(now, spec.name))
+        return tenant
+
+    def _initial_quota_pages(self, spec: TenantSpec) -> int:
+        """Weight-proportional bootstrap quota (refined by the first
+        arbiter pass, but prefault needs something sane immediately)."""
+        total = self.shared_dax[Tier.DRAM].n_pages
+        if self.config.policy == "none":
+            return total
+        weight_sum = sum(s.weight for s in self.specs)
+        return max(int(total * spec.weight / weight_sum), 1)
+
+    def setup_tenant_workload(self, tenant: Tenant, now: float) -> None:
+        """Run the tenant's workload setup through its allocation handle.
+
+        The RNG is derived from (seed, "workload", tenant name) so a
+        tenant's behaviour does not depend on which other tenants run
+        beside it, and churn cannot perturb incumbent tenants' draws.
+        """
+        rng = make_rng(self.engine.config.seed, "workload", tenant.name)
+        tenant.workload.setup(TenantHandle(tenant), self.machine, rng)
+        if now > 0:
+            tenant.workload.measure_start = now + tenant.workload.warmup
+
+    def _depart(self, tenant: Tenant, now: float) -> None:
+        machine = self.machine
+        manager = tenant.manager
+        used_before = self._tenant_used_pages(tenant)
+        migrator = getattr(manager, "migrator", None)
+        for region in list(tenant.regions):
+            if migrator is not None:
+                # Roll back in-flight copies before the offsets vanish.
+                migrator.cancel_region(region, now)
+            manager.munmap(region)
+            machine.release_region(region)
+        tenant.regions.clear()
+        for service in list(getattr(manager, "services", [])):
+            self.engine.remove_service(service)
+        if tenant.dram_dax is not None:
+            tenant.dram_dax.set_quota_pages(0)
+        tenant.active = False
+        tenant.departed_at = now
+        freed = used_before - self._tenant_used_pages(tenant)
+        self._departures.add(1)
+        if machine.tracer is not None:
+            machine.tracer.emit(TenantDeparted(now, tenant.name, freed))
+
+    @staticmethod
+    def _tenant_used_pages(tenant: Tenant) -> int:
+        if tenant.dram_dax is None:
+            return 0
+        return tenant.dram_dax.used_pages + tenant.nvm_dax.used_pages
+
+    def end_tick(self, now: float, dt: float) -> None:
+        for tenant in self.tenants.values():
+            if tenant.active:
+                tenant.manager.end_tick(now, dt)
+        changed = False
+        while self._pending and self._pending[0].arrival <= now + 1e-12:
+            spec = self._pending.pop(0)
+            tenant = self._admit(spec, now)
+            self.setup_tenant_workload(tenant, now)
+            changed = True
+        for tenant in list(self.tenants.values()):
+            if (
+                tenant.active
+                and tenant.spec.departure is not None
+                and now + 1e-12 >= tenant.spec.departure
+            ):
+                self._depart(tenant, now)
+                changed = True
+        if changed:
+            self.arbiter.rebalance(now)
+
+    # -- stream routing -------------------------------------------------------
+    def begin_mix(self) -> None:
+        self._stream_tenant.clear()
+
+    def note_stream(self, stream, tenant: Tenant) -> None:
+        self._stream_tenant[id(stream)] = tenant
+
+    def tenant_of_stream(self, stream) -> Optional[Tenant]:
+        return self._stream_tenant.get(id(stream))
+
+    def split_by_tier(self, stream, now: float):
+        tenant = self._stream_tenant.get(id(stream))
+        if tenant is not None:
+            return tenant.manager.split_by_tier(stream, now)
+        return super().split_by_tier(stream, now)
+
+    def observe(self, stream, split, result, now, dt) -> None:
+        tenant = self._stream_tenant.get(id(stream))
+        if tenant is not None:
+            tenant.manager.observe(stream, split, result, now, dt)
+
+    # -- allocation surface ---------------------------------------------------
+    def mmap(self, size: int, name: str = "", pinned_tier=None):
+        # Allocations on the colocation layer itself (none in normal use)
+        # are plain unmanaged kernel mappings; tenants allocate through
+        # their TenantHandle instead.
+        return self.syscalls.mmap(size, name)
+
+    # -- introspection --------------------------------------------------------
+    def bind_workload(self, workload) -> None:
+        self._workload = workload
+
+    def active_tenants(self) -> List[Tenant]:
+        return [t for t in self.tenants.values() if t.active]
+
+    def all_tenants(self) -> List[Tenant]:
+        return list(self.tenants.values())
+
+    def get_tenant(self, name: str) -> Tenant:
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise KeyError(
+                f"no tenant named {name!r}; have {sorted(self.tenants)}"
+            ) from None
+
+    def migrators(self) -> List:
+        """Active tenants' migrators (fault injection fans out over these)."""
+        out = []
+        for tenant in self.active_tenants():
+            migrator = getattr(tenant.manager, "migrator", None)
+            if migrator is not None:
+                out.append(migrator)
+        return out
+
+    def pebs_units(self) -> List:
+        """Active tenants' private PEBS units."""
+        out = []
+        for tenant in self.active_tenants():
+            pebs = getattr(tenant.manager, "pebs_unit", None)
+            if pebs is not None:
+                out.append(pebs)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"colo[{self.config.policy}/{self.config.bandwidth}]"
+            f"({', '.join(spec.name for spec in self.specs)})"
+        )

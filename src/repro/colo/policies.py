@@ -1,0 +1,181 @@
+"""DRAM sharing policies: how the arbiter splits DRAM pages across tenants.
+
+Each policy is a pure function from ``(total_pages, shares)`` to a quota
+per tenant, which keeps the quota math unit-testable without building a
+machine.  All integer rounding goes through largest-remainder
+apportionment with name-ordered tie-breaks, so quotas are deterministic
+and (for every policy except the unarbitrated ``none``) sum to at most
+``total_pages``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, NamedTuple, Sequence, Tuple
+
+
+class TenantShare(NamedTuple):
+    """One tenant's inputs to the quota computation.
+
+    ``demand_pages`` is the arbiter's smoothed estimate of how much DRAM
+    the tenant can profitably use (hot set + pinned data + watermark
+    headroom); ``floor_pages`` is a guaranteed minimum carved out before
+    any policy-specific sharing.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    floor_pages: int = 0
+    demand_pages: int = 0
+
+
+def largest_remainder(
+    total: int, weights: Sequence[float], names: Sequence[str]
+) -> Dict[str, int]:
+    """Apportion ``total`` integer pages proportionally to ``weights``.
+
+    Floors each raw share and hands the leftover pages to the largest
+    fractional remainders (ties broken by name), so the result is exact
+    (sums to ``total`` whenever any weight is positive) and deterministic.
+    """
+    if total <= 0 or not names:
+        return {name: 0 for name in names}
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        return {name: 0 for name in names}
+    raw = [total * w / weight_sum for w in weights]
+    base = [int(r) for r in raw]
+    leftover = total - sum(base)
+    order = sorted(range(len(names)), key=lambda i: (base[i] - raw[i], names[i]))
+    for i in order[:leftover]:
+        base[i] += 1
+    return dict(zip(names, base))
+
+
+def _grant_floors(
+    total: int, shares: Sequence[TenantShare]
+) -> Tuple[Dict[str, int], int]:
+    """Reserve each tenant's floor; scale floors down if they oversubscribe."""
+    floors = {s.name: max(int(s.floor_pages), 0) for s in shares}
+    floor_sum = sum(floors.values())
+    if floor_sum > total:
+        floors = largest_remainder(
+            total, [floors[s.name] for s in shares], [s.name for s in shares]
+        )
+        floor_sum = sum(floors.values())
+    return floors, total - floor_sum
+
+
+class SharingPolicy(ABC):
+    """Strategy interface for DRAM quota computation."""
+
+    #: registry key (``ColoConfig.policy``)
+    name: str = "base"
+
+    @abstractmethod
+    def quotas(self, total_pages: int, shares: Sequence[TenantShare]) -> Dict[str, int]:
+        """Pages of DRAM each tenant may hold."""
+
+
+class StaticPartition(SharingPolicy):
+    """Fixed weight-proportional split, independent of measured behaviour."""
+
+    name = "static"
+
+    def quotas(self, total_pages: int, shares: Sequence[TenantShare]) -> Dict[str, int]:
+        return largest_remainder(
+            total_pages, [s.weight for s in shares], [s.name for s in shares]
+        )
+
+
+class FairShare(SharingPolicy):
+    """Floors first, then the remainder proportional to measured demand.
+
+    Demand is the arbiter's hot-set EWMA, so DRAM follows the tenants
+    that are actually using it (the MaxMem-style dynamic split).  When no
+    tenant has expressed demand yet (cold start), the remainder falls
+    back to weights so the pool is never left idle.
+    """
+
+    name = "fair"
+
+    def quotas(self, total_pages: int, shares: Sequence[TenantShare]) -> Dict[str, int]:
+        floors, remaining = _grant_floors(total_pages, shares)
+        names = [s.name for s in shares]
+        wants = [max(s.demand_pages - floors[s.name], 0) for s in shares]
+        if sum(wants) <= 0:
+            wants = [s.weight for s in shares]
+        extra = largest_remainder(remaining, wants, names)
+        return {name: floors[name] + extra[name] for name in names}
+
+
+class StrictPriority(SharingPolicy):
+    """Higher priority classes take their full demand before lower ones.
+
+    Floors are honoured for everyone first (they are what bounds how far
+    a background tenant can be squeezed), then classes are served in
+    descending priority — each tenant gets ``min(demand, remaining)``,
+    same-priority tenants splitting proportionally to demand.  Leftover
+    DRAM (when total demand underruns capacity) is spread by weight so
+    the pool stays fully allocated.
+    """
+
+    name = "priority"
+
+    def quotas(self, total_pages: int, shares: Sequence[TenantShare]) -> Dict[str, int]:
+        quotas, remaining = _grant_floors(total_pages, shares)
+        for prio in sorted({s.priority for s in shares}, reverse=True):
+            if remaining <= 0:
+                break
+            group = [s for s in shares if s.priority == prio]
+            wants = [max(s.demand_pages - quotas[s.name], 0) for s in group]
+            want_sum = sum(wants)
+            if want_sum <= 0:
+                continue
+            if want_sum <= remaining:
+                for share, want in zip(group, wants):
+                    quotas[share.name] += want
+                remaining -= want_sum
+            else:
+                grant = largest_remainder(
+                    remaining, wants, [s.name for s in group]
+                )
+                for share in group:
+                    quotas[share.name] += grant[share.name]
+                remaining = 0
+        if remaining > 0:
+            spare = largest_remainder(
+                remaining, [s.weight for s in shares], [s.name for s in shares]
+            )
+            for share in shares:
+                quotas[share.name] += spare[share.name]
+        return quotas
+
+
+class FreeForAll(SharingPolicy):
+    """No arbitration: every tenant sees the whole device (quotas overlap).
+
+    The colocation baseline — first-come-first-served allocation, exactly
+    what running N unmodified managers against one machine would do.  The
+    only policy whose quotas do *not* sum to at most ``total_pages``.
+    """
+
+    name = "none"
+
+    def quotas(self, total_pages: int, shares: Sequence[TenantShare]) -> Dict[str, int]:
+        return {s.name: total_pages for s in shares}
+
+
+POLICIES: Dict[str, type] = {
+    cls.name: cls for cls in (StaticPartition, FairShare, StrictPriority, FreeForAll)
+}
+
+
+def make_policy(name: str) -> SharingPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown sharing policy {name!r}; have {sorted(POLICIES)}"
+        ) from None

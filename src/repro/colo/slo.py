@@ -1,0 +1,85 @@
+"""Per-tenant SLO summaries for colocation runs.
+
+One dictionary per tenant: who it is, when it lived, what throughput it
+measured, how much DRAM it holds versus its quota, and — for workloads
+that model request latency (FlexKVS) — latency percentiles computed the
+same way the single-manager Table 4 experiment computes them, so colo
+and non-colo numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.colo.tenant import Tenant
+
+PERCENTILES = (50, 99, 99.9)
+
+
+def nvm_wait_inflation(machine, duration: float) -> float:
+    """M/M/1-style wait inflation from NVM device utilisation.
+
+    Identical to the Table 4 model: mean demanded bandwidth over the run
+    against the device's random-access capacity, utilisation capped at
+    0.85 so the open-loop approximation cannot blow up.
+    """
+    duration = duration or 1.0
+    nvm = machine.nvm
+    demand = (nvm.bytes_read + nvm.bytes_written) / duration
+    capacity = (
+        nvm.capacity_bw("read", "rand") + nvm.capacity_bw("write", "rand")
+    )
+    rho = min(demand / capacity, 0.85)
+    return 1.0 / (1.0 - rho)
+
+
+def tenant_summary(
+    tenant: Tenant,
+    now: float,
+    inflation: float = 1.0,
+    percentiles: Sequence[float] = PERCENTILES,
+) -> Dict:
+    """SLO snapshot of one tenant (active or departed)."""
+    workload = tenant.workload
+    end = tenant.departed_at if tenant.departed_at is not None else now
+    out: Dict = {
+        "tenant": tenant.name,
+        "workload": workload.name,
+        "active": tenant.active,
+        "arrived": tenant.arrived_at,
+        "departed": tenant.departed_at,
+        "weight": tenant.spec.weight,
+        "priority": tenant.spec.priority,
+        "ops_per_sec": workload.measured_rate(end),
+        "dram_bytes": tenant.dram_bytes(),
+        "nvm_bytes": tenant.nvm_bytes(),
+        "hot_bytes": tenant.hot_bytes(),
+        "evicted_pages": tenant.evicted_pages,
+    }
+    if tenant.dram_dax is not None:
+        out["dram_quota_bytes"] = tenant.dram_dax.quota_bytes
+        out["dram_used_bytes"] = (
+            tenant.dram_dax.used_pages * tenant.dram_dax.page_size
+        )
+    if hasattr(workload, "gups"):
+        out["gups"] = workload.gups(end)
+    if hasattr(workload, "latency_percentiles"):
+        hit = workload.dram_hit_fraction()
+        lat = workload.latency_percentiles(
+            percentiles, dram_fraction=hit, nvm_wait_inflation=inflation
+        )
+        out["dram_hit_frac"] = hit
+        out["latency_us"] = {
+            f"p{p:g}": lat[p] * 1e6 for p in percentiles
+        }
+    return out
+
+
+def colocation_summary(colo, now: float,
+                       duration: Optional[float] = None) -> Dict[str, Dict]:
+    """Summaries for every admitted tenant (departed ones included)."""
+    inflation = nvm_wait_inflation(colo.machine, duration or now)
+    return {
+        name: tenant_summary(tenant, now, inflation=inflation)
+        for name, tenant in colo.tenants.items()
+    }

@@ -1,0 +1,162 @@
+"""Tenant descriptors and runtime state for colocation runs.
+
+A *tenant* is one (workload, manager, QoS contract) triple sharing the
+machine with others.  :class:`TenantSpec` is the declarative description
+(what to run, with what weight/priority/floor, arriving and departing
+when); :class:`Tenant` is the live object the colocation manager tracks;
+:class:`TenantHandle` is the manager facade handed to the tenant's
+workload so its allocations are labelled and recorded per tenant without
+the workload knowing it is colocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.colo.dax import TenantDax
+from repro.mem.page import Tier
+from repro.mem.region import Region
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one colocated tenant.
+
+    ``manager_factory`` builds the tenant's memory manager (default: a
+    fresh HeMem instance); ``weight`` scales static/leftover shares,
+    ``priority`` orders strict-priority service, ``dram_floor_frac`` is a
+    guaranteed fraction of machine DRAM no policy may take away.
+    ``arrival``/``departure`` are virtual seconds for churn; a departed
+    tenant's memory is reclaimed into the shared pool.
+    """
+
+    name: str
+    workload: Workload = field(repr=False)
+    manager_factory: Optional[Callable[[], object]] = None
+    weight: float = 1.0
+    priority: int = 0
+    dram_floor_frac: float = 0.0
+    arrival: float = 0.0
+    departure: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name cannot be empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be positive")
+        if not 0.0 <= self.dram_floor_frac <= 1.0:
+            raise ValueError(
+                f"tenant {self.name!r}: dram_floor_frac must be in [0, 1]"
+            )
+        if self.arrival < 0:
+            raise ValueError(f"tenant {self.name!r}: arrival cannot be negative")
+        if self.departure is not None and self.departure <= self.arrival:
+            raise ValueError(
+                f"tenant {self.name!r}: departure must come after arrival"
+            )
+
+
+class Tenant:
+    """Runtime state of one admitted tenant."""
+
+    def __init__(self, spec: TenantSpec, manager, machine):
+        self.spec = spec
+        self.name = spec.name
+        self.manager = manager
+        self.workload = spec.workload
+        self.machine = machine
+        self.regions: List[Region] = []
+        self.active = False
+        self.arrived_at: Optional[float] = None
+        self.departed_at: Optional[float] = None
+        #: quota-scoped DAX views (None for managers that allocate no DAX,
+        #: e.g. the Memory Mode baseline — those are not quota-managed)
+        self.dram_dax: Optional[TenantDax] = None
+        self.nvm_dax: Optional[TenantDax] = None
+        #: smoothed DRAM demand in bytes (hot set + pinned + watermark)
+        self.hot_ewma = 0.0
+        #: pages the arbiter demoted from this tenant (cross-tenant eviction)
+        self.evicted_pages = 0
+
+    # -- demand signal --------------------------------------------------------
+    def update_demand(self, alpha: float) -> None:
+        """Fold the instantaneous demand into the EWMA the policies see."""
+        demand = float(self._instant_demand_bytes())
+        if self.hot_ewma <= 0.0:
+            self.hot_ewma = demand
+        else:
+            self.hot_ewma += alpha * (demand - self.hot_ewma)
+
+    def _instant_demand_bytes(self) -> int:
+        demand = self.hot_bytes()
+        config = getattr(self.manager, "config", None)
+        if config is not None:
+            # Watermark headroom: the manager insists on this much free
+            # DRAM, so a quota without it just churns demotions.
+            demand += getattr(config, "dram_free_watermark", 0)
+        for region in self.regions:
+            if region.pinned_tier == Tier.DRAM:
+                demand += region.bytes_in(Tier.DRAM)
+        return demand
+
+    @property
+    def demand_pages(self) -> int:
+        page = self.machine.spec.page_size
+        return -(-int(self.hot_ewma) // page)  # ceil
+
+    def floor_pages(self, total_dram_pages: int) -> int:
+        return int(self.spec.dram_floor_frac * total_dram_pages)
+
+    # -- reporting ------------------------------------------------------------
+    def hot_bytes(self) -> int:
+        tracker = getattr(self.manager, "tracker", None)
+        return tracker.hot_bytes() if tracker is not None else 0
+
+    def dram_bytes(self) -> int:
+        return sum(r.bytes_in(Tier.DRAM) for r in self.regions)
+
+    def nvm_bytes(self) -> int:
+        return sum(r.bytes_in(Tier.NVM) for r in self.regions)
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "inactive"
+        return f"Tenant({self.name!r}, {state})"
+
+
+class TenantHandle:
+    """The "manager" a tenant's workload allocates through.
+
+    Prefixes region names with the tenant name (so traces and tables stay
+    attributable), records every mapping on the tenant (so departure can
+    reclaim them), and forwards everything else to the tenant's real
+    manager unchanged.
+    """
+
+    def __init__(self, tenant: Tenant):
+        self._tenant = tenant
+        self._manager = tenant.manager
+
+    @property
+    def machine(self):
+        return self._manager.machine
+
+    def mmap(self, size: int, name: str = "", pinned_tier=None) -> Region:
+        label = f"{self._tenant.name}.{name}" if name else self._tenant.name
+        region = self._manager.mmap(size, name=label, pinned_tier=pinned_tier)
+        self._tenant.regions.append(region)
+        return region
+
+    def munmap(self, region: Region) -> None:
+        self._manager.munmap(region)
+        if region in self._tenant.regions:
+            self._tenant.regions.remove(region)
+
+    def prefault(self, region: Region, now: float = 0.0) -> None:
+        self._manager.prefault(region, now)
+
+    def __getattr__(self, attr):
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        return getattr(self._manager, attr)

@@ -1,0 +1,78 @@
+"""The composite workload driving a colocation run.
+
+``ColoWorkload`` is the engine-facing shim: it sets up every initial
+tenant's workload through that tenant's allocation handle, concatenates
+the active tenants' access mixes each tick (registering stream ownership
+with the :class:`ColoManager` so placement and observation route to the
+right tenant manager), and fans progress callbacks back out by stream
+identity.  Tenants arriving mid-run are set up by the manager's churn
+path; their streams join the mix on the next tick automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.colo.manager import ColoManager
+from repro.mem.access import AccessStream, StreamResult
+from repro.workloads.base import Workload
+
+
+class ColoWorkload(Workload):
+    """Drives all active tenants' workloads through one engine."""
+
+    name = "colo"
+
+    def __init__(self):
+        super().__init__(warmup=0.0)
+        self.colo: ColoManager = None
+
+    def setup(self, manager, machine, rng: np.random.Generator) -> None:
+        if not isinstance(manager, ColoManager):
+            raise TypeError(
+                f"ColoWorkload must run under a ColoManager, got {manager!r}"
+            )
+        self.colo = manager
+        manager.bind_workload(self)
+        for tenant in manager.active_tenants():
+            manager.setup_tenant_workload(tenant, now=0.0)
+        self.measure_start = max(
+            (t.workload.measure_start for t in manager.active_tenants()),
+            default=0.0,
+        )
+        # Prefault changed residency; give the arbiter a fresh look before
+        # the first tick instead of waiting out one period.
+        manager.arbiter.rebalance(0.0)
+
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        colo = self.colo
+        colo.begin_mix()
+        streams: List[AccessStream] = []
+        for tenant in colo.active_tenants():
+            for stream in tenant.workload.access_mix(now, dt):
+                colo.note_stream(stream, tenant)
+                streams.append(stream)
+        return streams
+
+    def on_progress(self, stream: AccessStream, result: StreamResult,
+                    now: float, dt: float) -> None:
+        tenant = self.colo.tenant_of_stream(stream)
+        if tenant is None:
+            raise KeyError(
+                f"stream {stream.name!r} is not part of the current tick's "
+                "access mix (stale stream object, or a departed tenant?)"
+            )
+        tenant.workload.on_progress(stream, result, now, dt)
+        self.total_ops += result.ops
+        if now >= self.measure_start:
+            self.measured_ops += result.ops
+
+    def result(self) -> Dict:
+        out = super().result()
+        out["tenants"] = {
+            name: tenant.workload.result()
+            for name, tenant in self.colo.tenants.items()
+        }
+        return out

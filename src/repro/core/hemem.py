@@ -52,6 +52,15 @@ class HeMemManager(TieredMemoryManager):
         self.fault_costs = FaultCostModel()
         self._managed: List[Region] = []
         self._offsets: Dict[int, np.ndarray] = {}
+        #: colocation hooks, set *before* attach: ``dax_override`` replaces
+        #: the full-capacity per-tier DAX files with quota-scoped views, and
+        #: ``pebs_unit`` gives this manager its own sampling unit instead of
+        #: the machine-global one.  Both stay None in single-manager runs.
+        self.dax_override: Optional[Dict[Tier, DaxFile]] = None
+        self.pebs_unit = None
+        #: services this manager registered on the engine (so a colocation
+        #: layer can unregister them when the tenant departs)
+        self.services: List = []
 
     # -- wiring ---------------------------------------------------------------
     def _on_attach(self) -> None:
@@ -62,10 +71,13 @@ class HeMemManager(TieredMemoryManager):
             # machine's capacities.
             self.config = self.config.scaled(machine.spec.scale)
         page = machine.spec.page_size
-        self.dax = {
-            Tier.DRAM: DaxFile(Tier.DRAM, machine.spec.dram_capacity, page),
-            Tier.NVM: DaxFile(Tier.NVM, machine.spec.nvm_capacity, page),
-        }
+        if self.dax_override is not None:
+            self.dax = dict(self.dax_override)
+        else:
+            self.dax = {
+                Tier.DRAM: DaxFile(Tier.DRAM, machine.spec.dram_capacity, page),
+                Tier.NVM: DaxFile(Tier.NVM, machine.spec.nvm_capacity, page),
+            }
         # Every manager-owned component registers its stats under the
         # manager's name, so two managers on one machine cannot collide.
         scoped = machine.stats.scoped(self.name)
@@ -89,6 +101,12 @@ class HeMemManager(TieredMemoryManager):
 
         if self._source_factory is not None:
             self.source = self._source_factory(self)
+        elif self.pebs_unit is not None:
+            # Per-tenant PEBS unit: the sampler RNG must also be tenant-named
+            # or every tenant would draw the identical page sequence.
+            self.source = PebsSource(
+                self, make_rng(machine.seed, "pebs_source", self.name)
+            )
         else:
             self.source = PebsSource(self, make_rng(machine.seed, "pebs_source"))
 
@@ -96,12 +114,16 @@ class HeMemManager(TieredMemoryManager):
         self.syscalls.set_interceptor(self._intercept_mmap)
 
         for service in self.source.services():
-            self.engine.add_service(service)
-        self.engine.add_service(PolicyService(self))
+            self._register_service(service)
+        self._register_service(PolicyService(self))
         # Dedicated page-fault and cooling threads (each burns a core;
         # cf. §5.1 "enables the policy and cooling threads" and Fig 7).
-        self.engine.add_service(SpinningService("hemem_fault"))
-        self.engine.add_service(SpinningService("hemem_cooling"))
+        self._register_service(SpinningService("hemem_fault"))
+        self._register_service(SpinningService("hemem_cooling"))
+
+    def _register_service(self, service) -> None:
+        self.services.append(service)
+        self.engine.add_service(service)
 
     # -- allocation -------------------------------------------------------------
     def _intercept_mmap(self, size: int, name: str) -> Optional[Region]:

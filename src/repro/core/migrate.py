@@ -99,6 +99,37 @@ class Migrator:
     def retries_pending(self) -> int:
         return len(self._retry_queue)
 
+    def retry_requests(self) -> List[CopyRequest]:
+        """Requests waiting out their backoff (occupancy/invariant checks)."""
+        return [request for _ready_at, request in self._retry_queue]
+
+    def cancel_region(self, region, now: float) -> int:
+        """Abort every in-flight or backoff-waiting copy touching ``region``.
+
+        Used when a region is being torn down mid-run (tenant departure):
+        each affected migration is rolled back through the same transactional
+        path as a retry-exhausted copy — destination reservation released,
+        page left in its source tier, write protection lifted — so the
+        subsequent munmap sees consistent offsets and no DAX page leaks.
+        """
+        cancelled = 0
+        for request in self.mover.queued_requests():
+            node = request.tag[0]
+            if node.region is region:
+                self.mover.remove(request)
+                self._abort(request, now)
+                cancelled += 1
+        if self._retry_queue:
+            keep = []
+            for ready_at, request in self._retry_queue:
+                if request.tag[0].region is region:
+                    self._abort(request, now)
+                    cancelled += 1
+                else:
+                    keep.append((ready_at, request))
+            self._retry_queue = keep
+        return cancelled
+
     def switch_mover(self, mover: CopyEngine) -> None:
         """Re-route all queued copies onto ``mover`` (DMA-down fallback).
 

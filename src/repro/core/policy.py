@@ -22,6 +22,22 @@ from repro.obs.events import PolicyPass
 from repro.sim.service import Service
 
 
+def pick_demotion_victim(dram_cold, tracker):
+    """Front of the DRAM cold list, skipping freshly-hot entries.
+
+    Shared between the per-manager policy thread and the colocation
+    arbiter's cross-tenant eviction path (repro.colo), so both demote by
+    the same victim-selection rule.
+    """
+    while dram_cold:
+        node = dram_cold.front
+        tracker.cool_if_stale(node)
+        if node.owner is dram_cold:
+            return node
+        # cool_if_stale re-homed it (it had become hot); try the next.
+    return None
+
+
 class PolicyService(Service):
     """HeMem's policy thread: a dedicated core, acting every 10 ms.
 
@@ -123,13 +139,4 @@ class PolicyService(Service):
         return count
 
     # -- helpers --------------------------------------------------------------
-    @staticmethod
-    def _pick_demotion_victim(dram_cold, tracker):
-        """Front of the DRAM cold list, skipping freshly-hot entries."""
-        while dram_cold:
-            node = dram_cold.front
-            tracker.cool_if_stale(node)
-            if node.owner is dram_cold:
-                return node
-            # cool_if_stale re-homed it (it had become hot); try the next.
-        return None
+    _pick_demotion_victim = staticmethod(pick_demotion_victim)

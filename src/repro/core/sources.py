@@ -76,7 +76,11 @@ class PebsSource(AccessSource):
         region = stream.region
         if not region.managed:
             return
-        pebs = self.manager.machine.pebs
+        # Colocated tenants sample through their own PEBS unit (scoped
+        # stats, tenant-named RNG); single managers use the machine's.
+        pebs = getattr(self.manager, "pebs_unit", None)
+        if pebs is None:
+            pebs = self.manager.machine.pebs
         loads = result.ops * stream.reads_per_op
         stores = result.ops * stream.writes_per_op
         dram_loads = loads * split.dram_read_frac
@@ -155,7 +159,9 @@ class _PebsDrainService(Service):
         self.source = source
 
     def run(self, engine, now, dt) -> float:
-        pebs = engine.machine.pebs
+        pebs = getattr(self.source.manager, "pebs_unit", None)
+        if pebs is None:
+            pebs = engine.machine.pebs
         spec = pebs.spec
         # One thread can process at most dt / cost-per-record records.
         budget = int(dt / (spec.drain_ns_per_record * 1e-9))

@@ -7,9 +7,16 @@ service that runs in the same tick.  Per activation it:
 
 1. fires every timeline event (injection or recovery) that has come due,
 2. advances the continuous NVM wear curve, if one is active,
-3. flushes the migrator's retry backoff queue, and
+3. flushes every migrator's retry backoff queue, and
 4. runs the migration watchdog (stranded-queue rescue + stuck-head
    re-queueing).
+
+Colocation: a manager exposing ``migrators()``/``pebs_units()`` (the
+:class:`~repro.colo.manager.ColoManager`) fans each per-manager fault out
+over all active tenants; a plan entry carrying ``@tenant=name`` narrows
+``copy_fail``/``pebs_spike`` to that tenant alone.  Scoping resolves at
+injection time, so tenants arriving after an untargeted injection are
+not retrofitted with the fault.
 
 Injection handlers per fault kind:
 
@@ -96,11 +103,52 @@ class FaultInjectorService(Service):
                 self._recover(engine, spec, now)
         if self._wear_spec is not None:
             self._advance_wear()
-        migrator = getattr(engine.manager, "migrator", None)
-        if migrator is not None:
+        movers_checked = set()
+        for migrator in self._migrators(engine):
             migrator.flush_retries(now)
-            self._watchdog(migrator, now)
+            self._watchdog(migrator, now, movers_checked)
         return 0.0  # harness construct: burns no simulated cores
+
+    # -- manager introspection -------------------------------------------------
+    @staticmethod
+    def _migrators(engine) -> List:
+        """All live migrators: one for a single manager, one per active
+        tenant under a colocation manager."""
+        manager = engine.manager
+        fan_out = getattr(manager, "migrators", None)
+        if callable(fan_out):
+            return fan_out()
+        migrator = getattr(manager, "migrator", None)
+        return [migrator] if migrator is not None else []
+
+    def _target_migrators(self, engine, spec: FaultSpec) -> List:
+        if spec.tenant is None:
+            return self._migrators(engine)
+        tenant = self._resolve_tenant(engine, spec)
+        migrator = getattr(tenant.manager, "migrator", None)
+        return [migrator] if migrator is not None else []
+
+    def _target_pebs_units(self, engine, spec: FaultSpec) -> List:
+        if spec.tenant is not None:
+            tenant = self._resolve_tenant(engine, spec)
+            pebs = getattr(tenant.manager, "pebs_unit", None)
+            return [pebs] if pebs is not None else []
+        units = [self.machine.pebs]
+        fan_out = getattr(engine.manager, "pebs_units", None)
+        if callable(fan_out):
+            units.extend(fan_out())
+        return units
+
+    @staticmethod
+    def _resolve_tenant(engine, spec: FaultSpec):
+        manager = engine.manager
+        get_tenant = getattr(manager, "get_tenant", None)
+        if not callable(get_tenant):
+            raise ValueError(
+                f"fault {spec.kind!r} targets tenant {spec.tenant!r} but "
+                f"manager {manager.name!r} has no tenants"
+            )
+        return get_tenant(spec.tenant)
 
     # -- dispatch ------------------------------------------------------------
     def _inject(self, engine, spec: FaultSpec, now: float) -> None:
@@ -141,11 +189,18 @@ class FaultInjectorService(Service):
         self._restore_dma_routing(engine)
 
     def _fail_over_to_threads(self, engine, now: float) -> None:
-        """Re-route migration onto copy threads while the DMA engine is dead."""
+        """Re-route migration onto copy threads while the DMA engine is dead.
+
+        With colocated tenants the first switch drains the shared DMA
+        queue (order-preserving, all tenants' copies) onto one shared
+        fallback engine; every DMA-routed migrator is then pointed at it.
+        """
         machine = self.machine
-        migrator = getattr(engine.manager, "migrator", None)
-        if migrator is None or migrator.mover is not machine.dma:
-            return  # manager was never using the DMA engine
+        targets = [
+            m for m in self._migrators(engine) if m.mover is machine.dma
+        ]
+        if not targets:
+            return  # no manager was using the DMA engine
         if self._fallback is None:
             config = getattr(engine.manager, "config", None)
             self._fallback = ThreadCopyEngine(
@@ -154,16 +209,17 @@ class FaultInjectorService(Service):
                 max_rate=machine.dma.max_rate,
             )
             machine.register_mover(self._fallback)
-        migrator.switch_mover(self._fallback)
+        for migrator in targets:
+            migrator.switch_mover(self._fallback)
         self._dma_failed_over = True
 
     def _restore_dma_routing(self, engine) -> None:
         machine = self.machine
         if not self._dma_failed_over or not machine.dma.operational:
             return
-        migrator = getattr(engine.manager, "migrator", None)
-        if migrator is not None and migrator.mover is self._fallback:
-            migrator.switch_mover(machine.dma)
+        for migrator in self._migrators(engine):
+            if migrator.mover is self._fallback:
+                migrator.switch_mover(machine.dma)
         self._dma_failed_over = False
 
     # -- NVM degradation -----------------------------------------------------
@@ -213,14 +269,12 @@ class FaultInjectorService(Service):
     # -- transient copy failures ----------------------------------------------
     def _inject_copy_fail(self, engine, spec: FaultSpec, now: float) -> None:
         self._fail_probability = spec.value
-        migrator = getattr(engine.manager, "migrator", None)
-        if migrator is not None:
+        for migrator in self._target_migrators(engine, spec):
             migrator.copy_fault_hook = self._copy_should_fail
 
     def _recover_copy_fail(self, engine, spec: FaultSpec, now: float) -> None:
         self._fail_probability = 0.0
-        migrator = getattr(engine.manager, "migrator", None)
-        if migrator is not None:
+        for migrator in self._target_migrators(engine, spec):
             migrator.copy_fault_hook = None
 
     def _copy_should_fail(self, request: CopyRequest, now: float) -> bool:
@@ -231,13 +285,15 @@ class FaultInjectorService(Service):
 
     # -- PEBS buffer pressure --------------------------------------------------
     def _inject_pebs_spike(self, engine, spec: FaultSpec, now: float) -> None:
-        self.machine.pebs.set_capacity_factor(spec.value)
+        for pebs in self._target_pebs_units(engine, spec):
+            pebs.set_capacity_factor(spec.value)
 
     def _recover_pebs_spike(self, engine, spec: FaultSpec, now: float) -> None:
-        self.machine.pebs.set_capacity_factor(1.0)
+        for pebs in self._target_pebs_units(engine, spec):
+            pebs.set_capacity_factor(1.0)
 
     # -- watchdog --------------------------------------------------------------
-    def _watchdog(self, migrator, now: float) -> None:
+    def _watchdog(self, migrator, now: float, movers_checked: set) -> None:
         """Detect and re-queue stuck migrations.
 
         Two hazards: (a) copies stranded in the dead DMA engine's queue —
@@ -246,6 +302,8 @@ class FaultInjectorService(Service):
         active mover's head outliving the timeout, which with a FIFO
         mover means the mover itself is starved — counted (and re-queued
         once the mover can make progress again) rather than silently hung.
+        ``movers_checked`` dedupes hazard (b) across colocated migrators
+        sharing one mover.
         """
         machine = self.machine
         dma = machine.dma
@@ -255,6 +313,9 @@ class FaultInjectorService(Service):
                 migrator.mover.submit(request)
                 self._watchdog_requeued.add(1)
                 self._emit_requeue(request, now)
+        if id(migrator.mover) in movers_checked:
+            return
+        movers_checked.add(id(migrator.mover))
         head = migrator.mover.peek()
         if head is None or now - head.submitted_at <= self.WATCHDOG_TIMEOUT:
             return

@@ -8,10 +8,14 @@ config or parsed from the compact CLI syntax::
     --faults dma_channel_down@t=2.0,nvm_degrade:0.5@t=5.0
     --faults copy_fail:0.3@t=1.0+4.0          # active on [1.0, 5.0)
     --faults pebs_spike:0.05@t=3.0+2.0,nvm_wear:16
+    --faults copy_fail:0.5@t=1.0+3.0@tenant=a # colocation: tenant a only
 
-Grammar per entry: ``kind[:value][@t=start[+duration]]``.  ``value``
-defaults per kind; ``start`` defaults to 0.0; omitting ``+duration``
-leaves the fault active for the rest of the run.
+Grammar per entry: ``kind[:value][@t=start[+duration]][@tenant=name]``.
+``value`` defaults per kind; ``start`` defaults to 0.0; omitting
+``+duration`` leaves the fault active for the rest of the run.
+``@tenant=`` scopes the fault to one colocation tenant and is only legal
+for the per-manager kinds (:data:`TENANT_SCOPED_KINDS`) — device-level
+faults hit every tenant by construction.
 
 Everything here is pure data — deterministic, hashable into the bench
 cache digest, and round-trippable through :meth:`FaultPlan.to_string` —
@@ -56,6 +60,10 @@ FAULT_KINDS: Dict[str, Tuple[Optional[float], str]] = {
     ),
 }
 
+#: kinds that act on one manager's state (and so may carry ``@tenant=``);
+#: the rest act on shared devices and always hit the whole machine
+TENANT_SCOPED_KINDS = frozenset({"copy_fail", "pebs_spike"})
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -65,6 +73,7 @@ class FaultSpec:
     value: Optional[float] = None
     t: float = 0.0
     duration: Optional[float] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -79,6 +88,14 @@ class FaultSpec:
             raise ValueError(f"fault time cannot be negative: {self.t}")
         if self.duration is not None and self.duration <= 0:
             raise ValueError(f"fault duration must be positive: {self.duration}")
+        if self.tenant is not None:
+            if not self.tenant:
+                raise ValueError("fault tenant name cannot be empty")
+            if self.kind not in TENANT_SCOPED_KINDS:
+                raise ValueError(
+                    f"{self.kind} is a device-level fault and cannot target "
+                    f"a tenant; only {sorted(TENANT_SCOPED_KINDS)} can"
+                )
         self._validate_value()
 
     def _validate_value(self) -> None:
@@ -109,6 +126,8 @@ class FaultSpec:
         out += f"@t={_fmt(self.t)}"
         if self.duration is not None:
             out += f"+{_fmt(self.duration)}"
+        if self.tenant is not None:
+            out += f"@tenant={self.tenant}"
         return out
 
 
@@ -121,27 +140,34 @@ def _parse_entry(entry: str) -> FaultSpec:
     entry = entry.strip()
     if not entry:
         raise ValueError("empty fault entry")
+    parts = entry.split("@")
+    head = parts[0]
     t = 0.0
     duration: Optional[float] = None
-    if "@" in entry:
-        head, _, when = entry.partition("@")
-        if not when.startswith("t="):
-            raise ValueError(f"expected '@t=<seconds>' in fault entry: {entry!r}")
-        when = when[2:]
-        if "+" in when:
-            start_s, _, dur_s = when.partition("+")
-            duration = float(dur_s)
+    tenant: Optional[str] = None
+    for part in parts[1:]:
+        if part.startswith("t="):
+            when = part[2:]
+            if "+" in when:
+                start_s, _, dur_s = when.partition("+")
+                duration = float(dur_s)
+            else:
+                start_s = when
+            t = float(start_s)
+        elif part.startswith("tenant="):
+            tenant = part[len("tenant="):]
         else:
-            start_s = when
-        t = float(start_s)
-    else:
-        head = entry
+            raise ValueError(
+                f"expected '@t=<seconds>' or '@tenant=<name>' in fault "
+                f"entry: {entry!r}"
+            )
     if ":" in head:
         kind, _, value_s = head.partition(":")
         value: Optional[float] = float(value_s)
     else:
         kind, value = head, None
-    return FaultSpec(kind=kind, value=value, t=t, duration=duration)
+    return FaultSpec(kind=kind, value=value, t=t, duration=duration,
+                     tenant=tenant)
 
 
 @dataclass(frozen=True)

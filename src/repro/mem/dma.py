@@ -96,6 +96,10 @@ class CopyEngine:
         """Oldest queued request (None when idle)."""
         return self._queue[0] if self._queue else None
 
+    def queued_requests(self) -> List[CopyRequest]:
+        """Snapshot of the queue in FIFO order (invariant checks, cancels)."""
+        return list(self._queue)
+
     def remove(self, request: CopyRequest) -> bool:
         """Withdraw one queued request (watchdog re-queueing); False if absent."""
         try:

@@ -107,6 +107,10 @@ class Machine:
         #: fault-injection plan; None (the default) leaves every component
         #: on the happy path with zero added work per tick.
         self.fault_plan = None
+        #: colocation hook: when installed (repro.colo), computes per-stream
+        #: rate factors splitting device bandwidth across tenants.  None (the
+        #: default) keeps resolution byte-identical to the single-app model.
+        self.bw_partitioner = None
         on_machine_created(self)
 
     # -- wiring ---------------------------------------------------------------
@@ -159,6 +163,20 @@ class Machine:
         self.regions.append(region)
         return region
 
+    def release_region(self, region: Region) -> None:
+        """Forget a fully unmapped region (tenant departure reclaim).
+
+        The caller must have freed the region's backing first (munmap);
+        dropping it here keeps occupancy metrics and page-table scans from
+        accounting departed tenants' address space forever.
+        """
+        if region.mapped.any():
+            raise ValueError(f"cannot release {region.name}: pages still mapped")
+        try:
+            self.regions.remove(region)
+        except ValueError:
+            pass
+
     # -- interference (TLB shootdowns, faults) ---------------------------------
     def add_interference(self, core_seconds: float) -> None:
         """Charge application-visible stall time (spread over this tick)."""
@@ -189,7 +207,14 @@ class Machine:
             for key, bw in mover.last_tick_bw().items():
                 reserved[key] = reserved.get(key, 0.0) + bw
 
-        results = self.perf.resolve(streams, splits, speed_factor, dt, reserved)
+        factors = None
+        if self.bw_partitioner is not None:
+            factors = self.bw_partitioner.stream_factors(
+                streams, splits, speed_factor, self.perf, reserved
+            )
+        results = self.perf.resolve(
+            streams, splits, speed_factor, dt, reserved, factors=factors
+        )
 
         dram_traffic = self.dram.record_traffic
         nvm_traffic = self.nvm.record_traffic

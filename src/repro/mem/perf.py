@@ -32,7 +32,7 @@ uncached evaluation produce bit-identical floats:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.mem.access import AccessStream, StreamResult, TierSplit
 from repro.mem.devices import RAND, READ, WRITE, MemoryDevice
@@ -254,10 +254,13 @@ class PerfModel:
         speed_factor: float,
         dt: float,
         reserved_bw: Dict[Tuple[Tier, str], float],
+        rate_factor: float = 1.0,
     ) -> StreamResult:
         """One-stream tick, bit-identical to the general two-pass path."""
         op_t, entries = self._resolve_stream(stream, split)
         rate = stream.threads * speed_factor / op_t if op_t > 0 else 0.0
+        if rate_factor != 1.0:
+            rate *= rate_factor
         get = reserved_bw.get
         factor = 1.0
         for chan, bytes_per_op, cap, _pat in entries:
@@ -312,14 +315,22 @@ class PerfModel:
         speed_factor: float,
         dt: float,
         reserved_bw: Dict[Tuple[Tier, str], float],
+        factors: Optional[List[float]] = None,
     ) -> List[StreamResult]:
         """Compute achieved per-stream throughput for one tick.
 
         ``reserved_bw`` maps (tier, op) to media bytes/s already claimed by
-        migration traffic this tick.
+        migration traffic this tick.  ``factors`` optionally scales each
+        stream's latency-limited rate (a per-stream admission multiplier;
+        the colocation bandwidth partitioner uses it to enforce per-tenant
+        device shares).  ``None`` — the only value any single-manager path
+        ever passes — leaves every operation bit-identical to the
+        pre-``factors`` model.
         """
         if len(streams) != len(splits):
             raise ValueError("streams and splits must align")
+        if factors is not None and len(factors) != len(streams):
+            raise ValueError("factors and streams must align")
         if not streams:
             return []
         if len(streams) == 1:
@@ -327,15 +338,20 @@ class PerfModel:
             # demand lists entirely; the arithmetic — including the
             # ``(d * cap) / d`` pattern-weighted capacity — is kept
             # operation-for-operation identical to the general path.
-            return [self._resolve_single(streams[0], splits[0], speed_factor, dt, reserved_bw)]
+            return [self._resolve_single(
+                streams[0], splits[0], speed_factor, dt, reserved_bw,
+                rate_factor=factors[0] if factors is not None else 1.0,
+            )]
 
         # Pass 1: unthrottled rates and per-channel demand.
         per_stream = []
         totals = [0.0] * _N_CHANNELS
         weighted_caps = [0.0] * _N_CHANNELS
-        for stream, split in zip(streams, splits):
+        for i, (stream, split) in enumerate(zip(streams, splits)):
             op_t, entries = self._resolve_stream(stream, split)
             rate = stream.threads * speed_factor / op_t if op_t > 0 else 0.0
+            if factors is not None and factors[i] != 1.0:
+                rate *= factors[i]
             per_stream.append((stream, rate, op_t, entries))
             for chan, bytes_per_op, cap, _pat in entries:
                 d = rate * bytes_per_op

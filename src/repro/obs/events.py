@@ -161,6 +161,41 @@ class MigrationAborted(NamedTuple):
     attempts: int
 
 
+class TenantArrived(NamedTuple):
+    """A colocation tenant was admitted (manager attached, heap prefaulted)."""
+
+    t: float
+    tenant: str
+
+
+class TenantDeparted(NamedTuple):
+    """A tenant departed: in-flight copies rolled back, DAX pages reclaimed.
+
+    ``freed_pages`` counts the DAX pages (both tiers) its teardown returned
+    to the shared pool.
+    """
+
+    t: float
+    tenant: str
+    freed_pages: int
+
+
+class QuotaUpdated(NamedTuple):
+    """The DRAM arbiter changed one tenant's quota (bytes)."""
+
+    t: float
+    tenant: str
+    quota_bytes: int
+
+
+class TenantEvicted(NamedTuple):
+    """One arbiter pass demoted ``pages`` of an over-quota tenant's DRAM."""
+
+    t: float
+    tenant: str
+    pages: int
+
+
 #: event class -> wire discriminator (stable; the trace format depends on it)
 EVENT_KINDS: Dict[Type, str] = {
     MigrationStart: "migration_start",
@@ -176,6 +211,10 @@ EVENT_KINDS: Dict[Type, str] = {
     FaultRecovered: "fault_recovered",
     MigrationRetried: "migration_retried",
     MigrationAborted: "migration_aborted",
+    TenantArrived: "tenant_arrived",
+    TenantDeparted: "tenant_departed",
+    QuotaUpdated: "quota_updated",
+    TenantEvicted: "tenant_evicted",
 }
 
 KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}

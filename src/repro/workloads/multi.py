@@ -15,6 +15,12 @@ class MultiWorkload(Workload):
     Stream names must be unique across members (give each instance its own
     prefix); progress callbacks are routed back to the member that emitted
     the stream.
+
+    Each member receives its own child RNG derived from the parent by
+    member *index*, so a member's stochastic choices (hot sets, latency
+    samples) depend only on its own position — adding or removing another
+    member never perturbs them, which is what lets tenant sets compose
+    reproducibly.
     """
 
     name = "multi"
@@ -24,30 +30,40 @@ class MultiWorkload(Workload):
             raise ValueError("need at least one member workload")
         super().__init__(warmup=max(p.warmup for p in parts))
         self.parts = parts
-        self._owner_of: Dict[str, Workload] = {}
+        # stream object -> owning member, valid for the current tick only
+        self._owner_of: Dict[int, Workload] = {}
 
     def setup(self, manager, machine, rng) -> None:
-        for i, part in enumerate(self.parts):
-            part.setup(manager, machine, rng)
+        for part, child in zip(self.parts, rng.spawn(len(self.parts))):
+            part.setup(manager, machine, child)
 
     def access_mix(self, now: float, dt: float) -> List[AccessStream]:
         streams: List[AccessStream] = []
         self._owner_of = {}
+        names: set = set()
         for part in self.parts:
             for stream in part.access_mix(now, dt):
-                if stream.name in self._owner_of:
+                if stream.name in names:
                     raise ValueError(
                         f"duplicate stream name across workloads: {stream.name}"
                     )
-                self._owner_of[stream.name] = part
+                names.add(stream.name)
+                self._owner_of[id(stream)] = part
                 streams.append(stream)
         return streams
 
     def on_progress(self, stream: AccessStream, result: StreamResult,
                     now: float, dt: float) -> None:
-        owner = self._owner_of.get(stream.name)
+        # Keyed by stream identity, not name: a callback carrying a stream
+        # object from an earlier tick (whose owner map has been rebuilt
+        # since) must fail loudly rather than route to whichever member
+        # happens to reuse the name now.
+        owner = self._owner_of.get(id(stream))
         if owner is None:
-            raise KeyError(f"no owner recorded for stream {stream.name}")
+            raise KeyError(
+                f"stream {stream.name!r} is not part of the current tick's "
+                f"access mix (stale stream object from an earlier tick?)"
+            )
         owner.on_progress(stream, result, now, dt)
         self.total_ops += result.ops
         if now >= self.measure_start:

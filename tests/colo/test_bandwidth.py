@@ -1,0 +1,61 @@
+"""Tests for weighted max-min water-filling (bandwidth partitioning math)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.colo.bandwidth import water_fill
+
+
+class TestWaterFill:
+    def test_undersubscribed_meets_every_demand(self):
+        alloc = water_fill({"a": 3.0, "b": 2.0}, {"a": 1.0, "b": 1.0}, 10.0)
+        assert alloc == {"a": 3.0, "b": 2.0}
+
+    def test_oversubscribed_equal_weights_split_evenly(self):
+        alloc = water_fill({"a": 10.0, "b": 10.0}, {"a": 1.0, "b": 1.0}, 8.0)
+        assert alloc["a"] == alloc["b"] == 4.0
+
+    def test_weights_bias_the_split(self):
+        alloc = water_fill({"a": 10.0, "b": 10.0}, {"a": 3.0, "b": 1.0}, 8.0)
+        assert alloc["a"] == 6.0
+        assert alloc["b"] == 2.0
+
+    def test_satisfied_tenants_release_their_share(self):
+        # a needs only 1 of its equal half; b soaks up the rest.
+        alloc = water_fill({"a": 1.0, "b": 100.0}, {"a": 1.0, "b": 1.0}, 10.0)
+        assert alloc["a"] == 1.0
+        assert abs(alloc["b"] - 9.0) < 1e-9
+
+    def test_zero_demand_gets_nothing(self):
+        alloc = water_fill({"a": 0.0, "b": 5.0}, {"a": 1.0, "b": 1.0}, 4.0)
+        assert alloc == {"a": 0.0, "b": 4.0}
+
+    def test_zero_capacity(self):
+        alloc = water_fill({"a": 5.0}, {"a": 1.0}, 0.0)
+        assert alloc == {"a": 0.0}
+
+
+@given(
+    demands=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(min_value=0.0, max_value=100.0),
+        min_size=1,
+    ),
+    weights=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(min_value=0.1, max_value=10.0),
+    ),
+    cap=st.floats(min_value=0.0, max_value=200.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_water_fill_is_feasible_and_work_conserving(demands, weights, cap):
+    alloc = water_fill(demands, weights, cap)
+    assert set(alloc) == set(demands)
+    total = 0.0
+    for name, demand in demands.items():
+        assert -1e-9 <= alloc[name] <= demand + 1e-9  # never over-serves
+        total += alloc[name]
+    assert total <= cap + 1e-6  # never over-commits the channel
+    # Work conservation: capacity is only left idle once all demand is met.
+    if total < cap - 1e-6:
+        assert all(alloc[n] >= demands[n] - 1e-6 for n in demands)

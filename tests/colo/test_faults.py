@@ -1,0 +1,43 @@
+"""Tenant-targeted fault injection under colocation."""
+
+import pytest
+
+from repro.api import run_colocation, run_workload
+from repro.colo import TenantSpec
+from repro.core.hemem import HeMemManager
+from repro.sim.units import GB, MB
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+
+def migration_heavy(name):
+    # Oversubscribed against the per-tenant DRAM share so copies flow
+    # throughout the run (same shape as the fault_smoke colo case).
+    return TenantSpec(
+        name,
+        GupsWorkload(GupsConfig(working_set=4 * GB, hot_set=256 * MB),
+                     warmup=1.0),
+    )
+
+
+class TestTenantTargetedFaults:
+    def test_copy_fail_hits_only_the_named_tenant(self):
+        result = run_colocation(
+            [migration_heavy("a"), migration_heavy("b")],
+            duration=4.5, policy="fair", scale=64, seed=11, tick=0.01,
+            faults="copy_fail:0.5@t=1.0+3.0@tenant=a",
+        )
+        counters = result["engine"].machine.stats.counters()
+        assert counters.get("faults.injected", 0.0) == 1.0
+        assert counters.get("faults.recovered", 0.0) == 1.0
+        assert counters.get("a.migration_retries", 0.0) >= 1
+        assert counters.get("b.migration_retries", 0.0) == 0
+
+    def test_tenant_fault_without_colocation_raises(self):
+        with pytest.raises(ValueError, match="has no tenants"):
+            run_workload(
+                HeMemManager(),
+                GupsWorkload(GupsConfig(working_set=4 * GB, hot_set=256 * MB),
+                             warmup=0.5),
+                duration=1.5, scale=64, tick=0.01,
+                faults="copy_fail:0.5@t=0.5@tenant=a",
+            )

@@ -1,0 +1,160 @@
+"""Unit and property tests for the DRAM sharing policies (pure quota math)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.colo.policies import (
+    POLICIES,
+    FairShare,
+    FreeForAll,
+    StaticPartition,
+    StrictPriority,
+    TenantShare,
+    largest_remainder,
+    make_policy,
+)
+
+
+class TestLargestRemainder:
+    def test_exact_and_proportional(self):
+        out = largest_remainder(100, [2.0, 1.0, 1.0], ["a", "b", "c"])
+        assert out == {"a": 50, "b": 25, "c": 25}
+
+    def test_leftover_goes_to_largest_remainders(self):
+        # 10 * [1,1,1] / 3 = 3.33 each; one spare page, tie broken by name.
+        out = largest_remainder(10, [1.0, 1.0, 1.0], ["c", "a", "b"])
+        assert sum(out.values()) == 10
+        assert out["a"] == 4  # name-ordered tie-break
+
+    def test_zero_total_or_weights(self):
+        assert largest_remainder(0, [1.0], ["a"]) == {"a": 0}
+        assert largest_remainder(10, [0.0, 0.0], ["a", "b"]) == {"a": 0, "b": 0}
+
+
+class TestStaticPartition:
+    def test_tracks_weights_not_demand(self):
+        shares = [
+            TenantShare("a", weight=3.0, demand_pages=0),
+            TenantShare("b", weight=1.0, demand_pages=10_000),
+        ]
+        assert StaticPartition().quotas(100, shares) == {"a": 75, "b": 25}
+
+
+class TestFairShare:
+    def test_tracks_demand(self):
+        shares = [
+            TenantShare("hot", demand_pages=300),
+            TenantShare("cold", demand_pages=100),
+        ]
+        assert FairShare().quotas(100, shares) == {"hot": 75, "cold": 25}
+
+    def test_floors_granted_first(self):
+        shares = [
+            TenantShare("a", floor_pages=40, demand_pages=0),
+            TenantShare("b", demand_pages=1000),
+        ]
+        out = FairShare().quotas(100, shares)
+        assert out["a"] >= 40
+        assert out["a"] + out["b"] == 100
+
+    def test_cold_start_falls_back_to_weights(self):
+        shares = [
+            TenantShare("a", weight=1.0),
+            TenantShare("b", weight=3.0),
+        ]
+        assert FairShare().quotas(80, shares) == {"a": 20, "b": 60}
+
+    def test_oversubscribed_floors_scaled(self):
+        shares = [
+            TenantShare("a", floor_pages=90),
+            TenantShare("b", floor_pages=90),
+        ]
+        out = FairShare().quotas(100, shares)
+        assert sum(out.values()) == 100
+        assert out["a"] == out["b"] == 50
+
+
+class TestStrictPriority:
+    def test_high_class_served_first(self):
+        shares = [
+            TenantShare("hi", priority=1, demand_pages=70),
+            TenantShare("lo", priority=0, demand_pages=70),
+        ]
+        out = StrictPriority().quotas(100, shares)
+        assert out["hi"] == 70  # full demand
+        assert out["lo"] == 30  # the squeeze
+
+    def test_floor_bounds_the_squeeze(self):
+        shares = [
+            TenantShare("hi", priority=1, demand_pages=200),
+            TenantShare("lo", priority=0, floor_pages=25, demand_pages=50),
+        ]
+        out = StrictPriority().quotas(100, shares)
+        assert out["lo"] == 25
+        assert out["hi"] == 75
+
+    def test_same_class_splits_by_demand(self):
+        shares = [
+            TenantShare("a", priority=1, demand_pages=300),
+            TenantShare("b", priority=1, demand_pages=100),
+        ]
+        out = StrictPriority().quotas(100, shares)
+        assert out == {"a": 75, "b": 25}
+
+    def test_underrun_spreads_leftover_by_weight(self):
+        shares = [
+            TenantShare("a", priority=1, demand_pages=10, weight=1.0),
+            TenantShare("b", priority=0, demand_pages=10, weight=1.0),
+        ]
+        out = StrictPriority().quotas(100, shares)
+        assert sum(out.values()) == 100
+        assert out["a"] == out["b"] == 50
+
+
+class TestFreeForAll:
+    def test_everyone_sees_the_whole_device(self):
+        shares = [TenantShare("a"), TenantShare("b")]
+        assert FreeForAll().quotas(64, shares) == {"a": 64, "b": 64}
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert set(POLICIES) == {"static", "fair", "priority", "none"}
+        for name in POLICIES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown sharing policy"):
+            make_policy("roulette")
+
+
+@st.composite
+def share_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [
+        TenantShare(
+            name=f"t{i}",
+            weight=draw(st.floats(min_value=0.1, max_value=10.0)),
+            priority=draw(st.integers(min_value=0, max_value=3)),
+            floor_pages=draw(st.integers(min_value=0, max_value=200)),
+            demand_pages=draw(st.integers(min_value=0, max_value=5000)),
+        )
+        for i in range(n)
+    ]
+
+
+@given(
+    total=st.integers(min_value=0, max_value=4000),
+    shares=share_lists(),
+    policy=st.sampled_from(["static", "fair", "priority"]),
+)
+@settings(max_examples=200, deadline=None)
+def test_arbitrated_quotas_exactly_allocate_the_device(total, shares, policy):
+    """Every arbitrated policy hands out >= 0 pages per tenant, covers every
+    tenant, and (with positive weights) allocates the device exactly —
+    never more than machine DRAM."""
+    quotas = make_policy(policy).quotas(total, shares)
+    assert set(quotas) == {s.name for s in shares}
+    assert all(q >= 0 for q in quotas.values())
+    assert sum(quotas.values()) == total

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, wear_half_bytes
+from repro.faults.plan import (
+    FAULT_KINDS,
+    TENANT_SCOPED_KINDS,
+    FaultPlan,
+    FaultSpec,
+    wear_half_bytes,
+)
 from repro.sim.units import GB
 
 
@@ -77,6 +83,38 @@ class TestParsing:
         for kind in FAULT_KINDS:
             [spec] = FaultPlan.parse(kind).specs
             assert spec.kind == kind
+
+
+class TestTenantScoping:
+    def test_parse_tenant_suffix(self):
+        [spec] = FaultPlan.parse("copy_fail:0.5@t=1.0+3.0@tenant=a").specs
+        assert spec.kind == "copy_fail"
+        assert spec.value == 0.5
+        assert (spec.t, spec.duration) == (1.0, 3.0)
+        assert spec.tenant == "a"
+
+    def test_tenant_without_time(self):
+        [spec] = FaultPlan.parse("pebs_spike:0.1@tenant=kvs-prio").specs
+        assert spec.tenant == "kvs-prio"
+        assert spec.t == 0.0
+
+    def test_round_trip_keeps_tenant(self):
+        plan = FaultPlan.parse("copy_fail:0.5@t=1.0+3.0@tenant=a")
+        assert FaultPlan.parse(plan.to_string()) == plan
+        assert "@tenant=a" in plan.to_string()
+
+    def test_device_level_kinds_cannot_target_a_tenant(self):
+        for kind in sorted(set(FAULT_KINDS) - TENANT_SCOPED_KINDS):
+            with pytest.raises(ValueError, match="device-level fault"):
+                FaultPlan.parse(f"{kind}@tenant=a")
+
+    def test_empty_tenant_name_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("copy_fail@tenant=")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("copy_fail@victim=a")
 
 
 class TestTimeline:

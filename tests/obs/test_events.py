@@ -17,7 +17,11 @@ from repro.obs.events import (
     PebsDrain,
     PebsDrop,
     PolicyPass,
+    QuotaUpdated,
     ServiceRun,
+    TenantArrived,
+    TenantDeparted,
+    TenantEvicted,
     event_from_dict,
     event_to_dict,
 )
@@ -37,6 +41,10 @@ SAMPLES = [
     ServiceRun(0.43, "hemem_policy", 0.01),
     FaultInjected(2.0, "nvm_degrade", 0.5),
     FaultRecovered(4.0, "nvm_degrade"),
+    TenantArrived(5.0, "kvs-prio"),
+    TenantDeparted(9.0, "kvs-prio", 4096),
+    QuotaUpdated(5.1, "kvs-prio", 64 << 30),
+    TenantEvicted(5.2, "gups-scan", 32),
 ]
 
 

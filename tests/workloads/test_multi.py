@@ -61,3 +61,24 @@ class TestMulti:
         a = KvsWorkload(KvsConfig(working_set=512 * MB, instance="a"), warmup=1.0)
         b = KvsWorkload(KvsConfig(working_set=512 * MB, instance="b"), warmup=2.0)
         assert MultiWorkload([a, b]).warmup == 2.0
+
+    def test_member_rng_depends_only_on_own_index(self):
+        # Adding a second member must not perturb the first member's RNG
+        # stream — tenant sets compose reproducibly.
+        a_solo, _ = make_parts()
+        make_engine([a_solo])
+        solo_draws = a_solo._rng.random(8).tolist()
+
+        a_duo, b_duo = make_parts()
+        make_engine([a_duo, b_duo])
+        assert a_duo._rng.random(8).tolist() == solo_draws
+
+    def test_stale_stream_progress_fails_loudly(self):
+        from repro.mem.access import StreamResult
+
+        a, b = make_parts()
+        engine, multi = make_engine([a, b])
+        stale = multi.access_mix(0.0, 0.01)[0]
+        multi.access_mix(0.01, 0.01)  # owner map rebuilt for the next tick
+        with pytest.raises(KeyError, match="stale stream"):
+            multi.on_progress(stale, StreamResult(ops=1.0), 0.02, 0.01)
