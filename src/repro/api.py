@@ -96,6 +96,41 @@ def run_colocation(
     return result
 
 
+def diagnose(trace, detectors=None):
+    """Run the anomaly detectors over a trace; returns a ``HealthReport``.
+
+    ``trace`` is a :class:`repro.obs.Trace`, a :class:`repro.obs.Tracer`,
+    or a path to a saved trace JSON.
+    """
+    from repro.obs.health import run_health
+    from repro.obs.replay import Trace
+    from repro.obs.trace import Tracer
+
+    if isinstance(trace, Tracer):
+        trace = Trace.from_tracer(trace)
+    elif not isinstance(trace, Trace):
+        trace = Trace.load(trace)
+    return run_health(trace, detectors=detectors)
+
+
+def explain_placement(trace, region: str, page: int,
+                      max_steps_per_page: int = 64) -> str:
+    """Human-readable placement provenance of one page (see
+    :class:`repro.obs.PlacementProvenance`)."""
+    from repro.obs.diagnose import PlacementProvenance
+    from repro.obs.replay import Trace
+    from repro.obs.trace import Tracer
+
+    if isinstance(trace, Tracer):
+        trace = Trace.from_tracer(trace)
+    elif not isinstance(trace, Trace):
+        trace = Trace.load(trace)
+    prov = PlacementProvenance.from_trace(
+        trace, max_steps_per_page=max_steps_per_page
+    )
+    return prov.explain_text(region, page)
+
+
 def run_gups(
     manager,
     config: GupsConfig,

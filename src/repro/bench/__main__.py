@@ -14,6 +14,16 @@ land in the cache, so later metrics runs replay them.  Both write JSON,
 or long-format CSV when the file name ends in ``.csv``.  Without these
 flags nothing is captured and the simulations run at full speed.
 
+Diagnostics: ``--perfetto-out FILE`` exports the captured traces as a
+Perfetto/Chrome trace-event timeline (open it at ``ui.perfetto.dev``) and
+``--health-out FILE`` runs the anomaly detectors of
+:mod:`repro.obs.health` and writes their findings; both imply trace
+capture.  ``python -m repro.bench diagnose <trace.json>`` re-analyses a
+saved trace offline.  ``--perf-record FILE`` appends nothing to the
+tables but records wall time and events/sec per experiment (the
+``BENCH_*.json`` perf trajectory; compare runs with
+``python -m repro.bench.perf``).
+
 ``--update-golden`` refreshes the committed golden tables
 (``tests/golden/<experiment>.csv``) that the regression suite compares
 against; run it after any intentional behaviour change, with the fast
@@ -23,11 +33,19 @@ preset and no overrides.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from pathlib import Path
 
+from repro.bench.diagnostics import (
+    collect_traces,
+    diagnose_main,
+    health_summary,
+    write_health,
+    write_perfetto,
+)
 from repro.bench.registry import MODULES, get_module
 from repro.bench.report import save_observations
 from repro.bench.runner import (
@@ -43,6 +61,10 @@ DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "diagnose":
+        return diagnose_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.bench",
         description="Regenerate HeMem (SOSP'21) evaluation tables and figures.",
@@ -71,6 +93,15 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write per-case metric summaries to FILE "
                              "(.json or .csv)")
+    parser.add_argument("--perfetto-out", default=None, metavar="FILE",
+                        help="export captured traces as a Perfetto/Chrome "
+                             "trace-event JSON (implies trace capture)")
+    parser.add_argument("--health-out", default=None, metavar="FILE",
+                        help="run the anomaly detectors over captured traces "
+                             "and write the findings (implies trace capture)")
+    parser.add_argument("--perf-record", default=None, metavar="FILE",
+                        help="write wall time and events/sec per experiment "
+                             "(the BENCH_*.json perf trajectory)")
     parser.add_argument("--update-golden", action="store_true",
                         help="write each experiment's table to the golden "
                              "directory instead of asserting against it")
@@ -107,7 +138,8 @@ def main(argv=None) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     jobs = max(args.jobs or 1, 1)
-    tracing = args.trace_out is not None
+    diagnostics = args.perfetto_out is not None or args.health_out is not None
+    tracing = args.trace_out is not None or diagnostics
     # Metric capture costs per-tick sampling plus summary serialisation, so
     # the default CLI path runs without it; asking for an export turns it on
     # (and the captured summaries land in the cache for later replays).
@@ -143,6 +175,40 @@ def main(argv=None) -> int:
     if args.metrics_out:
         save_observations(args.metrics_out, observed, "metrics")
         print(f"[metrics written: {args.metrics_out}]")
+    if diagnostics:
+        traces = collect_traces(observed)
+        if args.perfetto_out:
+            doc = write_perfetto(traces, args.perfetto_out)
+            print(f"[perfetto trace written: {args.perfetto_out} "
+                  f"({len(doc['traceEvents'])} events)]")
+        if args.health_out:
+            report = write_health(traces, args.health_out)
+            print(f"[health report written: {args.health_out}]")
+            print(health_summary(report))
+    if args.perf_record:
+        record = {
+            "kind": "perf",
+            "preset": args.preset,
+            "jobs": jobs,
+            "tracing": tracing,
+            "experiments": {
+                stats.experiment: {
+                    "wall_seconds": round(stats.wall_seconds, 3),
+                    "cases": stats.cases,
+                    "cache_hits": stats.cache_hits,
+                    "cache_misses": stats.cache_misses,
+                    "events": stats.events,
+                    "events_per_sec": (
+                        round(stats.events / stats.wall_seconds, 1)
+                        if stats.events and stats.wall_seconds > 0 else None
+                    ),
+                }
+                for stats in all_stats
+            },
+        }
+        with open(args.perf_record, "w") as fh:
+            json.dump(record, fh, indent=1)
+        print(f"[perf record written: {args.perf_record}]")
 
     if len(names) > 1:
         cases = sum(s.cases for s in all_stats)

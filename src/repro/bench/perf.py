@@ -1,0 +1,86 @@
+"""Perf-trajectory comparison for ``--perf-record`` outputs.
+
+The repository commits a baseline (``BENCH_<pr>.json``) produced by
+``python -m repro.bench ... --perf-record``; CI regenerates the record
+and runs::
+
+    python -m repro.bench.perf BENCH_5.json fresh.json
+
+which prints a GitHub Actions ``::warning`` per experiment whose wall
+time regressed by more than the threshold (default 25%).  It always
+exits 0 — the perf record is a trajectory, not a gate: wall times on
+shared CI runners are too noisy to fail a build on, but the warnings
+make a creeping slowdown visible in every run's annotations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Regression messages for experiments slower than baseline * (1+thr).
+
+    Experiments present on only one side are skipped (a new experiment
+    has no baseline; a removed one no current) — the comparison only
+    speaks about work both records measured.
+    """
+    messages = []
+    base_exps = baseline.get("experiments", {})
+    for name, cur in current.get("experiments", {}).items():
+        base = base_exps.get(name)
+        if not isinstance(base, dict):
+            continue
+        base_wall = base.get("wall_seconds")
+        cur_wall = cur.get("wall_seconds")
+        if not base_wall or not cur_wall:
+            continue
+        if cur_wall > base_wall * (1.0 + threshold):
+            messages.append(
+                f"{name}: wall time {cur_wall:.2f}s vs baseline "
+                f"{base_wall:.2f}s (+{cur_wall / base_wall - 1.0:.0%}, "
+                f"threshold +{threshold:.0%})"
+            )
+    return messages
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf",
+        description="Compare two --perf-record files; warn (never fail) on "
+                    "wall-time regressions.",
+    )
+    parser.add_argument("baseline", help="committed perf record (BENCH_*.json)")
+    parser.add_argument("current", help="freshly produced perf record")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative wall-time slack before warning "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    for record, path in ((baseline, args.baseline), (current, args.current)):
+        if record.get("kind") != "perf":
+            print(f"{path}: not a --perf-record file", file=sys.stderr)
+            return 2
+
+    messages = compare(baseline, current, threshold=args.threshold)
+    if not messages:
+        print(f"perf: no wall-time regressions beyond "
+              f"+{args.threshold:.0%} vs {args.baseline}")
+    for message in messages:
+        # GitHub Actions annotation syntax; plain noise elsewhere.
+        print(f"::warning title=bench perf regression::{message}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,9 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
+    #: trace events captured across the experiment's fresh runs (0 unless
+    #: tracing was on; feeds the events/sec column of ``--perf-record``)
+    events: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -276,6 +279,10 @@ def run_cases(
                     case_metrics = _normalize([p["metrics"] for p in payloads])
                 if trace:
                     case_traces = [p["trace"] for p in payloads]
+                    stats.events += sum(
+                        len(events) for events in case_traces
+                        if events is not None
+                    )
             if observations is not None and payloads is not None:
                 observations[case.key] = {
                     "trace": case_traces,

@@ -70,11 +70,13 @@ class DramArbiter(Service):
             quota = quotas.get(tenant.name, 0)
             dax = tenant.dram_dax
             if quota != dax.quota_pages:
+                grew = quota > dax.quota_pages
                 dax.set_quota_pages(quota)
                 self._quota_updates.add(1)
                 if tracer is not None:
                     tracer.emit(QuotaUpdated(
-                        now, tenant.name, quota * dax.page_size
+                        now, tenant.name, quota * dax.page_size,
+                        f"{self.policy.name}:{'grow' if grew else 'shrink'}",
                     ))
             evicted = self._evict_over_quota(tenant, now)
             if evicted:
@@ -106,7 +108,8 @@ class DramArbiter(Service):
                 victim = dram_hot.front
             if victim is None:
                 break
-            if not migrator.migrate(victim, Tier.NVM, now):
+            if not migrator.migrate(victim, Tier.NVM, now,
+                                    reason="arbiter-evict"):
                 break
             count += 1
         return count

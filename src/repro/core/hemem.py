@@ -177,16 +177,20 @@ class HeMemManager(TieredMemoryManager):
                 continue
             if region.pinned_tier is not None:
                 tier = region.pinned_tier
+                reason = "pinned"
             elif dram.free_pages > watermark_pages:
                 tier = Tier.DRAM
+                reason = "dram-free"
             else:
                 tier = Tier.NVM
+                reason = "nvm-watermark"
             dax = dram if tier == Tier.DRAM else nvm
             offsets[page] = dax.alloc_page()
             region.tier[page] = tier
             region.tier_version += 1
             region.mapped[page] = True
-            self.uffd.post_fault(FaultKind.PAGE_MISSING, region, page, now)
+            self.uffd.post_fault(FaultKind.PAGE_MISSING, region, page, now,
+                                 reason=reason)
             if region.pinned_tier is None:
                 self.tracker.track_page(region, page)
         # The page-fault thread resolves the queued missing faults; big-data

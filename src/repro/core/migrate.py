@@ -146,8 +146,14 @@ class Migrator:
     def can_reserve(self, dst: Tier) -> bool:
         return self.dax[dst].free_pages > 0
 
-    def migrate(self, node: PageNode, dst: Tier, now: float) -> bool:
-        """Begin migrating ``node`` to ``dst``; False if no space there."""
+    def migrate(self, node: PageNode, dst: Tier, now: float,
+                reason: str = "") -> bool:
+        """Begin migrating ``node`` to ``dst``; False if no space there.
+
+        ``reason`` labels the submitting policy's decision in the trace
+        (``promote-hot``, ``demote-watermark``, ``arbiter-evict``, ...); it
+        affects nothing but the emitted ``MigrationStart`` event.
+        """
         region = node.region
         if node.under_migration:
             return False
@@ -180,7 +186,8 @@ class Migrator:
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(MigrationStart(
-                now, region.name, node.page, src.name, dst.name, region.page_size,
+                now, region.name, node.page, src.name, dst.name,
+                region.page_size, reason,
             ))
         return True
 

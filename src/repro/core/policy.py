@@ -88,7 +88,8 @@ class PolicyService(Service):
                 continue  # cooled below hot; it moved to the cold list
             have_free = dram_dax.free_bytes - node.nbytes >= config.dram_free_watermark
             if have_free:
-                if not migrator.migrate(node, Tier.DRAM, now):
+                if not migrator.migrate(node, Tier.DRAM, now,
+                                        reason="promote-hot"):
                     break
                 promoted += 1
                 continue
@@ -103,10 +104,12 @@ class PolicyService(Service):
             # would churn the watermark for nothing.
             if dram_dax.free_pages == 0 or nvm_dax.free_pages == 0:
                 break
-            if not migrator.migrate(victim, Tier.NVM, now):
+            if not migrator.migrate(victim, Tier.NVM, now,
+                                    reason="demote-swap"):
                 break
             demoted += 1
-            if not migrator.migrate(node, Tier.DRAM, now):
+            if not migrator.migrate(node, Tier.DRAM, now,
+                                    reason="promote-swap"):
                 break
             promoted += 1
         return promoted, demoted
@@ -126,14 +129,16 @@ class PolicyService(Service):
             and migrator.queued_bytes < config.migration_queue_limit
         ):
             victim = self._pick_demotion_victim(dram_cold, tracker)
+            reason = "demote-watermark"
             if victim is None:
                 # No cold data: demote the oldest resident hot page
                 # ("migrates random data to NVM until the threshold amount
                 # of DRAM is free").
                 victim = dram_hot.front
+                reason = "demote-watermark-hot"
             if victim is None:
                 break
-            if not migrator.migrate(victim, Tier.NVM, now):
+            if not migrator.migrate(victim, Tier.NVM, now, reason=reason):
                 break
             count += 1
         return count

@@ -21,7 +21,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.core.config import HeMemConfig
 from repro.mem.page import Tier
 from repro.mem.region import Region
-from repro.obs.events import CoolingPass
+from repro.obs.events import CoolingPass, PageClassified
 
 
 class PageNode:
@@ -68,10 +68,17 @@ class PageNode:
 
 
 class PageList:
-    """Doubly-linked FIFO with O(1) arbitrary removal and byte accounting."""
+    """Doubly-linked FIFO with O(1) arbitrary removal and byte accounting.
 
-    def __init__(self, name: str):
+    ``hot`` records which classification the list represents, so the
+    tracker can tell whether moving a node between lists flips its
+    hot/cold state (the transition the provenance trace records) without
+    string-parsing list names.
+    """
+
+    def __init__(self, name: str, hot: bool = False):
         self.name = name
+        self.hot = hot
         self._head: Optional[PageNode] = None
         self._tail: Optional[PageNode] = None
         self._count = 0
@@ -148,7 +155,9 @@ class HotColdTracker:
         self.config = config
         self.global_clock = 0
         self.lists: Dict[Tuple[Tier, bool], PageList] = {
-            (tier, hot): PageList(f"{tier.name.lower()}_{'hot' if hot else 'cold'}")
+            (tier, hot): PageList(
+                f"{tier.name.lower()}_{'hot' if hot else 'cold'}", hot=hot
+            )
             for tier in (Tier.DRAM, Tier.NVM)
             for hot in (True, False)
         }
@@ -261,6 +270,19 @@ class HotColdTracker:
         write_heavy = self.is_write_heavy(node)
         was_write_heavy = node.write_heavy
         node.write_heavy = write_heavy
+        tracer = self._tracer
+        if (
+            tracer is not None
+            and node.owner is not None
+            and node.owner.hot != hot
+        ):
+            # Classification flipped (cold->hot or hot->cold): record the
+            # transition and the sample evidence behind it.
+            tracer.emit(PageClassified(
+                tracer.now, node.region.name, node.page,
+                Tier(node.region.tier[node.page]).name, hot,
+                node.reads, node.writes,
+            ))
         prioritise = write_heavy and self.config.write_priority
         # raw int tier avoids constructing a Tier enum per sample; IntEnum
         # keys hash/compare equal to their integer values.

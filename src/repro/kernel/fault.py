@@ -34,12 +34,15 @@ class FaultCostModel:
         return n_pages * per_fault
 
 
-def trace_fault(tracer, fault_kind_value: str, region, page: int) -> None:
+def trace_fault(tracer, fault_kind_value: str, region, page: int,
+                reason: str = "") -> None:
     """Emit one :class:`PageFault` event (no-op when ``tracer`` is None).
 
     The tier is read from the region's placement at post time: for
     page-missing faults that is where the page was just installed, for
     write-protection faults where the protected page currently lives.
+    ``reason`` carries the allocator's placement decision for page-missing
+    faults (``pinned``, ``dram-free``, ``nvm-watermark``).
     """
     if tracer is None:
         return
@@ -50,4 +53,5 @@ def trace_fault(tracer, fault_kind_value: str, region, page: int) -> None:
         page,
         Tier(region.tier[page]).name,
         region.page_size,
+        reason,
     ))

@@ -80,8 +80,13 @@ class UserFaultFd:
         return set(self._write_protected.get(region.region_id, set()))
 
     # -- fault delivery ------------------------------------------------------------
-    def post_fault(self, kind: FaultKind, region: Region, page: int, now: float) -> None:
-        """Kernel side: enqueue a fault for the user-level handler."""
+    def post_fault(self, kind: FaultKind, region: Region, page: int, now: float,
+                   reason: str = "") -> None:
+        """Kernel side: enqueue a fault for the user-level handler.
+
+        ``reason`` labels the placement decision behind a page-missing
+        fault in the trace; it does not affect fault delivery.
+        """
         self._require_registered(region)
         self._queue.append(FaultEvent(kind, region, page, now))
         if kind is FaultKind.PAGE_MISSING:
@@ -89,7 +94,7 @@ class UserFaultFd:
         else:
             self._wp_ctr.add(1)
         if self._tracer is not None:
-            trace_fault(self._tracer, kind.value, region, page)
+            trace_fault(self._tracer, kind.value, region, page, reason)
 
     def read_events(self, max_events: int = 0) -> List[FaultEvent]:
         """User side: drain pending fault events (0 = all)."""

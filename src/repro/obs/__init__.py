@@ -17,14 +17,22 @@ Three ways in:
 
 Traces round-trip through :mod:`repro.obs.replay`, which computes derived
 views (migration latencies, migration-rate time series, tier byte deltas).
+
+On top of the event stream sits the diagnosis layer:
+:mod:`repro.obs.diagnose` folds a trace into per-page placement
+provenance (``explain(region, page)``), :mod:`repro.obs.perfetto`
+exports Perfetto/Chrome trace-event timelines, and
+:mod:`repro.obs.health` runs pluggable anomaly detectors over a trace.
 """
 
+from repro.obs.diagnose import PlacementProvenance, ProvenanceStep
 from repro.obs.events import (
     CoolingPass,
     DmaTransfer,
     EVENT_KINDS,
     MigrationDone,
     MigrationStart,
+    PageClassified,
     PageFault,
     PebsDrain,
     PebsDrop,
@@ -33,22 +41,41 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
+from repro.obs.health import (
+    DEFAULT_DETECTORS,
+    Detector,
+    Finding,
+    HealthReport,
+    run_health,
+)
 from repro.obs.metrics import MetricsSampler, metrics_summary
+from repro.obs.perfetto import (
+    export_traces,
+    perfetto_document,
+    validate_chrome_trace,
+)
 from repro.obs.replay import Trace, load_bench_export
 from repro.obs.runtime import capture, capture_active, is_metrics, is_tracing
 from repro.obs.trace import Tracer
 
 __all__ = [
     "CoolingPass",
+    "DEFAULT_DETECTORS",
+    "Detector",
     "DmaTransfer",
     "EVENT_KINDS",
+    "Finding",
+    "HealthReport",
     "MetricsSampler",
     "MigrationDone",
     "MigrationStart",
+    "PageClassified",
     "PageFault",
     "PebsDrain",
     "PebsDrop",
+    "PlacementProvenance",
     "PolicyPass",
+    "ProvenanceStep",
     "ServiceRun",
     "Trace",
     "Tracer",
@@ -56,8 +83,12 @@ __all__ = [
     "capture_active",
     "event_from_dict",
     "event_to_dict",
+    "export_traces",
     "is_metrics",
     "is_tracing",
     "load_bench_export",
     "metrics_summary",
+    "perfetto_document",
+    "run_health",
+    "validate_chrome_trace",
 ]

@@ -17,7 +17,13 @@ from typing import Dict, NamedTuple, Type
 
 
 class MigrationStart(NamedTuple):
-    """A page copy was submitted to the data mover (page write-protected)."""
+    """A page copy was submitted to the data mover (page write-protected).
+
+    ``reason`` is the submitting policy's decision label (``promote-hot``,
+    ``demote-swap``, ``demote-watermark``, ``arbiter-evict``, ...; empty
+    for callers that predate provenance or migrate ad hoc).  Defaulted so
+    traces written before the field existed still load.
+    """
 
     t: float
     region: str
@@ -25,6 +31,7 @@ class MigrationStart(NamedTuple):
     src: str
     dst: str
     nbytes: int
+    reason: str = ""
 
 
 class MigrationDone(NamedTuple):
@@ -48,7 +55,9 @@ class PageFault(NamedTuple):
 
     ``fault`` is ``"missing"`` (first touch) or ``"wp"`` (store hit a
     write-protected page under migration); ``tier`` is where the page
-    resides when the fault is posted.
+    resides when the fault is posted.  ``reason`` carries the placement
+    decision for page-missing faults (``pinned``, ``dram-free``,
+    ``nvm-watermark``) and is empty for write-protection faults.
     """
 
     t: float
@@ -57,6 +66,7 @@ class PageFault(NamedTuple):
     page: int
     tier: str
     nbytes: int
+    reason: str = ""
 
 
 class PebsDrop(NamedTuple):
@@ -181,11 +191,34 @@ class TenantDeparted(NamedTuple):
 
 
 class QuotaUpdated(NamedTuple):
-    """The DRAM arbiter changed one tenant's quota (bytes)."""
+    """The DRAM arbiter changed one tenant's quota (bytes).
+
+    ``reason`` is ``<policy>:grow`` or ``<policy>:shrink`` (the sharing
+    policy that produced the new quota and the direction of the change).
+    """
 
     t: float
     tenant: str
     quota_bytes: int
+    reason: str = ""
+
+
+class PageClassified(NamedTuple):
+    """The hot/cold tracker flipped a page's classification.
+
+    Emitted only on transitions (cold→hot or hot→cold), never per sample,
+    so the volume stays proportional to placement churn.  ``reads`` and
+    ``writes`` are the (cooled) sample counts at the moment of the flip —
+    the evidence the classification was based on.
+    """
+
+    t: float
+    region: str
+    page: int
+    tier: str
+    hot: bool
+    reads: int
+    writes: int
 
 
 class TenantEvicted(NamedTuple):
@@ -215,6 +248,7 @@ EVENT_KINDS: Dict[Type, str] = {
     TenantDeparted: "tenant_departed",
     QuotaUpdated: "quota_updated",
     TenantEvicted: "tenant_evicted",
+    PageClassified: "page_classified",
 }
 
 KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}
@@ -228,10 +262,19 @@ def event_to_dict(event) -> dict:
 
 
 def event_from_dict(data: dict):
-    """Inverse of :func:`event_to_dict`."""
+    """Inverse of :func:`event_to_dict`.
+
+    Fields with declared defaults may be absent (traces written before a
+    field was added still load); fields without defaults are required.
+    """
     try:
         cls = KIND_TO_EVENT[data["kind"]]
     except KeyError:
         raise ValueError(f"unknown event kind: {data.get('kind')!r}") from None
-    fields = {name: data[name] for name in cls._fields}
+    defaults = cls._field_defaults
+    fields = {
+        name: data[name] if name in data else defaults[name]
+        for name in cls._fields
+        if name in data or name in defaults
+    }
     return cls(**fields)

@@ -11,6 +11,13 @@ observability time series the paper's figures are built from:
 - ``obs.migration_queue_bytes`` — bytes queued across all data movers
   (migration backlog; Fig 9's dynamic phases).
 
+Colocation runs additionally get per-tenant series prefixed with the
+tenant name — ``obs.<tenant>.dram_bytes`` / ``.nvm_bytes`` /
+``.pebs_loss_rate`` — so ``--metrics-out`` CSV columns from different
+tenants never collide, and the machine-global loss rate aggregates every
+tenant's *private* PEBS unit (in colo runs the machine-global unit sits
+idle, which used to leave ``obs.pebs_loss_rate`` pinned at zero).
+
 :func:`metrics_summary` snapshots a machine's whole stats registry —
 counters, histograms, and every recorded time series — into a JSON-able
 dict, which is what the bench runner caches per case and what
@@ -43,14 +50,50 @@ class MetricsSampler:
         # per-region occupancy memo keyed by tier_version: most ticks move
         # nothing, so sampling must not rescan every region's tier array
         self._occupancy = {}
+        # colocation: per-tenant series + loss bookkeeping, created lazily
+        # the first tick a colo manager is seen (single-manager runs never
+        # touch any of this beyond one getattr per tick)
+        self._colo = None
+        self._tenant_series = {}
+        self._tenant_last = {}
 
     def sample(self, now: float, dt: float) -> None:
         """Record one tick's worth of samples (engine bookkeeping step)."""
         machine = self.machine
+        dram, nvm = self._split(machine.regions)
+        self._dram.record(now, float(dram))
+        self._nvm.record(now, float(nvm))
+
+        tenants = self._tenants()
+        pebs_units = [machine.pebs]
+        if tenants:
+            pebs_units.extend(
+                unit for unit in (
+                    getattr(t.manager, "pebs_unit", None) for t in tenants
+                ) if unit is not None
+            )
+        sampled = float(sum(u.records_sampled for u in pebs_units))
+        dropped = float(sum(u.records_dropped for u in pebs_units))
+        # deltas clamp at 0: a departing tenant takes its counters with it
+        d_sampled = max(sampled - self._last_sampled, 0.0)
+        d_dropped = max(dropped - self._last_dropped, 0.0)
+        self._last_sampled, self._last_dropped = sampled, dropped
+        total = d_sampled + d_dropped
+        self._loss.record(now, d_dropped / total if total else 0.0)
+
+        queued = sum(mover.pending_bytes for mover in machine.movers())
+        self._queue.record(now, float(queued))
+
+        if tenants:
+            self._sample_tenants(tenants, now)
+
+    # -- helpers ---------------------------------------------------------------
+    def _split(self, regions):
+        """(dram, nvm) byte split over ``regions`` via the occupancy memo."""
         occupancy = self._occupancy
         dram = 0
         nvm = 0
-        for region in machine.regions:
+        for region in regions:
             version = region.tier_version
             cached = occupancy.get(region.region_id)
             if cached is not None and cached[0] == version:
@@ -60,19 +103,46 @@ class MetricsSampler:
                 occupancy[region.region_id] = (version, in_dram)
             dram += in_dram
             nvm += region.size - in_dram
-        self._dram.record(now, float(dram))
-        self._nvm.record(now, float(nvm))
+        return dram, nvm
 
-        pebs = machine.pebs
-        sampled, dropped = pebs.records_sampled, pebs.records_dropped
-        d_sampled = sampled - self._last_sampled
-        d_dropped = dropped - self._last_dropped
-        self._last_sampled, self._last_dropped = sampled, dropped
-        total = d_sampled + d_dropped
-        self._loss.record(now, d_dropped / total if total else 0.0)
+    def _tenants(self):
+        """Active colo tenants, or None when this is not a colo run."""
+        if self._colo is None:
+            engine = getattr(self.machine, "engine", None)
+            manager = getattr(engine, "manager", None)
+            if manager is None or not hasattr(manager, "active_tenants"):
+                return None
+            self._colo = manager
+        return self._colo.active_tenants()
 
-        queued = sum(mover.pending_bytes for mover in machine.movers())
-        self._queue.record(now, float(queued))
+    def _sample_tenants(self, tenants, now: float) -> None:
+        stats = self.machine.stats
+        for tenant in tenants:
+            name = tenant.name
+            series = self._tenant_series.get(name)
+            if series is None:
+                prefix = f"obs.{name}"
+                series = (
+                    stats.series(f"{prefix}.dram_bytes"),
+                    stats.series(f"{prefix}.nvm_bytes"),
+                    stats.series(f"{prefix}.pebs_loss_rate"),
+                )
+                self._tenant_series[name] = series
+            dram_s, nvm_s, loss_s = series
+            dram, nvm = self._split(tenant.manager.managed_regions())
+            dram_s.record(now, float(dram))
+            nvm_s.record(now, float(nvm))
+            unit = getattr(tenant.manager, "pebs_unit", None)
+            if unit is None:
+                continue
+            sampled = float(unit.records_sampled)
+            dropped = float(unit.records_dropped)
+            last = self._tenant_last.get(name, (0.0, 0.0))
+            d_sampled = max(sampled - last[0], 0.0)
+            d_dropped = max(dropped - last[1], 0.0)
+            self._tenant_last[name] = (sampled, dropped)
+            total = d_sampled + d_dropped
+            loss_s.record(now, d_dropped / total if total else 0.0)
 
 
 def metrics_summary(machine) -> dict:

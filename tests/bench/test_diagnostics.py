@@ -1,0 +1,173 @@
+"""Bench-side diagnostics plumbing: trace collection, the offline
+``diagnose`` subcommand, and the --perf-record comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.diagnostics import (
+    collect_traces,
+    diagnose_main,
+    health_summary,
+    load_any,
+    write_health,
+    write_perfetto,
+)
+from repro.bench.perf import compare, main as perf_main
+from repro.obs.events import (
+    MigrationDone,
+    MigrationStart,
+    PageFault,
+    event_to_dict,
+)
+from repro.obs.perfetto import validate_chrome_trace
+from repro.obs.replay import Trace
+
+PAGE = 2 << 20
+
+
+def sample_events():
+    return [
+        PageFault(0.0, "missing", "heap", 3, "NVM", PAGE, "nvm-watermark"),
+        MigrationStart(1.0, "heap", 3, "NVM", "DRAM", PAGE, "promote-hot"),
+        MigrationDone(1.2, "heap", 3, "NVM", "DRAM", PAGE, 0.2),
+    ]
+
+
+def sample_dicts():
+    return [event_to_dict(e) for e in sample_events()]
+
+
+class TestCollectTraces:
+    def test_labels_are_experiment_case_machine(self):
+        observed = {
+            "fig9": {
+                "hemem": {"trace": [sample_dicts(), sample_dicts()]},
+                "nvm": {"trace": [sample_dicts()]},
+            },
+        }
+        traces = collect_traces(observed)
+        assert sorted(traces) == [
+            "fig9/hemem/m0", "fig9/hemem/m1", "fig9/nvm/m0",
+        ]
+        assert all(isinstance(t, Trace) for t in traces.values())
+        assert len(traces["fig9/hemem/m0"]) == 3
+
+    def test_caseless_and_untraced_observations_are_skipped(self):
+        observed = {
+            "fig9": {
+                "hemem": {"trace": None},
+                "nvm": None,
+                "dram": {"trace": [None, sample_dicts()]},
+            },
+        }
+        assert sorted(collect_traces(observed)) == ["fig9/dram/m1"]
+
+
+class TestWriters:
+    def test_write_perfetto_validates(self, tmp_path):
+        path = tmp_path / "out.perfetto.json"
+        doc = write_perfetto({"fig9/hemem/m0": Trace(sample_events())}, path)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+        assert doc["traceEvents"]
+
+    def test_write_health_shape_and_summary(self, tmp_path):
+        path = tmp_path / "health.json"
+        doc = write_health({"fig9/hemem/m0": Trace(sample_events())}, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        assert doc["kind"] == "health"
+        assert list(doc["runs"]) == ["fig9/hemem/m0"]
+        assert "fig9/hemem/m0: OK" in health_summary(doc)
+
+
+class TestDiagnoseCli:
+    def test_on_a_saved_raw_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        Trace(sample_events()).save(trace_path)
+        health_path = tmp_path / "health.json"
+        perfetto_path = tmp_path / "out.perfetto.json"
+        rc = diagnose_main([
+            str(trace_path),
+            "--health-out", str(health_path),
+            "--perfetto-out", str(perfetto_path),
+            "--explain", "heap:3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loaded 1 trace(s)" in out
+        assert "trace: OK" in out
+        assert "promote-hot" in out  # the --explain chain printed
+        health = json.loads(health_path.read_text())
+        assert health["kind"] == "health"
+        perfetto = json.loads(perfetto_path.read_text())
+        assert validate_chrome_trace(perfetto) == []
+
+    def test_on_a_bench_trace_export(self, tmp_path, capsys):
+        export = {
+            "kind": "trace",
+            "experiments": {"fig9": {"hemem": [sample_dicts()]}},
+        }
+        path = tmp_path / "bench.trace.json"
+        path.write_text(json.dumps(export))
+        assert list(load_any(path)) == ["fig9/hemem/m0"]
+        assert diagnose_main([str(path)]) == 0
+        assert "fig9/hemem/m0" in capsys.readouterr().out
+
+    def test_bad_explain_spec_errors(self, tmp_path):
+        trace_path = tmp_path / "run.trace.json"
+        Trace(sample_events()).save(trace_path)
+        with pytest.raises(SystemExit):
+            diagnose_main([str(trace_path), "--explain", "nonsense"])
+
+
+def perf_record(**walls):
+    return {
+        "kind": "perf",
+        "experiments": {
+            name: {"wall_seconds": wall, "cases": 3, "events": 100,
+                   "events_per_sec": 100.0 / wall}
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestPerfCompare:
+    def test_within_threshold_is_quiet(self):
+        base = perf_record(fig9=10.0)
+        cur = perf_record(fig9=12.0)  # +20% < 25%
+        assert compare(base, cur) == []
+
+    def test_regression_beyond_threshold_warns(self):
+        [msg] = compare(perf_record(fig9=10.0), perf_record(fig9=13.0))
+        assert "fig9" in msg and "+30%" in msg
+
+    def test_one_sided_experiments_are_skipped(self):
+        base = perf_record(fig9=10.0)
+        cur = perf_record(colo=100.0)  # no baseline -> no warning
+        assert compare(base, cur) == []
+
+    def test_main_warns_but_exits_zero(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(perf_record(fig9=10.0)))
+        cur_path.write_text(json.dumps(perf_record(fig9=20.0)))
+        assert perf_main([str(base_path), str(cur_path)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning title=bench perf regression::" in out
+
+    def test_main_rejects_non_perf_files(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps({"kind": "trace"}))
+        cur_path.write_text(json.dumps(perf_record(fig9=10.0)))
+        assert perf_main([str(base_path), str(cur_path)]) == 2
+
+    def test_custom_threshold(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(perf_record(fig9=10.0)))
+        cur_path.write_text(json.dumps(perf_record(fig9=11.5)))
+        assert perf_main([str(base_path), str(cur_path),
+                          "--threshold", "0.10"]) == 0
+        assert "::warning" in capsys.readouterr().out

@@ -13,6 +13,7 @@ from repro.obs.events import (
     MigrationDone,
     MigrationRetried,
     MigrationStart,
+    PageClassified,
     PageFault,
     PebsDrain,
     PebsDrop,
@@ -27,12 +28,13 @@ from repro.obs.events import (
 )
 
 SAMPLES = [
-    MigrationStart(0.5, "heap", 3, "NVM", "DRAM", 2 << 20),
+    MigrationStart(0.5, "heap", 3, "NVM", "DRAM", 2 << 20, "promote-hot"),
     MigrationDone(0.52, "heap", 3, "NVM", "DRAM", 2 << 20, 0.02),
     MigrationRetried(0.53, "heap", 3, 1, 0.01),
     MigrationAborted(0.6, "heap", 3, "NVM", "DRAM", 5),
-    PageFault(0.0, "missing", "heap", 0, "DRAM", 2 << 20),
+    PageFault(0.0, "missing", "heap", 0, "DRAM", 2 << 20, "dram-free"),
     PageFault(1.0, "wp", "heap", 9, "NVM", 2 << 20),
+    PageClassified(0.45, "heap", 3, "NVM", True, 9, 2),
     PebsDrop(0.3, "store", 17),
     PebsDrain(0.31, 120, 100),
     CoolingPass(0.4, 2),
@@ -43,7 +45,7 @@ SAMPLES = [
     FaultRecovered(4.0, "nvm_degrade"),
     TenantArrived(5.0, "kvs-prio"),
     TenantDeparted(9.0, "kvs-prio", 4096),
-    QuotaUpdated(5.1, "kvs-prio", 64 << 30),
+    QuotaUpdated(5.1, "kvs-prio", 64 << 30, "fair:shrink"),
     TenantEvicted(5.2, "gups-scan", 32),
 ]
 

@@ -1,0 +1,227 @@
+"""Anomaly detection: each detector on crafted traces, with exact windows."""
+
+import pytest
+
+from repro.obs.events import (
+    FaultInjected,
+    MigrationAborted,
+    MigrationDone,
+    MigrationRetried,
+    MigrationStart,
+    PageClassified,
+    PageFault,
+    PebsDrain,
+    PebsDrop,
+    QuotaUpdated,
+    TenantEvicted,
+)
+from repro.obs.health import (
+    DEFAULT_DETECTORS,
+    Detector,
+    DramFlatline,
+    Finding,
+    PebsLossSpike,
+    QuotaChurn,
+    SloBurn,
+    ThrashDetector,
+    run_health,
+)
+from repro.obs.replay import Trace
+
+PAGE = 2 << 20
+
+
+def thrash_events(page=1, t0=1.0, step=0.5):
+    """Completed DRAM<->NVM ping-pong: N->D, D->N, N->D, D->N."""
+    out = []
+    src, dst = "NVM", "DRAM"
+    t = t0
+    for _ in range(4):
+        out.append(MigrationStart(t - 0.05, "heap", page, src, dst, PAGE, "x"))
+        out.append(MigrationDone(t, "heap", page, src, dst, PAGE, 0.05))
+        src, dst = dst, src
+        t += step
+    return out
+
+
+def crafted_thrash_and_faults():
+    """The acceptance scenario: placement thrash plus an injected copy-fault
+    storm plus a PEBS loss spike, each in its own disjoint time window."""
+    events = [
+        PageFault(0.0, "missing", "heap", 1, "NVM", PAGE, "nvm-watermark"),
+        PageClassified(0.5, "heap", 1, "NVM", True, 9, 1),
+    ]
+    # window [1.0, 2.5]: page 1 ping-pongs (3 round trips)
+    events += thrash_events(page=1, t0=1.0, step=0.5)
+    # window [3, 4): injected copy failures -> retry storm ending in an abort
+    events.append(FaultInjected(3.0, "copy_fail", 0.8))
+    events.append(MigrationStart(3.0, "heap", 2, "NVM", "DRAM", PAGE, "promote-hot"))
+    for attempt in range(1, 7):
+        events.append(MigrationRetried(3.0 + attempt * 0.1, "heap", 2,
+                                       attempt, 0.01 * attempt))
+    events.append(MigrationAborted(3.9, "heap", 2, "NVM", "DRAM", 6))
+    # window [5, 6): the PEBS ring drops half its records
+    events.append(PebsDrain(5.1, 180, 170))
+    events.append(PebsDrop(5.2, "load", 200))
+    return sorted(events, key=lambda e: e.t)
+
+
+class TestAcceptanceScenario:
+    def test_at_least_three_detectors_fire_with_correct_windows(self):
+        report = run_health(Trace(crafted_thrash_and_faults()))
+        fired = {f.detector for f in report}
+        assert {"placement-thrash", "migration-stall-storm",
+                "pebs-loss-spike"} <= fired
+        assert len(fired) >= 3
+
+        [thrash] = report.by_detector("placement-thrash")
+        assert thrash.start == pytest.approx(1.0)
+        assert thrash.end == pytest.approx(2.5)
+        assert ("heap", 1) in thrash.pages
+        assert thrash.provenance  # chains of implicated pages attached
+        assert "heap[1]" in thrash.provenance[0]
+
+        [storm] = report.by_detector("migration-stall-storm")
+        assert storm.severity == "critical"  # the abort escalates it
+        assert (storm.start, storm.end) == (3.0, 4.0)
+        assert ("heap", 2) in storm.pages
+
+        [spike] = report.by_detector("pebs-loss-spike")
+        assert (spike.start, spike.end) == (5.0, 6.0)
+        assert spike.severity == "critical"  # 200/380 > 50%
+        assert spike.data["lost"] == 200
+
+
+class TestPebsLossSpike:
+    def test_small_or_proportionate_loss_is_quiet(self):
+        events = [PebsDrain(0.1, 1000, 1000), PebsDrop(0.2, "load", 10)]
+        assert PebsLossSpike().scan(Trace(events), _ctx(events)) == []
+
+    def test_warning_below_critical_threshold(self):
+        events = [PebsDrain(0.1, 300, 300), PebsDrop(0.2, "load", 100)]
+        [f] = PebsLossSpike().scan(Trace(events), _ctx(events))
+        assert f.severity == "warning"
+        assert f.data["fraction"] == pytest.approx(0.25)
+
+
+class TestThrash:
+    def test_round_trips_slower_than_window_are_quiet(self):
+        events = thrash_events(t0=1.0, step=10.0)  # 10 s apart
+        assert ThrashDetector(window=5.0).scan(Trace(events), _ctx(events)) == []
+
+    def test_one_round_trip_is_not_thrash(self):
+        events = thrash_events(t0=1.0, step=0.5)[:4]  # N->D, D->N only
+        assert ThrashDetector().scan(Trace(events), _ctx(events)) == []
+
+
+class TestQuotaChurn:
+    def test_direction_flips_within_window_fire(self):
+        quotas = [100, 200, 100, 200, 100, 200]  # five flips... flips at each reversal
+        events = [
+            QuotaUpdated(0.2 * i, "kvs", q * PAGE, "fair:x")
+            for i, q in enumerate(quotas)
+        ]
+        [f] = QuotaChurn(window=2.0, min_flips=4).scan(Trace(events), _ctx(events))
+        assert f.data["tenant"] == "kvs"
+        assert f.data["flips"] >= 4
+        assert 0.0 <= f.start < f.end <= 1.0
+
+    def test_monotonic_growth_is_quiet(self):
+        events = [
+            QuotaUpdated(0.2 * i, "kvs", (100 + i) * PAGE, "fair:grow")
+            for i in range(8)
+        ]
+        assert QuotaChurn().scan(Trace(events), _ctx(events)) == []
+
+
+class TestDramFlatline:
+    def test_flat_dram_under_nvm_hot_pressure_fires(self):
+        events = [PageFault(0.0, "missing", "heap", 0, "DRAM", PAGE, "dram-free")]
+        events += [
+            PageClassified(2.0 + 0.2 * i, "heap", i, "NVM", True, 9, 0)
+            for i in range(10)
+        ]
+        events.append(PebsDrain(10.0, 1, 1))  # extends the trace span
+        [f] = DramFlatline(min_duration=2.0).scan(Trace(events), _ctx(events))
+        assert f.start == pytest.approx(0.0)
+        assert f.end == pytest.approx(10.0)
+        assert len(f.pages) == 10
+
+    def test_landing_promotions_reset_the_clock(self):
+        events = [PageFault(0.0, "missing", "heap", 0, "DRAM", PAGE, "dram-free")]
+        events += [
+            PageClassified(2.0 + 0.2 * i, "heap", i, "NVM", True, 9, 0)
+            for i in range(10)
+        ]
+        # promotions keep completing -> occupancy is not flat
+        events += [
+            MigrationDone(1.0 + i, "heap", 50 + i, "NVM", "DRAM", PAGE, 0.1)
+            for i in range(9)
+        ]
+        events = sorted(events, key=lambda e: e.t)
+        assert DramFlatline(min_duration=2.0).scan(Trace(events), _ctx(events)) == []
+
+
+class TestSloBurn:
+    def test_sustained_eviction_escalates(self):
+        events = [
+            TenantEvicted(1.1, "scan", 20),
+            TenantEvicted(1.7, "scan", 20),   # 40 pages in window [1, 2)
+            TenantEvicted(4.2, "scan", 200),  # critical in window [4, 5)
+        ]
+        findings = SloBurn(warn_pages=32, critical_pages=128).scan(
+            Trace(events), _ctx(events)
+        )
+        assert [(f.severity, f.start) for f in findings] == [
+            ("warning", 1.0), ("critical", 4.0),
+        ]
+
+
+class TestReportAndPlumbing:
+    def test_clean_trace_reports_ok(self):
+        report = run_health(Trace([]))
+        assert len(report) == 0
+        assert report.worst is None
+        assert "OK" in report.summary()
+        assert report.to_dict()["counts"] == {
+            "info": 0, "warning": 0, "critical": 0,
+        }
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = run_health(Trace(crafted_thrash_and_faults()))
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["kind"] == "health"
+        assert doc["counts"]["critical"] >= 2
+        assert all(f["detector"] for f in doc["findings"])
+
+    def test_custom_detector_plugs_in(self):
+        class Always(Detector):
+            name = "always"
+
+            def scan(self, trace, ctx):
+                return [Finding("always", "info", 0.0, 1.0, "hi")]
+
+        report = run_health(Trace([]), detectors=[Always()])
+        assert [f.detector for f in report] == ["always"]
+        assert report.detectors == ["always"]
+
+    def test_findings_sorted_by_time(self):
+        report = run_health(Trace(crafted_thrash_and_faults()))
+        starts = [f.start for f in report]
+        assert starts == sorted(starts)
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("d", "fatal", 0.0, 1.0, "nope")
+
+    def test_default_detector_names_are_unique(self):
+        names = [d.name for d in DEFAULT_DETECTORS]
+        assert len(names) == len(set(names)) == 6
+
+
+def _ctx(events):
+    from repro.obs.health import HealthContext
+
+    return HealthContext(Trace(list(events)))
