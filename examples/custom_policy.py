@@ -25,22 +25,24 @@ class HottestFirstPolicy(PolicyService):
         manager = self.manager
         tracker = manager.tracker
         migrator = manager.migrator
+        store = tracker.store
         nvm_hot = tracker.list_for(Tier.NVM, hot=True)
         count = 0
         while nvm_hot and migrator.queued_bytes < manager.config.migration_queue_limit:
-            hottest = max(nvm_hot, key=lambda n: n.reads + 2 * n.writes)
+            # List iteration yields page ids; the columns are public API.
+            hottest = max(nvm_hot, key=lambda pid: store.reads[pid] + 2 * store.writes[pid])
             tracker.cool_if_stale(hottest)
-            if hottest.owner is not nvm_hot:
+            if store.list_id[hottest] != nvm_hot.lid:
                 continue
             if manager.dram_free_bytes() <= manager.config.dram_free_watermark:
-                victim = tracker.list_for(Tier.DRAM, hot=False).front
-                if victim is None or not migrator.migrate(victim, Tier.NVM, now):
+                victim = tracker.list_for(Tier.DRAM, hot=False).front_pid
+                if victim < 0 or not migrator.migrate(victim, Tier.NVM, now):
                     break
                 count += 1
             if not migrator.migrate(hottest, Tier.DRAM, now):
                 break
             count += 1
-        return count
+        return count, 0
 
 
 class CustomHeMem(HeMemManager):

@@ -53,6 +53,7 @@ from repro.bench.runner import (
     ResultCache,
     RunStats,
     run_experiment,
+    tune_gc,
 )
 from repro.bench.scenario import PRESETS
 
@@ -74,6 +75,12 @@ def main(argv=None) -> int:
     parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count(),
                         help="worker processes for independent cases "
                              "(default: CPU count)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="split shardable colocation experiments into N "
+                             "independent tenant shards (each shard is one "
+                             "case: they fan out over -j workers and cache "
+                             "per shard; merged tables are identical under "
+                             "any shard count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always re-run cases, and do not store results")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -108,6 +115,7 @@ def main(argv=None) -> int:
     parser.add_argument("--golden-dir", default=str(DEFAULT_GOLDEN_DIR),
                         help="golden-table directory for --update-golden")
     args = parser.parse_args(argv)
+    tune_gc()
 
     scenario = PRESETS[args.preset]()
     overrides = {}
@@ -143,7 +151,12 @@ def main(argv=None) -> int:
     # Metric capture costs per-tick sampling plus summary serialisation, so
     # the default CLI path runs without it; asking for an export turns it on
     # (and the captured summaries land in the cache for later replays).
-    metrics = args.metrics_out is not None
+    # Trace captures already pay for instrumented re-runs, so they bank the
+    # metric summaries too: a later --metrics-out on the same cache replays.
+    metrics = args.metrics_out is not None or tracing
+    # Perf records want a non-null events/sec even without tracing: counter
+    # capture reads the end-of-run tracker counters (no per-tick cost).
+    counters = args.perf_record is not None
 
     all_stats = []
     observed: dict = {}
@@ -155,7 +168,9 @@ def main(argv=None) -> int:
         table = run_experiment(get_module(name), name, scenario,
                                jobs=jobs, cache=cache, stats=stats,
                                trace=tracing, metrics=metrics,
-                               observations=observations)
+                               observations=observations,
+                               shards=max(args.shards, 1),
+                               counters=counters)
         stats.wall_seconds = time.time() - start
         all_stats.append(stats)
         observed[name] = observations

@@ -52,6 +52,11 @@ def _oracle_placement(engine) -> None:
     region.tier[:] = Tier.NVM
     region.tier[workload._hot_pages] = Tier.DRAM
     region.tier_version += 1
+    # Bulk tier rewrite bypasses the migrator; re-sync the tracker's
+    # columnar tier mirror (see pagestore docstring).
+    tracker = getattr(engine.manager, "tracker", None)
+    if tracker is not None:
+        tracker.refresh_tiers(region)
 
 
 def _disable(engine, *service_names) -> None:

@@ -1,16 +1,35 @@
-"""Perf-trajectory comparison for ``--perf-record`` outputs.
+"""Perf-trajectory comparison and ratcheting gate for ``--perf-record`` outputs.
 
 The repository commits a baseline (``BENCH_<pr>.json``) produced by
 ``python -m repro.bench ... --perf-record``; CI regenerates the record
-and runs::
+(several times, merged with ``min`` — see below) and runs::
 
-    python -m repro.bench.perf BENCH_5.json fresh.json
+    python -m repro.bench.perf BENCH_6.json fresh.json --gate
 
-which prints a GitHub Actions ``::warning`` per experiment whose wall
-time regressed by more than the threshold (default 25%).  It always
-exits 0 — the perf record is a trajectory, not a gate: wall times on
-shared CI runners are too noisy to fail a build on, but the warnings
-make a creeping slowdown visible in every run's annotations.
+which *fails* (exit 1, GitHub ``::error`` annotations) on any experiment
+whose wall time regressed by more than the gate threshold (15%).  The
+baseline is a ratchet: when a PR makes the suite faster, it commits the
+new record and the floor moves down with it.
+
+One-off speed-up requirements gate against an *older* baseline::
+
+    python -m repro.bench.perf BENCH_5.json fresh.json --gate --min-speedup fig5=3.0
+
+fails unless fig5's fresh wall time is at least 3x below the BENCH_5
+number.
+
+Wall times on shared runners are noisy, so records meant for gating are
+produced with a min-of-N merge — run the bench N times and keep, per
+experiment, the fastest run::
+
+    python -m repro.bench.perf min merged.json run1.json run2.json run3.json
+
+The min is the right estimator here: scheduling noise only ever *adds*
+time, so the fastest observation is the closest to the code's true cost.
+
+Without ``--gate`` the comparison is advisory (``::warning``, always
+exit 0) with a looser default threshold — useful for tracking experiments
+that are not part of the committed gate.
 """
 
 from __future__ import annotations
@@ -18,9 +37,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List
+from typing import Dict, List
 
+#: advisory threshold (no --gate): warn beyond +25%
 DEFAULT_THRESHOLD = 0.25
+#: ratchet threshold (--gate): fail beyond +15%
+GATE_THRESHOLD = 0.15
 
 
 def compare(baseline: dict, current: dict,
@@ -50,36 +72,165 @@ def compare(baseline: dict, current: dict,
     return messages
 
 
+def speedup_failures(baseline: dict, current: dict,
+                     requirements: Dict[str, float]) -> List[str]:
+    """Messages for experiments missing a required speed-up factor.
+
+    ``requirements`` maps experiment name to the minimum factor by which
+    the current wall time must undercut the baseline (3.0 = at least
+    three times faster).  A missing experiment on either side fails —
+    a required speed-up that cannot be measured is not met.
+    """
+    messages = []
+    base_exps = baseline.get("experiments", {})
+    cur_exps = current.get("experiments", {})
+    for name, factor in sorted(requirements.items()):
+        base_wall = (base_exps.get(name) or {}).get("wall_seconds")
+        cur_wall = (cur_exps.get(name) or {}).get("wall_seconds")
+        if not base_wall or not cur_wall:
+            messages.append(
+                f"{name}: required {factor:g}x speed-up cannot be verified "
+                f"(experiment missing from baseline or current record)"
+            )
+            continue
+        if cur_wall * factor > base_wall:
+            messages.append(
+                f"{name}: wall time {cur_wall:.2f}s is only "
+                f"{base_wall / cur_wall:.2f}x faster than baseline "
+                f"{base_wall:.2f}s (required {factor:g}x)"
+            )
+    return messages
+
+
+def merge_min(records: List[dict]) -> dict:
+    """Per-experiment min-of-N merge of several ``--perf-record`` runs.
+
+    For each experiment, keeps the stats block of the run with the lowest
+    wall time (so events/sec stays internally consistent) and annotates
+    the merged record with the number of runs folded in.
+    """
+    if not records:
+        raise ValueError("merge_min needs at least one record")
+    merged = {key: value for key, value in records[0].items()
+              if key != "experiments"}
+    merged["runs_merged"] = len(records)
+    experiments: Dict[str, dict] = {}
+    for record in records:
+        for name, stats in record.get("experiments", {}).items():
+            best = experiments.get(name)
+            if best is None or stats.get("wall_seconds", float("inf")) < \
+                    best.get("wall_seconds", float("inf")):
+                experiments[name] = stats
+    merged["experiments"] = experiments
+    return merged
+
+
+def _load_record(path: str) -> dict:
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("kind") != "perf":
+        raise ValueError(f"{path}: not a --perf-record file")
+    return record
+
+
+def _parse_speedup(spec: str) -> Dict[str, float]:
+    name, sep, factor = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=FACTOR, got {spec!r}"
+        )
+    try:
+        value = float(factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=FACTOR, got {spec!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"factor must be positive: {spec!r}")
+    return {name: value}
+
+
+def _min_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf min",
+        description="Merge several --perf-record runs into a min-of-N record.",
+    )
+    parser.add_argument("output", help="merged record to write")
+    parser.add_argument("inputs", nargs="+", help="per-run --perf-record files")
+    args = parser.parse_args(argv)
+    try:
+        records = [_load_record(path) for path in args.inputs]
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    merged = merge_min(records)
+    with open(args.output, "w") as fh:
+        json.dump(merged, fh, indent=1)
+    walls = ", ".join(
+        f"{name}={stats.get('wall_seconds')}s"
+        for name, stats in sorted(merged["experiments"].items())
+    )
+    print(f"perf: merged min of {len(records)} runs -> {args.output} ({walls})")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "min":
+        return _min_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.bench.perf",
-        description="Compare two --perf-record files; warn (never fail) on "
-                    "wall-time regressions.",
+        description="Compare two --perf-record files; warn by default, "
+                    "fail with --gate.",
     )
     parser.add_argument("baseline", help="committed perf record (BENCH_*.json)")
     parser.add_argument("current", help="freshly produced perf record")
-    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
-                        help="relative wall-time slack before warning "
-                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="relative wall-time slack before flagging "
+                             f"(default {GATE_THRESHOLD} with --gate, "
+                             f"{DEFAULT_THRESHOLD} otherwise)")
+    parser.add_argument("--gate", action="store_true",
+                        help="ratchet mode: exit 1 and emit ::error "
+                             "annotations on regressions or unmet speed-ups")
+    parser.add_argument("--min-speedup", metavar="NAME=FACTOR",
+                        type=_parse_speedup, action="append", default=[],
+                        help="require an experiment's wall time to be at "
+                             "least FACTOR times below the baseline "
+                             "(repeatable)")
     args = parser.parse_args(argv)
+    threshold = args.threshold if args.threshold is not None else (
+        GATE_THRESHOLD if args.gate else DEFAULT_THRESHOLD
+    )
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.current) as fh:
-        current = json.load(fh)
-    for record, path in ((baseline, args.baseline), (current, args.current)):
-        if record.get("kind") != "perf":
-            print(f"{path}: not a --perf-record file", file=sys.stderr)
-            return 2
+    try:
+        baseline = _load_record(args.baseline)
+        current = _load_record(args.current)
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
-    messages = compare(baseline, current, threshold=args.threshold)
+    requirements: Dict[str, float] = {}
+    for spec in args.min_speedup:
+        requirements.update(spec)
+
+    messages = compare(baseline, current, threshold=threshold)
+    messages += speedup_failures(baseline, current, requirements)
     if not messages:
-        print(f"perf: no wall-time regressions beyond "
-              f"+{args.threshold:.0%} vs {args.baseline}")
+        checks = f"+{threshold:.0%} ratchet" if args.gate else \
+            f"+{threshold:.0%} advisory"
+        extra = (
+            ", speed-ups " + ", ".join(
+                f"{n}>={f:g}x" for n, f in sorted(requirements.items())
+            )
+            if requirements else ""
+        )
+        print(f"perf: OK vs {args.baseline} ({checks}{extra})")
+        return 0
+    severity = "error" if args.gate else "warning"
     for message in messages:
         # GitHub Actions annotation syntax; plain noise elsewhere.
-        print(f"::warning title=bench perf regression::{message}")
-    return 0
+        print(f"::{severity} title=bench perf regression::{message}")
+    return 1 if args.gate else 0
 
 
 if __name__ == "__main__":

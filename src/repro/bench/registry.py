@@ -7,6 +7,7 @@ from typing import Callable, Dict, List
 from repro.bench.experiments import (
     ablations,
     colo_matrix,
+    colo_sharded,
     colo_table4,
     dma_sweep,
     fig1_thread_scaling,
@@ -56,6 +57,7 @@ MODULES = {
     "ablations": ablations,
     "dma": dma_sweep,
     "colo_matrix": colo_matrix,
+    "colo_sharded": colo_sharded,
     "colo_table4": colo_table4,
 }
 

@@ -34,6 +34,7 @@ tracing on, so the re-run cannot change any table.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import os
@@ -47,6 +48,23 @@ from repro.bench.scenario import Scenario
 
 #: default cache location, relative to the working directory
 DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+def tune_gc() -> None:
+    """Tune the cyclic collector for the simulation's allocation profile.
+
+    The tick loops allocate short-lived objects at a very high rate
+    (per-tick stream results, splits, event batches), nearly all acyclic
+    and reclaimed by refcounting the moment they drop out of scope; the
+    generational scans triggered every 700 allocations are pure overhead
+    on this profile (~5% of fig5 fast-preset wall time).  Freeze the
+    post-import heap out of the scanned set and raise the gen-0 trigger
+    so collections become rare.  Collection *timing* cannot affect
+    simulated values, so tables are bit-identical either way.
+    """
+    gc.collect()
+    gc.freeze()
+    gc.set_threshold(500_000, 50, 50)
 
 
 @dataclass(frozen=True)
@@ -73,8 +91,10 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
-    #: trace events captured across the experiment's fresh runs (0 unless
-    #: tracing was on; feeds the events/sec column of ``--perf-record``)
+    #: simulation events accounted across the experiment's runs: trace
+    #: events when tracing is on, otherwise the machines' tracker-counter
+    #: totals when counter capture is on (``--perf-record``); feeds the
+    #: events/sec column of the perf trajectory
     events: int = 0
 
 
@@ -139,9 +159,10 @@ def case_digest(experiment: str, case: Case, scenario: Scenario,
 class ResultCache:
     """Content-addressed JSON result store (one file per case).
 
-    Entries are ``{"result": ..., "metrics": [...]}``; ``metrics`` (one
-    summary per machine the case built) is present only when the case ran
-    with metrics capture on.
+    Entries are ``{"result": ..., "metrics": [...], "events": N}``;
+    ``metrics`` (one summary per machine the case built) and ``events``
+    (the case's event-counter total) are present only when the case ran
+    with the corresponding capture on.
     """
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR):
@@ -165,10 +186,13 @@ class ResultCache:
         return entry["result"] if entry is not None else None
 
     def store(self, digest: str, result: Any,
-              metrics: Optional[List[Any]] = None) -> None:
+              metrics: Optional[List[Any]] = None,
+              events: Optional[int] = None) -> None:
         entry: Dict[str, Any] = {"result": result}
         if metrics is not None:
             entry["metrics"] = metrics
+        if events is not None:
+            entry["events"] = events
         path = self.path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -182,20 +206,23 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any],
-                  trace: bool = False, metrics: bool = False) -> Any:
+                  trace: bool = False, metrics: bool = False,
+                  counters: bool = False) -> Any:
     """Run one case, optionally inside an observability capture.
 
     Runs in the worker process under a pool, so the capture scope is opened
     here (process-global state does not cross the fork/spawn boundary).
     Returns ``(result, payloads)`` where ``payloads`` is one
-    ``{"trace", "metrics"}`` dict per machine the case built (None when no
-    capture was requested).
+    ``{"trace", "metrics", "events"}`` dict per machine the case built
+    (None when no capture was requested).  ``counters`` asks only for the
+    end-of-run event-counter totals — a cheap capture with no per-tick
+    cost, used by ``--perf-record`` when tracing is off.
     """
-    if not trace and not metrics:
+    if not trace and not metrics and not counters:
         return fn(scenario, **kwargs), None
     from repro.obs.runtime import capture
 
-    with capture(trace=trace, metrics=metrics) as cap:
+    with capture(trace=trace, metrics=metrics, counters=counters) as cap:
         result = fn(scenario, **kwargs)
     return result, cap.payloads()
 
@@ -215,6 +242,7 @@ def run_cases(
     trace: bool = False,
     metrics: bool = True,
     observations: Optional[Dict[str, Any]] = None,
+    counters: bool = False,
 ) -> Dict[str, Any]:
     """Execute ``cases``, via cache/pool, returning ``{case.key: result}``.
 
@@ -222,7 +250,10 @@ def run_cases(
     ``{case.key: {"trace": [...]|None, "metrics": [...]|None}}`` (one list
     element per machine the case built).  ``trace=True`` bypasses the cache
     for loading — traces are never stored — but results still get written,
-    since tracing cannot change them.
+    since tracing cannot change them.  ``counters=True`` (the
+    ``--perf-record`` path) accounts each case's event-counter totals into
+    ``stats.events``; totals are cached alongside results, and an entry
+    without them is a miss for a counters run.
     """
     keys = [c.key for c in cases]
     if len(set(keys)) != len(keys):
@@ -241,7 +272,11 @@ def run_cases(
             entry = None if trace else cache.load_entry(digest)
             if entry is not None and metrics and "metrics" not in entry:
                 entry = None  # pre-metrics entry; re-run to capture them
+            if entry is not None and counters and "events" not in entry:
+                entry = None  # no cached event totals; re-run to count them
             if entry is not None:
+                if counters:
+                    stats.events += int(entry["events"])
                 results[case.key] = _normalize(entry["result"])
                 if observations is not None:
                     observations[case.key] = {
@@ -257,16 +292,18 @@ def run_cases(
 
     if misses:
         if jobs > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     initializer=tune_gc) as pool:
                 futures = [
                     pool.submit(_execute_case, case.fn, scenario, case.kwargs,
-                                trace, metrics)
+                                trace, metrics, counters)
                     for case in misses
                 ]
                 fresh = [f.result() for f in futures]
         else:
             fresh = [
-                _execute_case(case.fn, scenario, case.kwargs, trace, metrics)
+                _execute_case(case.fn, scenario, case.kwargs, trace, metrics,
+                              counters)
                 for case in misses
             ]
         for case, (result, payloads) in zip(misses, fresh):
@@ -274,6 +311,7 @@ def run_cases(
             results[case.key] = result
             case_metrics = None
             case_traces = None
+            case_events = None
             if payloads is not None:
                 if metrics:
                     case_metrics = _normalize([p["metrics"] for p in payloads])
@@ -283,13 +321,17 @@ def run_cases(
                         len(events) for events in case_traces
                         if events is not None
                     )
+                elif counters:
+                    case_events = sum(p["events"] or 0 for p in payloads)
+                    stats.events += case_events
             if observations is not None and payloads is not None:
                 observations[case.key] = {
                     "trace": case_traces,
                     "metrics": case_metrics,
                 }
             if cache is not None:
-                cache.store(digests[case.key], result, metrics=case_metrics)
+                cache.store(digests[case.key], result, metrics=case_metrics,
+                            events=case_events)
     return results
 
 
@@ -303,12 +345,25 @@ def run_experiment(
     trace: bool = False,
     metrics: bool = True,
     observations: Optional[Dict[str, Any]] = None,
+    shards: int = 1,
+    counters: bool = False,
 ) -> Table:
-    """Run one experiment module through the case runner."""
+    """Run one experiment module through the case runner.
+
+    ``shards > 1`` splits *shardable* experiments (modules declaring
+    ``shardable = True``, e.g. the colocation fleet) into that many
+    independent tenant-subset cases, which then fan out over the ``jobs``
+    pool and are cached per shard like any other case; the assembled
+    table is identical under any shard count.  Non-shardable experiments
+    ignore the setting.
+    """
     stats = stats if stats is not None else RunStats()
     stats.experiment = experiment
-    cases = module.cases(scenario)
+    if shards > 1 and getattr(module, "shardable", False):
+        cases = module.cases(scenario, shards=shards)
+    else:
+        cases = module.cases(scenario)
     results = run_cases(experiment, cases, scenario, jobs=jobs, cache=cache,
                         stats=stats, trace=trace, metrics=metrics,
-                        observations=observations)
+                        observations=observations, counters=counters)
     return module.assemble(scenario, results)

@@ -21,6 +21,7 @@ from repro.colo.policies import (
     POLICIES,
     FairShare,
     FreeForAll,
+    IsolatedFloors,
     SharingPolicy,
     StaticPartition,
     StrictPriority,
@@ -28,6 +29,7 @@ from repro.colo.policies import (
     largest_remainder,
     make_policy,
 )
+from repro.colo.sharding import merge_tenant_results, shard_specs
 from repro.colo.slo import colocation_summary, nvm_wait_inflation, tenant_summary
 from repro.colo.tenant import Tenant, TenantHandle, TenantSpec
 from repro.colo.workload import ColoWorkload
@@ -40,6 +42,7 @@ __all__ = [
     "DramArbiter",
     "FairShare",
     "FreeForAll",
+    "IsolatedFloors",
     "POLICIES",
     "SharingPolicy",
     "StaticPartition",
@@ -52,7 +55,9 @@ __all__ = [
     "colocation_summary",
     "largest_remainder",
     "make_policy",
+    "merge_tenant_results",
     "nvm_wait_inflation",
+    "shard_specs",
     "tenant_summary",
     "water_fill",
 ]

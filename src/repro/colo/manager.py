@@ -184,6 +184,12 @@ class ColoManager(TieredMemoryManager):
         total = self.shared_dax[Tier.DRAM].n_pages
         if self.config.policy == "none":
             return total
+        if self.config.policy == "floor":
+            # Isolation policy: the bootstrap quota must already be
+            # independent of the co-runner set, or a tenant admitted
+            # mid-run would prefault against a share-dependent quota and
+            # break shard-equivalence (repro.colo.sharding).
+            return max(int(total * spec.dram_floor_frac), 1)
         weight_sum = sum(s.weight for s in self.specs)
         return max(int(total * spec.weight / weight_sum), 1)
 

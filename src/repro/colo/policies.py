@@ -153,6 +153,26 @@ class StrictPriority(SharingPolicy):
         return quotas
 
 
+class IsolatedFloors(SharingPolicy):
+    """Each tenant gets exactly its floor reservation — nothing dynamic.
+
+    The quota of one tenant depends only on its own ``floor_pages`` (as
+    long as the floors fit in DRAM), never on who else is running or on
+    measured demand.  That property is what makes colocation runs
+    *shardable*: a fleet split across independent simulations produces
+    per-tenant results identical to the single combined run (see
+    :mod:`repro.colo.sharding`).  It models hard static reservations
+    (cgroup ``memory.low``-style isolation) rather than work-conserving
+    sharing; DRAM beyond the floors intentionally stays unallocated.
+    """
+
+    name = "floor"
+
+    def quotas(self, total_pages: int, shares: Sequence[TenantShare]) -> Dict[str, int]:
+        floors, _remaining = _grant_floors(total_pages, shares)
+        return floors
+
+
 class FreeForAll(SharingPolicy):
     """No arbitration: every tenant sees the whole device (quotas overlap).
 
@@ -168,7 +188,10 @@ class FreeForAll(SharingPolicy):
 
 
 POLICIES: Dict[str, type] = {
-    cls.name: cls for cls in (StaticPartition, FairShare, StrictPriority, FreeForAll)
+    cls.name: cls
+    for cls in (
+        StaticPartition, FairShare, StrictPriority, IsolatedFloors, FreeForAll,
+    )
 }
 
 

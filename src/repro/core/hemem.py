@@ -158,7 +158,9 @@ class HeMemManager(TieredMemoryManager):
                 if offsets[page] >= 0:
                     tier = Tier(region.tier[page])
                     self.dax[tier].free_page(int(offsets[page]))
-                self.tracker.untrack_page(region, page)
+            # Single pass over the region's pid block (recycled for the
+            # next region of the same size).
+            self.tracker.untrack_region(region)
             self.uffd.unregister(region)
             self._managed.remove(region)
         super().munmap(region)

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.tracking import HotColdTracker, PageNode
+from repro.core.pagestore import UNDER_MIGRATION
+from repro.core.tracking import HotColdTracker
 from repro.kernel.dax import DaxFile
 from repro.kernel.fault import FaultCostModel
 from repro.kernel.userfaultfd import UserFaultFd
@@ -112,17 +113,17 @@ class Migrator:
         page left in its source tier, write protection lifted — so the
         subsequent munmap sees consistent offsets and no DAX page leaks.
         """
+        region_ref = self.tracker.store.region_ref
         cancelled = 0
         for request in self.mover.queued_requests():
-            node = request.tag[0]
-            if node.region is region:
+            if region_ref[request.tag[0]] is region:
                 self.mover.remove(request)
                 self._abort(request, now)
                 cancelled += 1
         if self._retry_queue:
             keep = []
             for ready_at, request in self._retry_queue:
-                if request.tag[0].region is region:
+                if region_ref[request.tag[0]] is region:
                     self._abort(request, now)
                     cancelled += 1
                 else:
@@ -146,19 +147,23 @@ class Migrator:
     def can_reserve(self, dst: Tier) -> bool:
         return self.dax[dst].free_pages > 0
 
-    def migrate(self, node: PageNode, dst: Tier, now: float,
+    def migrate(self, node, dst: Tier, now: float,
                 reason: str = "") -> bool:
-        """Begin migrating ``node`` to ``dst``; False if no space there.
+        """Begin migrating a page (pid or PageRef) to ``dst``; False if no
+        space there.
 
         ``reason`` labels the submitting policy's decision in the trace
         (``promote-hot``, ``demote-watermark``, ``arbiter-evict``, ...); it
         affects nothing but the emitted ``MigrationStart`` event.
         """
-        region = node.region
-        if node.under_migration:
+        store = self.tracker.store
+        pid = node if type(node) is int else node.pid
+        region = store.region_ref[pid]
+        page = store.page_no[pid]
+        if store.flags[pid] & UNDER_MIGRATION:
             return False
-        if Tier(region.tier[node.page]) == dst:
-            raise ValueError(f"{node!r} is already in {dst.name}")
+        if Tier(region.tier[page]) == dst:
+            raise ValueError(f"{self.tracker.ref(pid)!r} is already in {dst.name}")
         if region.pinned_tier is not None:
             raise ValueError(f"{region.name} is pinned to {region.pinned_tier.name}")
         dax_dst = self.dax[dst]
@@ -167,18 +172,17 @@ class Migrator:
         new_offset = dax_dst.alloc_page()
 
         # Write-protect: stores to the page now wait on the copy.
-        self.uffd.write_protect(region, [node.page])
-        node.under_migration = True
-        if node.owner is not None:
-            node.owner.remove(node)
-        writes_at_submit = float(region.pending_writes[node.page])
+        self.uffd.write_protect(region, [page])
+        store.flags[pid] |= UNDER_MIGRATION
+        store.detach(pid)
+        writes_at_submit = float(region.pending_writes[page])
 
-        src = Tier(region.tier[node.page])
+        src = Tier(region.tier[page])
         request = CopyRequest(
             nbytes=region.page_size,
             src_tier=src,
             dst_tier=dst,
-            tag=(node, new_offset, writes_at_submit, now),
+            tag=(pid, new_offset, writes_at_submit, now),
             on_complete=self._complete,
             submitted_at=now,
         )
@@ -186,7 +190,7 @@ class Migrator:
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(MigrationStart(
-                now, region.name, node.page, src.name, dst.name,
+                now, region.name, page, src.name, dst.name,
                 region.page_size, reason,
             ))
         return True
@@ -195,26 +199,28 @@ class Migrator:
         if self.copy_fault_hook is not None and self.copy_fault_hook(request, now):
             self._on_copy_failure(request, now)
             return
-        node, new_offset, writes_at_submit, submitted_at = request.tag
-        region = node.region
-        src = Tier(region.tier[node.page])
+        pid, new_offset, writes_at_submit, submitted_at = request.tag
+        store = self.tracker.store
+        region = store.region_ref[pid]
+        page = store.page_no[pid]
+        src = Tier(region.tier[page])
         dst = request.dst_tier
 
         # Remap: free the old DAX page, install the new one.
         offsets = self._offsets.get(region.region_id)
         if offsets is None:
             raise RuntimeError(f"no DAX offsets bound for {region.name}")
-        self.dax[src].free_page(int(offsets[node.page]))
-        offsets[node.page] = new_offset
+        self.dax[src].free_page(int(offsets[page]))
+        offsets[page] = new_offset
 
-        region.tier[node.page] = dst
+        region.tier[page] = dst
         region.tier_version += 1
-        self.uffd.write_unprotect(region, [node.page])
-        node.under_migration = False
-        self.tracker.page_migrated(node)
+        self.uffd.write_unprotect(region, [page])
+        store.flags[pid] &= ~UNDER_MIGRATION & 0xFF
+        self.tracker.page_migrated(pid)
 
         # Writers that hit the page while protected stalled until now.
-        stalled = max(float(region.pending_writes[node.page]) - writes_at_submit, 0.0)
+        stalled = max(float(region.pending_writes[page]) - writes_at_submit, 0.0)
         if stalled > 0:
             self._wp_stalls.add(stalled)
             self.machine.add_interference(stalled * self.fault_costs.wp_resolution)
@@ -229,7 +235,7 @@ class Migrator:
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(MigrationDone(
-                now, region.name, node.page, src.name, dst.name,
+                now, region.name, page, src.name, dst.name,
                 region.page_size, latency,
             ))
 
@@ -242,8 +248,10 @@ class Migrator:
         steal the slot and strand the migration halfway (the partial-failure
         corruption transactional migration exists to prevent).
         """
-        node, _new_offset, _writes_at_submit, _submitted_at = request.tag
-        region = node.region
+        pid, _new_offset, _writes_at_submit, _submitted_at = request.tag
+        store = self.tracker.store
+        region = store.region_ref[pid]
+        page = store.page_no[pid]
         attempt = request.attempt + 1
         if attempt > self.MAX_RETRIES:
             self._abort(request, now)
@@ -259,20 +267,22 @@ class Migrator:
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(MigrationRetried(
-                now, region.name, node.page, attempt, backoff,
+                now, region.name, page, attempt, backoff,
             ))
 
     def _abort(self, request: CopyRequest, now: float) -> None:
         """Roll the migration back: release the reservation, leave the page
         where it is, and lift the write protection."""
-        node, new_offset, writes_at_submit, _submitted_at = request.tag
-        region = node.region
+        pid, new_offset, writes_at_submit, _submitted_at = request.tag
+        store = self.tracker.store
+        region = store.region_ref[pid]
+        page = store.page_no[pid]
         self.dax[request.dst_tier].free_page(int(new_offset))
-        self.uffd.write_unprotect(region, [node.page])
-        node.under_migration = False
-        # Tier never changed; re-home the node on its current tier's list.
-        self.tracker.page_migrated(node)
-        stalled = max(float(region.pending_writes[node.page]) - writes_at_submit, 0.0)
+        self.uffd.write_unprotect(region, [page])
+        store.flags[pid] &= ~UNDER_MIGRATION & 0xFF
+        # Tier never changed; re-home the page on its current tier's list.
+        self.tracker.page_migrated(pid)
+        stalled = max(float(region.pending_writes[page]) - writes_at_submit, 0.0)
         if stalled > 0:
             self._wp_stalls.add(stalled)
             self.machine.add_interference(stalled * self.fault_costs.wp_resolution)
@@ -280,7 +290,7 @@ class Migrator:
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(MigrationAborted(
-                now, region.name, node.page, request.src_tier.name,
+                now, region.name, page, request.src_tier.name,
                 request.dst_tier.name, request.attempt,
             ))
 

@@ -25,15 +25,17 @@ from repro.sim.service import Service
 def pick_demotion_victim(dram_cold, tracker):
     """Front of the DRAM cold list, skipping freshly-hot entries.
 
-    Shared between the per-manager policy thread and the colocation
-    arbiter's cross-tenant eviction path (repro.colo), so both demote by
-    the same victim-selection rule.
+    Returns a pid (or None).  Shared between the per-manager policy thread
+    and the colocation arbiter's cross-tenant eviction path (repro.colo),
+    so both demote by the same victim-selection rule.
     """
+    list_id = tracker.store.list_id
+    lid = dram_cold.lid
     while dram_cold:
-        node = dram_cold.front
-        tracker.cool_if_stale(node)
-        if node.owner is dram_cold:
-            return node
+        pid = dram_cold.front_pid
+        tracker.cool_if_stale(pid)
+        if list_id[pid] == lid:
+            return pid
         # cool_if_stale re-homed it (it had become hot); try the next.
     return None
 
@@ -74,6 +76,7 @@ class PolicyService(Service):
         config = manager.config
         tracker = manager.tracker
         migrator = manager.migrator
+        store = tracker.store
         nvm_hot = tracker.list_for(Tier.NVM, hot=True)
         dram_cold = tracker.list_for(Tier.DRAM, hot=False)
         dram_dax = manager.dax[Tier.DRAM]
@@ -81,14 +84,16 @@ class PolicyService(Service):
         promoted = 0
         demoted = 0
         while nvm_hot and migrator.queued_bytes < config.migration_queue_limit:
-            node = nvm_hot.front
+            pid = nvm_hot.front_pid
             # Freshness check: cool before spending migration bandwidth.
-            tracker.cool_if_stale(node)
-            if node.owner is not nvm_hot:
+            tracker.cool_if_stale(pid)
+            if store.list_id[pid] != nvm_hot.lid:
                 continue  # cooled below hot; it moved to the cold list
-            have_free = dram_dax.free_bytes - node.nbytes >= config.dram_free_watermark
+            have_free = (
+                dram_dax.free_bytes - store.psize[pid] >= config.dram_free_watermark
+            )
             if have_free:
-                if not migrator.migrate(node, Tier.DRAM, now,
+                if not migrator.migrate(pid, Tier.DRAM, now,
                                         reason="promote-hot"):
                     break
                 promoted += 1
@@ -108,7 +113,7 @@ class PolicyService(Service):
                                     reason="demote-swap"):
                 break
             demoted += 1
-            if not migrator.migrate(node, Tier.DRAM, now,
+            if not migrator.migrate(pid, Tier.DRAM, now,
                                     reason="promote-swap"):
                 break
             promoted += 1
@@ -134,7 +139,8 @@ class PolicyService(Service):
                 # No cold data: demote the oldest resident hot page
                 # ("migrates random data to NVM until the threshold amount
                 # of DRAM is free").
-                victim = dram_hot.front
+                front = dram_hot.front_pid
+                victim = front if front >= 0 else None
                 reason = "demote-watermark-hot"
             if victim is None:
                 break

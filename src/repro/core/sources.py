@@ -167,10 +167,12 @@ class _PebsDrainService(Service):
         budget = int(dt / (spec.drain_ns_per_record * 1e-9))
         records = pebs.drain(budget)
         tracker = self.source.manager.tracker
-        record_sample = tracker.record_sample
         applied = min(len(records), self.APPLY_CAP_PER_TICK)
-        for rec in records[:applied]:
-            record_sample(rec.region, rec.page, rec.kind is _STORE)
+        # Batched apply: one tracker call per tick, with trace events
+        # accumulated and flushed in order (bit-identical goldens).
+        tracker.record_samples(
+            records if applied == len(records) else records[:applied]
+        )
         tracer = engine.machine.tracer
         if tracer is not None and records:
             tracer.emit(PebsDrain(now, len(records), applied))

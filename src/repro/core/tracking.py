@@ -12,159 +12,92 @@ cold pages (§3).  The PEBS thread classifies pages:
   below the hot threshold moves to the cold list; a formerly write-heavy
   page that is still hot re-enters the *back* of the hot list (its "second
   chance" to stay in DRAM).
+
+Per-page state lives in the flat columns of
+:class:`~repro.core.pagestore.PageStore`; every page is a dense integer id
+(pid) and the hot paths — ``record_sample``, the batched ``record_samples``
+the PEBS drain thread calls, cooling, reclassification — index arrays
+instead of chasing per-page objects.  ``PageRef``/``PageFifo`` views exist
+for tests and introspection; see :mod:`repro.core.pagestore`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from time import perf_counter_ns
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import HeMemConfig
+from repro.core.pagestore import (
+    NO_LIST,
+    TIER_NAMES,
+    TRACKED,
+    UNDER_MIGRATION,
+    WRITE_HEAVY,
+    PageFifo,
+    PageRef,
+    PageStore,
+)
 from repro.mem.page import Tier
+from repro.mem.pebs import PebsEventKind
 from repro.mem.region import Region
 from repro.obs.events import CoolingPass, PageClassified
+from repro.sim.profiling import profiler_enabled
 
-
-class PageNode:
-    """Tracking state for one managed page (intrusive list node)."""
-
-    __slots__ = (
-        "region",
-        "page",
-        "reads",
-        "writes",
-        "clock",
-        "write_heavy",
-        "under_migration",
-        "owner",
-        "prev",
-        "next",
-    )
-
-    def __init__(self, region: Region, page: int):
-        self.region = region
-        self.page = page
-        self.reads = 0
-        self.writes = 0
-        self.clock = 0
-        self.write_heavy = False
-        self.under_migration = False
-        self.owner: Optional["PageList"] = None
-        self.prev: Optional[PageNode] = None
-        self.next: Optional[PageNode] = None
-
-    @property
-    def tier(self) -> Tier:
-        return Tier(self.region.tier[self.page])
-
-    @property
-    def nbytes(self) -> int:
-        return self.region.page_size
-
-    def __repr__(self) -> str:
-        return (
-            f"PageNode({self.region.name}[{self.page}], r={self.reads}, "
-            f"w={self.writes}, clk={self.clock}, wh={self.write_heavy})"
-        )
-
-
-class PageList:
-    """Doubly-linked FIFO with O(1) arbitrary removal and byte accounting.
-
-    ``hot`` records which classification the list represents, so the
-    tracker can tell whether moving a node between lists flips its
-    hot/cold state (the transition the provenance trace records) without
-    string-parsing list names.
-    """
-
-    def __init__(self, name: str, hot: bool = False):
-        self.name = name
-        self.hot = hot
-        self._head: Optional[PageNode] = None
-        self._tail: Optional[PageNode] = None
-        self._count = 0
-        self.nbytes = 0
-
-    def __len__(self) -> int:
-        return self._count
-
-    def __bool__(self) -> bool:
-        return self._count > 0
-
-    def __iter__(self) -> Iterator[PageNode]:
-        node = self._head
-        while node is not None:
-            nxt = node.next  # allow removal during iteration
-            yield node
-            node = nxt
-
-    @property
-    def front(self) -> Optional[PageNode]:
-        return self._head
-
-    def push_back(self, node: PageNode) -> None:
-        self._attach(node, front=False)
-
-    def push_front(self, node: PageNode) -> None:
-        self._attach(node, front=True)
-
-    def pop_front(self) -> Optional[PageNode]:
-        node = self._head
-        if node is not None:
-            self.remove(node)
-        return node
-
-    def remove(self, node: PageNode) -> None:
-        if node.owner is not self:
-            raise ValueError(f"{node!r} is not on list {self.name}")
-        if node.prev is not None:
-            node.prev.next = node.next
-        else:
-            self._head = node.next
-        if node.next is not None:
-            node.next.prev = node.prev
-        else:
-            self._tail = node.prev
-        node.prev = node.next = None
-        node.owner = None
-        self._count -= 1
-        self.nbytes -= node.nbytes
-
-    def _attach(self, node: PageNode, front: bool) -> None:
-        if node.owner is not None:
-            raise ValueError(f"{node!r} is already on list {node.owner.name}")
-        node.owner = self
-        self._count += 1
-        self.nbytes += node.nbytes
-        if self._head is None:
-            self._head = self._tail = node
-            return
-        if front:
-            node.next = self._head
-            self._head.prev = node
-            self._head = node
-        else:
-            node.prev = self._tail
-            self._tail.next = node
-            self._tail = node
+_STORE_KIND = PebsEventKind.STORE
 
 
 class HotColdTracker:
-    """The PEBS-thread-side data classification state (§3.1)."""
+    """The PEBS-thread-side data classification state (§3.1).
+
+    Pages are identified by pid (see :mod:`repro.core.pagestore`); the
+    object-shaped accessors (``node``, ``PageFifo.front``) are for tests
+    and cold paths only.
+    """
 
     def __init__(self, config: HeMemConfig, stats, tracer=None):
         self.config = config
         self.global_clock = 0
-        self.lists: Dict[Tuple[Tier, bool], PageList] = {
-            (tier, hot): PageList(
-                f"{tier.name.lower()}_{'hot' if hot else 'cold'}", hot=hot
-            )
+        self.store = PageStore()
+        # List ids are (tier << 1) | hot so the hot path derives the target
+        # list index arithmetically from the tier column.
+        for tier in (Tier.DRAM, Tier.NVM):
+            for hot in (False, True):
+                self.store.new_list(
+                    f"{tier.name.lower()}_{'hot' if hot else 'cold'}", hot=hot
+                )
+        self._fifos = self.store.fifos
+        self.lists: Dict[Tuple[Tier, bool], PageFifo] = {
+            (tier, hot): self._fifos[(int(tier) << 1) | int(hot)]
             for tier in (Tier.DRAM, Tier.NVM)
             for hot in (True, False)
         }
-        self._nodes: Dict[Tuple[int, int], PageNode] = {}
+        self._n_tracked = 0
+        self._hot_reads = config.hot_read_threshold
+        self._hot_writes = config.hot_write_threshold
+        self._cooling_threshold = config.cooling_threshold
+        self._write_priority = config.write_priority
         self._samples = stats.counter("tracker.samples")
         self._coolings = stats.counter("tracker.cooling_events")
         self._tracer = tracer
+        #: REPRO_PROFILE phase attribution for the batched drain loop
+        #: (ns per phase); None on the fast path, so the hot loop carries
+        #: a single ``is None`` test.
+        self.profile: Optional[Dict[str, int]] = (
+            {"drain_ns": 0, "cool_ns": 0, "classify_ns": 0,
+             "samples": 0, "batches": 0}
+            if profiler_enabled() else None
+        )
+        #: batched-event buffer; non-None only inside ``record_samples``,
+        #: which flushes it to the tracer in one ``extend`` (same order).
+        self._event_buffer = None
+
+    def _emit(self, event) -> None:
+        """Route one trace event through the batch buffer when active."""
+        buffer = self._event_buffer
+        if buffer is not None:
+            buffer.append(event)
+        else:
+            self._tracer.emit(event)
 
     def _advance_clock(self) -> None:
         """Tick the global cooling clock (and trace the pass)."""
@@ -172,144 +105,412 @@ class HotColdTracker:
         self._coolings.add(1)
         tracer = self._tracer
         if tracer is not None:
-            tracer.emit(CoolingPass(tracer.now, self.global_clock))
+            self._emit(CoolingPass(tracer.now, self.global_clock))
 
     # -- structure ------------------------------------------------------------
-    def list_for(self, tier: Tier, hot: bool) -> PageList:
-        return self.lists[(tier, hot)]
+    def list_for(self, tier: Tier, hot: bool) -> PageFifo:
+        return self._fifos[(int(tier) << 1) | (1 if hot else 0)]
 
-    def node(self, region: Region, page: int) -> Optional[PageNode]:
-        return self._nodes.get((region.region_id, page))
+    def pid_of(self, region: Region, page: int) -> int:
+        """Pid of a tracked page, or -1 if it is not tracked."""
+        base = self.store.base_of(region)
+        if base is None:
+            return -1
+        pid = base + page
+        if not self.store.flags[pid] & TRACKED:
+            return -1
+        return pid
 
-    def track_page(self, region: Region, page: int) -> PageNode:
-        """Start tracking a page (it enters its tier's cold list)."""
-        key = (region.region_id, page)
-        node = self._nodes.get(key)
-        if node is None:
-            node = PageNode(region, page)
-            node.clock = self.global_clock
-            self._nodes[key] = node
-            self.list_for(node.tier, hot=False).push_back(node)
-        return node
+    def node(self, region: Region, page: int) -> Optional[PageRef]:
+        pid = self.pid_of(region, page)
+        return None if pid < 0 else PageRef(self.store, pid)
+
+    def ref(self, pid: int) -> PageRef:
+        return PageRef(self.store, pid)
+
+    def iter_refs(self):
+        """Yield a :class:`PageRef` for every tracked page (introspection)."""
+        store = self.store
+        flags = store.flags
+        for pid in range(store.capacity):
+            if flags[pid] & TRACKED:
+                yield PageRef(store, pid)
+
+    def track_page(self, region: Region, page: int) -> PageRef:
+        """Start tracking a page (it enters its tier's cold list).
+
+        Idempotent for already-tracked pages.
+        """
+        store = self.store
+        base = store.bind_region(region)
+        pid = base + page
+        if not store.flags[pid] & TRACKED:
+            self._track_pid(pid, region, page)
+        return PageRef(store, pid)
+
+    def _track_pid(self, pid: int, region: Region, page: int) -> None:
+        store = self.store
+        store.flags[pid] |= TRACKED
+        store.clock[pid] = self.global_clock
+        tier = int(region.tier[page])
+        store.tier[pid] = tier
+        store.push_back(tier << 1, pid)  # the tier's cold list
+        self._n_tracked += 1
 
     def untrack_page(self, region: Region, page: int) -> None:
-        node = self._nodes.pop((region.region_id, page), None)
-        if node is not None and node.owner is not None:
-            node.owner.remove(node)
+        store = self.store
+        base = store.base_of(region)
+        if base is None:
+            return
+        pid = base + page
+        if not store.flags[pid] & TRACKED:
+            return
+        store.detach(pid)
+        store.flags[pid] = 0
+        store.reads[pid] = 0
+        store.writes[pid] = 0
+        store.clock[pid] = 0
+        self._n_tracked -= 1
+
+    def untrack_region(self, region: Region) -> None:
+        """Stop tracking every page of ``region`` and recycle its pid block."""
+        store = self.store
+        base = store.base_of(region)
+        if base is None:
+            return
+        flags = store.flags
+        for pid in range(base, base + region.n_pages):
+            if flags[pid] & TRACKED:
+                store.detach(pid)
+                self._n_tracked -= 1
+        store.release_region(region)
+
+    def refresh_tiers(self, region: Region) -> None:
+        """Re-sync the tier column after a bulk ``region.tier`` rewrite.
+
+        Needed only by code that moves pages *without* the migrator (the
+        fig8 oracle placement); normal migrations re-sync in
+        :meth:`page_migrated`.  List membership is corrected lazily on the
+        page's next sample, exactly as the pre-columnar tracker behaved.
+        """
+        store = self.store
+        base = store.base_of(region)
+        if base is None:
+            return
+        store.tier[base : base + region.n_pages] = region.tier.tobytes()
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self._n_tracked
 
     # -- classification ------------------------------------------------------------
-    def is_hot(self, node: PageNode) -> bool:
+    def _pid_arg(self, node) -> int:
+        """Accept a pid or a PageRef at the public API boundary."""
+        return node if type(node) is int else node.pid
+
+    def is_hot(self, node) -> bool:
+        pid = self._pid_arg(node)
         return (
-            node.reads >= self.config.hot_read_threshold
-            or node.writes >= self.config.hot_write_threshold
+            self.store.reads[pid] >= self._hot_reads
+            or self.store.writes[pid] >= self._hot_writes
         )
 
-    def is_write_heavy(self, node: PageNode) -> bool:
-        return node.writes >= self.config.hot_write_threshold
+    def is_write_heavy(self, node) -> bool:
+        return self.store.writes[self._pid_arg(node)] >= self._hot_writes
 
     def hot_bytes(self, tier: Optional[Tier] = None) -> int:
         tiers = (tier,) if tier is not None else (Tier.DRAM, Tier.NVM)
-        return sum(self.list_for(t, hot=True).nbytes for t in tiers)
+        nbytes = self.store._nbytes
+        return sum(nbytes[(int(t) << 1) | 1] for t in tiers)
 
     # -- sampling --------------------------------------------------------------
-    def record_sample(self, region: Region, page: int, is_store: bool) -> PageNode:
+    def record_sample(self, region: Region, page: int, is_store: bool) -> PageRef:
         """Apply one PEBS record: cool-if-stale, count, reclassify."""
-        node = self.track_page(region, page)
-        self.cool_if_stale(node)
+        store = self.store
+        pid = store.bind_region(region) + page
+        if not store.flags[pid] & TRACKED:
+            self._track_pid(pid, region, page)
+        self.cool_if_stale(pid)
         if is_store:
-            node.writes += 1
+            store.writes[pid] += 1
         else:
-            node.reads += 1
+            store.reads[pid] += 1
         self._samples.add(1)
-        if node.reads + node.writes >= self.config.cooling_threshold:
+        if store.reads[pid] + store.writes[pid] >= self._cooling_threshold:
             # Any page reaching the cooling threshold advances the clock;
             # the triggering page is cooled immediately, the rest lazily.
             self._advance_clock()
-            self.cool_if_stale(node)
-        self._reclassify(node)
-        return node
+            self.cool_if_stale(pid)
+        self._reclassify(pid)
+        return PageRef(store, pid)
+
+    def record_samples(self, records) -> None:
+        """Apply a batch of PEBS records (the drain-thread hot loop).
+
+        Operation-for-operation identical to calling :meth:`record_sample`
+        per record; trace events produced by the batch (``CoolingPass``,
+        ``PageClassified``) are accumulated in order and flushed to the
+        tracer in a single ``extend``, so the trace stays bit-identical.
+        """
+        if self.profile is not None:
+            self._record_samples_profiled(records)
+            return
+        store = self.store
+        reads = store.reads
+        writes = store.writes
+        clock = store.clock
+        flags = store.flags
+        list_id = store.list_id
+        tier_col = store.tier
+        cooling_threshold = self._cooling_threshold
+        hot_reads = self._hot_reads
+        hot_writes = self._hot_writes
+        skip_mask = WRITE_HEAVY | UNDER_MIGRATION
+        tracer = self._tracer
+        events = None
+        if tracer is not None:
+            events = []
+            self._event_buffer = events
+        try:
+            bind = store.bind_region
+            base = -1
+            last_region = None
+            n_samples = 0
+            gclock = self.global_clock
+            for kind, region, page in records:
+                if region is not last_region:
+                    base = bind(region)
+                    last_region = region
+                pid = base + page
+                if not flags[pid] & TRACKED:
+                    self._track_pid(pid, region, page)
+                if gclock - clock[pid] > 0:
+                    self.cool_if_stale(pid)
+                if kind is _STORE_KIND:
+                    writes[pid] += 1
+                else:
+                    reads[pid] += 1
+                n_samples += 1
+                r = reads[pid]
+                w = writes[pid]
+                if r + w >= cooling_threshold:
+                    self._advance_clock()
+                    gclock = self.global_clock
+                    self.cool_if_stale(pid)
+                    r = reads[pid]
+                    w = writes[pid]
+                if (
+                    r < hot_reads
+                    and w < hot_writes
+                    and not flags[pid] & skip_mask
+                    and list_id[pid] == tier_col[pid] << 1
+                ):
+                    # Cold page staying cold, already on its tier's cold
+                    # list, no write-heavy bit to clear: _reclassify would
+                    # be a provable no-op, so skip the call.
+                    continue
+                self._reclassify(pid)
+            if n_samples:
+                self._samples.add(n_samples)
+        finally:
+            self._event_buffer = None
+        if events:
+            tracer.events.extend(events)
+
+    def _record_samples_profiled(self, records) -> None:
+        """REPRO_PROFILE fallback for :meth:`record_samples`.
+
+        Same batch, same operation order (goldens and traces stay
+        bit-identical), but each record's work is attributed to one of
+        three phases accumulated in :attr:`profile`:
+
+        - ``drain``   — region binding, first-touch tracking, counter
+          increments, and the no-op skip test,
+        - ``cool``    — lazy cooling (including the cooled page's
+          reclassification) and cooling-clock advances,
+        - ``classify``— :meth:`_reclassify` calls for pages whose state
+          may have changed.
+
+        The timer overhead lands inside the measured phases, so absolute
+        numbers run slower than the fast path; the *split* between phases
+        is what this mode is for.
+        """
+        prof = self.profile
+        store = self.store
+        reads = store.reads
+        writes = store.writes
+        clock = store.clock
+        flags = store.flags
+        list_id = store.list_id
+        tier_col = store.tier
+        cooling_threshold = self._cooling_threshold
+        hot_reads = self._hot_reads
+        hot_writes = self._hot_writes
+        skip_mask = WRITE_HEAVY | UNDER_MIGRATION
+        tracer = self._tracer
+        events = None
+        if tracer is not None:
+            events = []
+            self._event_buffer = events
+        drain_ns = cool_ns = classify_ns = 0
+        n_samples = 0
+        try:
+            bind = store.bind_region
+            base = -1
+            last_region = None
+            gclock = self.global_clock
+            t0 = perf_counter_ns()
+            for kind, region, page in records:
+                if region is not last_region:
+                    base = bind(region)
+                    last_region = region
+                pid = base + page
+                if not flags[pid] & TRACKED:
+                    self._track_pid(pid, region, page)
+                if gclock - clock[pid] > 0:
+                    t1 = perf_counter_ns()
+                    drain_ns += t1 - t0
+                    self.cool_if_stale(pid)
+                    t0 = perf_counter_ns()
+                    cool_ns += t0 - t1
+                if kind is _STORE_KIND:
+                    writes[pid] += 1
+                else:
+                    reads[pid] += 1
+                n_samples += 1
+                r = reads[pid]
+                w = writes[pid]
+                if r + w >= cooling_threshold:
+                    t1 = perf_counter_ns()
+                    drain_ns += t1 - t0
+                    self._advance_clock()
+                    gclock = self.global_clock
+                    self.cool_if_stale(pid)
+                    t0 = perf_counter_ns()
+                    cool_ns += t0 - t1
+                    r = reads[pid]
+                    w = writes[pid]
+                if (
+                    r < hot_reads
+                    and w < hot_writes
+                    and not flags[pid] & skip_mask
+                    and list_id[pid] == tier_col[pid] << 1
+                ):
+                    continue
+                t1 = perf_counter_ns()
+                drain_ns += t1 - t0
+                self._reclassify(pid)
+                t0 = perf_counter_ns()
+                classify_ns += t0 - t1
+            drain_ns += perf_counter_ns() - t0
+            if n_samples:
+                self._samples.add(n_samples)
+        finally:
+            self._event_buffer = None
+        if events:
+            tracer.events.extend(events)
+        prof["drain_ns"] += drain_ns
+        prof["cool_ns"] += cool_ns
+        prof["classify_ns"] += classify_ns
+        prof["samples"] += n_samples
+        prof["batches"] += 1
 
     def record_scan_hit(self, region: Region, page: int, accessed: bool, dirty: bool) -> None:
         """Apply one page-table scan observation (HeMem-PT ablations)."""
         if not accessed and not dirty:
             return
-        node = self.track_page(region, page)
-        self.cool_if_stale(node)
+        store = self.store
+        pid = store.bind_region(region) + page
+        if not store.flags[pid] & TRACKED:
+            self._track_pid(pid, region, page)
+        self.cool_if_stale(pid)
         if accessed:
-            node.reads += 1
+            store.reads[pid] += 1
         if dirty:
-            node.writes += 1
+            store.writes[pid] += 1
         self._samples.add(1)
-        if node.reads + node.writes >= self.config.cooling_threshold:
+        if store.reads[pid] + store.writes[pid] >= self._cooling_threshold:
             self._advance_clock()
-            self.cool_if_stale(node)
-        self._reclassify(node)
+            self.cool_if_stale(pid)
+        self._reclassify(pid)
 
-    def cool_if_stale(self, node: PageNode) -> None:
+    def cool_if_stale(self, node) -> None:
         """Halve counts once per missed cooling-clock tick (lazy cooling)."""
-        missed = self.global_clock - node.clock
+        pid = node if type(node) is int else node.pid
+        store = self.store
+        missed = self.global_clock - store.clock[pid]
         if missed <= 0:
             return
         shift = min(missed, 30)
-        node.reads >>= shift
-        node.writes >>= shift
-        node.clock = self.global_clock
-        self._reclassify(node, cooled=True)
+        store.reads[pid] >>= shift
+        store.writes[pid] >>= shift
+        store.clock[pid] = self.global_clock
+        self._reclassify(pid, cooled=True)
 
     # -- list maintenance ------------------------------------------------------------
-    def _reclassify(self, node: PageNode, cooled: bool = False) -> None:
-        if node.under_migration:
-            # The migrator owns the node until the copy completes; it will
+    def _reclassify(self, node, cooled: bool = False) -> None:
+        pid = node if type(node) is int else node.pid
+        store = self.store
+        flags = store.flags
+        f = flags[pid]
+        r = store.reads[pid]
+        w = store.writes[pid]
+        write_heavy = w >= self._hot_writes
+        if f & UNDER_MIGRATION:
+            # The migrator owns the page until the copy completes; it will
             # re-home it via page_migrated().
-            node.write_heavy = self.is_write_heavy(node)
+            flags[pid] = (f | WRITE_HEAVY) if write_heavy else (f & 0xFE)
             return
-        hot = self.is_hot(node)
-        write_heavy = self.is_write_heavy(node)
-        was_write_heavy = node.write_heavy
-        node.write_heavy = write_heavy
+        hot = r >= self._hot_reads or write_heavy
+        was_write_heavy = f & WRITE_HEAVY
+        flags[pid] = (f | WRITE_HEAVY) if write_heavy else (f & 0xFE)
+        cur_lid = store.list_id[pid]
         tracer = self._tracer
         if (
             tracer is not None
-            and node.owner is not None
-            and node.owner.hot != hot
+            and cur_lid != NO_LIST
+            and bool(cur_lid & 1) != hot
         ):
             # Classification flipped (cold->hot or hot->cold): record the
             # transition and the sample evidence behind it.
-            tracer.emit(PageClassified(
-                tracer.now, node.region.name, node.page,
-                Tier(node.region.tier[node.page]).name, hot,
-                node.reads, node.writes,
+            self._emit(PageClassified(
+                tracer.now, store.region_ref[pid].name, store.page_no[pid],
+                TIER_NAMES[store.tier[pid]], hot, r, w,
             ))
-        prioritise = write_heavy and self.config.write_priority
-        # raw int tier avoids constructing a Tier enum per sample; IntEnum
-        # keys hash/compare equal to their integer values.
-        target = self.lists[(int(node.region.tier[node.page]), hot)]
-        if node.owner is target:
-            if prioritise and not was_write_heavy and node is not target.front:
+        prioritise = write_heavy and self._write_priority
+        target_lid = (store.tier[pid] << 1) | (1 if hot else 0)
+        if cur_lid == target_lid:
+            if (
+                prioritise
+                and not was_write_heavy
+                and store._head[target_lid] != pid
+            ):
                 # Newly write-heavy pages jump to the front of the hot list
                 # so they are promoted before read-heavy pages (§3.3).
-                target.remove(node)
-                target.push_front(node)
+                store.unlink(target_lid, pid)
+                store.push_front(target_lid, pid)
             return
-        if node.owner is not None:
-            node.owner.remove(node)
+        if cur_lid != NO_LIST:
+            store.unlink(cur_lid, pid)
         if hot and prioritise:
-            target.push_front(node)
+            store.push_front(target_lid, pid)
         else:
             # A cooled, formerly write-heavy page that is still hot gets its
             # second chance at the back of the hot list.
-            target.push_back(node)
+            store.push_back(target_lid, pid)
 
-    def page_migrated(self, node: PageNode) -> None:
+    def page_migrated(self, node) -> None:
         """Called after a page's tier flipped; re-home it on the right list."""
-        if node.owner is not None:
-            node.owner.remove(node)
-        hot = self.is_hot(node)
-        target = self.list_for(node.tier, hot)
-        if hot and node.write_heavy and self.config.write_priority:
-            target.push_front(node)
+        pid = node if type(node) is int else node.pid
+        store = self.store
+        store.detach(pid)
+        tier = int(store.region_ref[pid].tier[store.page_no[pid]])
+        store.tier[pid] = tier
+        hot = (
+            store.reads[pid] >= self._hot_reads
+            or store.writes[pid] >= self._hot_writes
+        )
+        target_lid = (tier << 1) | (1 if hot else 0)
+        if hot and store.flags[pid] & WRITE_HEAVY and self._write_priority:
+            store.push_front(target_lid, pid)
         else:
-            target.push_back(node)
+            store.push_back(target_lid, pid)

@@ -328,16 +328,20 @@ class FaultInjectorService(Service):
             head.submitted_at = now
             migrator.mover.submit(head)
             self._watchdog_requeued.add(1)
-            self._emit_requeue(head, now)
+            self._emit_requeue(migrator, head, now)
 
-    def _emit_requeue(self, request: CopyRequest, now: float) -> None:
+    def _emit_requeue(self, migrator, request: CopyRequest, now: float) -> None:
         tracer = self.machine.tracer
         if tracer is None:
             return
         tag = request.tag
-        node = tag[0] if isinstance(tag, tuple) and tag else None
-        region_name = getattr(getattr(node, "region", None), "name", "?")
-        page = getattr(node, "page", -1)
+        pid = tag[0] if isinstance(tag, tuple) and tag else -1
+        region_name, page = "?", -1
+        if isinstance(pid, int) and pid >= 0:
+            store = migrator.tracker.store
+            if pid < len(store.region_ref) and store.region_ref[pid] is not None:
+                region_name = store.region_ref[pid].name
+                page = store.page_no[pid]
         tracer.emit(MigrationRetried(
             now, region_name, page, request.attempt, 0.0,
         ))

@@ -77,6 +77,22 @@ class DirectMappedCacheModel:
         hits = [1.0] * len(classes)
         if not live:
             return hits
+        if len(live) == 1:
+            # Single-class fast path (every single-stream experiment).  The
+            # Poisson draw is made with the identical 1-element lam array
+            # and sample shape, so the RNG stream and the sampled values
+            # match the general path bit for bit; the dot product over one
+            # class is a plain elementwise product, so the hit rate is the
+            # same arithmetic with less array plumbing.
+            orig_i, c = live[0]
+            lam_v = c.footprint / self.capacity
+            if lam_v > 0:
+                lam_v = lam_v * min(1.0, lam_v / self.CONTIGUITY_THRESHOLD)
+            k = self._rng.poisson(lam=np.array([lam_v]),
+                                  size=(self.mc_samples, 1))
+            w0 = c.rate_fraction / max(c.footprint / self.block_size, 1.0)
+            hits[orig_i] = float(np.mean(w0 / (w0 + k[:, 0] * w0)))
+            return hits
         # Per-block access weight and expected blocks per set, per class.
         lam = np.array([c.footprint / self.capacity for _, c in live])
         occupancy = float(lam.sum())

@@ -130,6 +130,11 @@ class CopyEngine:
         """Media bandwidth (bytes/s) consumed last tick, per (tier, op)."""
         return dict(self._last_bw)
 
+    @property
+    def moved_last_tick(self) -> bool:
+        """True when last tick consumed any media bandwidth (O(1) probe)."""
+        return bool(self._last_bw)
+
     def _effective_rate(self) -> float:
         rate = self.total_bw
         if self.max_rate is not None:

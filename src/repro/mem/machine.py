@@ -71,6 +71,11 @@ class MachineSpec:
         )
 
 
+#: shared empty reservation map for ticks with no migration traffic; owned
+#: by :meth:`Machine.resolve`, which guarantees it is never mutated.
+_NO_RESERVED_BW: Dict[Tuple[Tier, str], float] = {}
+
+
 class Machine:
     """Mutable machine state for one simulation run."""
 
@@ -192,7 +197,10 @@ class Machine:
         speed_factor: float,
         dt: float,
     ) -> List[StreamResult]:
-        app_threads = sum(s.threads for s in streams)
+        if len(streams) == 1:
+            app_threads = streams[0].threads
+        else:
+            app_threads = sum(s.threads for s in streams)
         if app_threads > 0 and self._interference > 0:
             # Interference (TLB shootdowns, fault stalls) steals app thread
             # time; anything beyond this tick's budget carries over so a
@@ -202,10 +210,16 @@ class Machine:
             speed_factor *= 1.0 - lost / budget
             self._interference -= lost
 
-        reserved: Dict[Tuple[Tier, str], float] = {}
+        # Steady-state ticks (no migration traffic) share one empty dict:
+        # every consumer only reads from ``reserved``, and the shared
+        # instance is only ever passed along, never mutated.
+        reserved: Dict[Tuple[Tier, str], float] = _NO_RESERVED_BW
         for mover in self._movers:
-            for key, bw in mover.last_tick_bw().items():
-                reserved[key] = reserved.get(key, 0.0) + bw
+            if mover.moved_last_tick:
+                if reserved is _NO_RESERVED_BW:
+                    reserved = {}
+                for key, bw in mover.last_tick_bw().items():
+                    reserved[key] = reserved.get(key, 0.0) + bw
 
         factors = None
         if self.bw_partitioner is not None:

@@ -130,6 +130,13 @@ class PerfModel:
         self._shapes: Dict[tuple, _StreamShape] = {}
         #: (shape, f_r, f_w, extra_r, extra_w) -> (op_time, demand entries)
         self._memo: Dict[tuple, Tuple[float, tuple]] = {}
+        #: steady-state single-stream memo: (id(stream), id(split),
+        #: speed_factor, dt) -> (stream, split, StreamResult).  Valid only
+        #: with no reserved bandwidth and a unit rate factor.  Holding
+        #: strong references to the keyed objects pins their ids, so an id
+        #: collision with a dead object is impossible; StreamResult is
+        #: immutable, so returning the same instance is exact.
+        self._single_memo: Dict[tuple, tuple] = {}
 
     def refresh(self) -> None:
         """Re-derive all device-dependent constants and drop both caches.
@@ -150,6 +157,7 @@ class PerfModel:
         self._nvm_write_lat = nvm.latency(WRITE)
         self._shapes.clear()
         self._memo.clear()
+        self._single_memo.clear()
 
     # -- shape/memo plumbing -------------------------------------------------
     def _shape_of(self, stream: AccessStream) -> _StreamShape:
@@ -257,6 +265,15 @@ class PerfModel:
         rate_factor: float = 1.0,
     ) -> StreamResult:
         """One-stream tick, bit-identical to the general two-pass path."""
+        memo_key = None
+        if rate_factor == 1.0 and not reserved_bw:
+            # Steady-state ticks replay the exact same (stream, split,
+            # speed_factor, dt) arguments; the StreamResult is a pure
+            # function of them, so the cached instance is exact.
+            memo_key = (id(stream), id(split), speed_factor, dt)
+            hit = self._single_memo.get(memo_key)
+            if hit is not None and hit[0] is stream and hit[1] is split:
+                return hit[2]
         op_t, entries = self._resolve_stream(stream, split)
         rate = stream.threads * speed_factor / op_t if op_t > 0 else 0.0
         if rate_factor != 1.0:
@@ -277,7 +294,7 @@ class PerfModel:
         chan_bytes = [0.0] * _N_CHANNELS
         for chan, bytes_per_op, _cap, _pat in entries:
             chan_bytes[chan] += ops * bytes_per_op
-        return StreamResult(
+        result = StreamResult(
             ops=ops,
             dram_read_bytes=chan_bytes[0],
             dram_write_bytes=chan_bytes[1],
@@ -285,6 +302,11 @@ class PerfModel:
             nvm_write_bytes=chan_bytes[3],
             avg_op_latency=op_t / factor if factor > 0 else float("inf"),
         )
+        if memo_key is not None:
+            if len(self._single_memo) >= _MEMO_LIMIT:
+                self._single_memo.clear()
+            self._single_memo[memo_key] = (stream, split, result)
+        return result
 
     # -- per-op cost --------------------------------------------------------
     def op_time(self, stream: AccessStream, split: TierSplit) -> float:

@@ -63,12 +63,27 @@ class Region:
         self.tier_version = 0
         self._mask_version = -1
         self._in_dram: Optional[np.ndarray] = None
+        # Placement-query memos, all invalidated by tier_version bumps.
+        # Steady-state ticks (no migrations in flight) hit these instead of
+        # re-reducing the mask thousands of times per run.
+        self._mean_cache = (-1, 0.0)  # (tier_version, mean)
+        self._dot_cache = (-1, None, 0.0)  # (tier_version, weights ref, dot)
+        self._bytes_cache = (-1, 0, 0)  # (tier_version, dram_bytes, nvm_bytes)
         self.mapped = np.zeros(self.n_pages, dtype=bool)
 
         # Ground-truth expected access counts per page since the last
-        # page-table clear (used to derive access/dirty bits).
-        self.pending_reads = np.zeros(self.n_pages, dtype=np.float64)
-        self.pending_writes = np.zeros(self.n_pages, dtype=np.float64)
+        # page-table clear (used to derive access/dirty bits).  Uniform
+        # (weights-free) traffic keeps every element identical, so those
+        # ticks fold into two scalars and the arrays are materialised only
+        # when read or when a weighted accumulation forces per-page state.
+        # Scalar folding performs the exact same IEEE additions the
+        # elementwise ``+=`` would, so the materialised values are
+        # bit-identical.
+        self._pending_reads = np.zeros(self.n_pages, dtype=np.float64)
+        self._pending_writes = np.zeros(self.n_pages, dtype=np.float64)
+        self._pending_lazy = True
+        self._uniform_reads = 0.0
+        self._uniform_writes = 0.0
         self._scratch = np.empty(self.n_pages, dtype=np.float64)
 
         # Policy annotations.
@@ -98,21 +113,57 @@ class Region:
 
     def dram_fraction(self, weights: Optional[np.ndarray] = None) -> float:
         """Probability an access with ``weights`` lands on a DRAM page."""
-        in_dram = self._in_dram_mask()
+        version = self.tier_version
         if weights is None:
+            cached_version, value = self._mean_cache
+            if cached_version == version:
+                return value
             if self.n_pages == 0:
                 return 1.0
-            return float(in_dram.mean())
-        return float(np.dot(weights, in_dram))
+            value = float(self._in_dram_mask().mean())
+            self._mean_cache = (version, value)
+            return value
+        cached_version, cached_weights, value = self._dot_cache
+        # The identity check is sound because the cache holds a strong
+        # reference: a live entry's id cannot be recycled, and weight
+        # arrays are replaced (never mutated) by contract.
+        if cached_version == version and cached_weights is weights:
+            return value
+        value = float(np.dot(weights, self._in_dram_mask()))
+        self._dot_cache = (version, weights, value)
+        return value
 
     def bytes_in(self, tier: Tier) -> int:
-        return int((self.tier == tier).sum()) * self.page_size
+        version, dram_bytes, nvm_bytes = self._bytes_cache
+        if version != self.tier_version:
+            dram_pages = int((self.tier == Tier.DRAM).sum())
+            dram_bytes = dram_pages * self.page_size
+            nvm_bytes = (self.n_pages - dram_pages) * self.page_size
+            self._bytes_cache = (self.tier_version, dram_bytes, nvm_bytes)
+        return dram_bytes if tier == Tier.DRAM else nvm_bytes
 
     def pages_in(self, tier: Tier) -> np.ndarray:
         """Indices of pages currently placed in ``tier``."""
         return np.nonzero(self.tier == tier)[0]
 
     # -- ground-truth access accounting --------------------------------------
+    @property
+    def pending_reads(self) -> np.ndarray:
+        if self._pending_lazy:
+            self._materialize_pending()
+        return self._pending_reads
+
+    @property
+    def pending_writes(self) -> np.ndarray:
+        if self._pending_lazy:
+            self._materialize_pending()
+        return self._pending_writes
+
+    def _materialize_pending(self) -> None:
+        self._pending_reads.fill(self._uniform_reads)
+        self._pending_writes.fill(self._uniform_writes)
+        self._pending_lazy = False
+
     def accumulate(self, weights: Optional[np.ndarray], reads: float, writes: float) -> None:
         """Distribute expected access counts over pages per ``weights``."""
         if reads < 0 or writes < 0:
@@ -122,22 +173,32 @@ class Region:
                 return
             per_page_r = reads / self.n_pages
             per_page_w = writes / self.n_pages
-            self.pending_reads += per_page_r
-            self.pending_writes += per_page_w
+            if self._pending_lazy:
+                self._uniform_reads += per_page_r
+                self._uniform_writes += per_page_w
+            else:
+                self._pending_reads += per_page_r
+                self._pending_writes += per_page_w
         else:
+            if self._pending_lazy:
+                self._materialize_pending()
             # Scale into a reused scratch buffer: same arithmetic, no
             # per-tick temporary allocation.
             scratch = self._scratch
             if reads:
                 np.multiply(weights, reads, out=scratch)
-                self.pending_reads += scratch
+                self._pending_reads += scratch
             if writes:
                 np.multiply(weights, writes, out=scratch)
-                self.pending_writes += scratch
+                self._pending_writes += scratch
 
     def clear_access_bits(self) -> None:
-        self.pending_reads[:] = 0.0
-        self.pending_writes[:] = 0.0
+        self._uniform_reads = 0.0
+        self._uniform_writes = 0.0
+        if not self._pending_lazy:
+            self._pending_reads[:] = 0.0
+            self._pending_writes[:] = 0.0
+            self._pending_lazy = True
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,28 @@ from repro.obs.trace import Tracer
 
 _captures: List["Capture"] = []
 
+#: counter suffixes that make up the "events" count surfaced by
+#: ``--perf-record`` when tracing is off: PEBS samples processed by the
+#: hot/cold tracker plus cooling-clock passes.
+_EVENT_COUNTER_SUFFIXES = ("tracker.samples", "tracker.cooling_events")
+
+
+def event_count(machine) -> int:
+    """Simulation-event proxy from a machine's stats counters.
+
+    Cheap to read (one counters snapshot at collection time, zero per-tick
+    cost), so it backs ``events_per_sec`` in perf records without needing
+    trace capture.
+    """
+    stats = getattr(machine, "stats", None)
+    if stats is None:
+        return 0
+    return int(sum(
+        value
+        for name, value in stats.counters().items()
+        if name.endswith(_EVENT_COUNTER_SUFFIXES)
+    ))
+
 
 def capture_active() -> bool:
     return bool(_captures)
@@ -45,9 +67,14 @@ def is_metrics() -> bool:
 class Capture:
     """Context manager that instruments machines created inside it."""
 
-    def __init__(self, trace: bool = True, metrics: bool = True):
+    def __init__(self, trace: bool = True, metrics: bool = True,
+                 counters: bool = False):
         self.trace = trace
         self.metrics = metrics
+        #: when True, payloads include an ``events`` count read from the
+        #: machine's stats counters (see :func:`event_count`) — the
+        #: no-tracing path to a non-null events/sec in perf records.
+        self.counters = counters
         self._records: List[dict] = []
 
     def __enter__(self) -> "Capture":
@@ -64,8 +91,8 @@ class Capture:
         return [record["machine"] for record in self._records]
 
     def payloads(self) -> List[dict]:
-        """One ``{"trace": [...]|None, "metrics": {...}|None}`` per machine
-        instrumented under this capture, in creation order."""
+        """One ``{"trace": [...]|None, "metrics": {...}|None, "events": int|None}``
+        per machine instrumented under this capture, in creation order."""
         out = []
         for record in self._records:
             machine = record["machine"]
@@ -74,6 +101,7 @@ class Capture:
                 {
                     "trace": tracer.to_dicts() if tracer is not None else None,
                     "metrics": metrics_summary(machine) if self.metrics else None,
+                    "events": event_count(machine) if self.counters else None,
                 }
             )
         return out
@@ -88,9 +116,10 @@ class Capture:
         self._records.append({"machine": machine, "tracer": tracer})
 
 
-def capture(trace: bool = True, metrics: bool = True) -> Capture:
+def capture(trace: bool = True, metrics: bool = True,
+            counters: bool = False) -> Capture:
     """Shorthand: ``with obs.capture(trace=True, metrics=False) as cap:``."""
-    return Capture(trace=trace, metrics=metrics)
+    return Capture(trace=trace, metrics=metrics, counters=counters)
 
 
 def on_machine_created(machine) -> None:

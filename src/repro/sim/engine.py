@@ -173,7 +173,10 @@ class Engine:
 
         # 2. Application access streams for this tick.
         streams = self.workload.access_mix(now, dt)
-        app_threads = sum(s.threads for s in streams)
+        if len(streams) == 1:
+            app_threads = streams[0].threads
+        else:
+            app_threads = sum(s.threads for s in streams)
         self.last_app_threads = app_threads
         speed = cpu.app_speed_factor(app_threads, dt) if app_threads else 0.0
         if prof is not None:
@@ -208,12 +211,17 @@ class Engine:
         # 6. Hardware background progress (DMA copies, etc.).
         self.machine.end_tick(now, dt)
 
-        # 7. Bookkeeping.
+        # 7. Bookkeeping.  The tick clock is monotonic by construction, so
+        #    the append-only guard in TimeSeries.record is bypassed here.
         total_ops = 0.0
         for r in results:
             total_ops += r.ops
-        self._series_ops.record(now, total_ops / dt)
-        self._series_util.record(now, cpu.service_utilization)
+        series = self._series_ops
+        series.times.append(now)
+        series.values.append(total_ops / dt)
+        series = self._series_util
+        series.times.append(now)
+        series.values.append(cpu.service_utilization)
         if self.metrics is not None:
             self.metrics.sample(now, dt)
         self.manager.end_tick(now, dt)

@@ -33,6 +33,44 @@ def profiler_enabled() -> bool:
     return value not in ("", "0", "false", "no")
 
 
+def iter_trackers(manager):
+    """Yield ``(label, tracker)`` for every hot/cold tracker under ``manager``.
+
+    Covers both shapes: a single managed run (``manager.tracker``) and a
+    colocation run (one tracker per tenant manager).
+    """
+    tracker = getattr(manager, "tracker", None)
+    if tracker is not None:
+        yield getattr(manager, "name", "manager"), tracker
+    tenants = getattr(manager, "tenants", None)
+    if tenants:
+        for name, tenant in tenants.items():
+            sub = getattr(getattr(tenant, "manager", None), "tracker", None)
+            if sub is not None:
+                yield name, sub
+
+
+def pagestore_report(label: str, profile: Dict[str, int]) -> str:
+    """Format one tracker's drain/cool/classify phase attribution."""
+    total = profile["drain_ns"] + profile["cool_ns"] + profile["classify_ns"]
+    samples = profile["samples"]
+    head = (
+        f"[profile]   pagestore/{label}: {samples} samples in "
+        f"{profile['batches']} batches, {total / 1e9:.3f}s"
+    )
+    if samples:
+        head += f", {total / samples:.0f} ns/sample"
+    lines = [head]
+    if total > 0:
+        for phase in ("drain", "cool", "classify"):
+            ns = profile[f"{phase}_ns"]
+            lines.append(
+                f"[profile]     {phase:<9} {ns / 1e9:8.3f}s"
+                f"  {ns / total * 100:5.1f}%"
+            )
+    return "\n".join(lines)
+
+
 class TickProfiler:
     """Accumulates wall time per engine subsystem across ticks.
 
@@ -79,9 +117,18 @@ class TickProfiler:
         return "\n".join(lines)
 
     def emit(self, engine) -> None:
-        """Print the report for one finished engine run (stderr)."""
+        """Print the report for one finished engine run (stderr).
+
+        Includes the pagestore drain/cool/classify phase split for every
+        tracker under the engine's manager (see
+        :meth:`repro.core.tracking.HotColdTracker.record_samples`).
+        """
         label = (
             f"{getattr(engine.workload, 'name', '?')}"
             f"/{getattr(engine.manager, 'name', '?')}"
         )
         print(self.report(label), file=sys.stderr)
+        for name, tracker in iter_trackers(engine.manager):
+            profile = getattr(tracker, "profile", None)
+            if profile is not None and profile["batches"]:
+                print(pagestore_report(name, profile), file=sys.stderr)

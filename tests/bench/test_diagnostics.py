@@ -171,3 +171,88 @@ class TestPerfCompare:
         assert perf_main([str(base_path), str(cur_path),
                           "--threshold", "0.10"]) == 0
         assert "::warning" in capsys.readouterr().out
+
+
+class TestPerfGate:
+    """Ratchet mode: --gate fails the build instead of warning."""
+
+    def _paths(self, tmp_path, base, cur):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(base))
+        cur_path.write_text(json.dumps(cur))
+        return str(base_path), str(cur_path)
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, perf_record(fig5=1.5),
+                                perf_record(fig5=2.0))
+        assert perf_main([base, cur, "--gate"]) == 1
+        assert "::error title=bench perf regression::" in capsys.readouterr().out
+
+    def test_gate_threshold_is_fifteen_percent(self, tmp_path, capsys):
+        # +14% passes the gate, +16% fails it.
+        base, cur = self._paths(tmp_path, perf_record(fig5=1.0),
+                                perf_record(fig5=1.14))
+        assert perf_main([base, cur, "--gate"]) == 0
+        base, cur = self._paths(tmp_path, perf_record(fig5=1.0),
+                                perf_record(fig5=1.16))
+        assert perf_main([base, cur, "--gate"]) == 1
+
+    def test_gate_passes_when_faster(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, perf_record(fig5=4.7),
+                                perf_record(fig5=1.5))
+        assert perf_main([base, cur, "--gate"]) == 0
+        assert "perf: OK" in capsys.readouterr().out
+
+    def test_min_speedup_met(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, perf_record(fig5=4.7),
+                                perf_record(fig5=1.5))
+        assert perf_main([base, cur, "--gate",
+                          "--min-speedup", "fig5=3.0"]) == 0
+
+    def test_min_speedup_not_met(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, perf_record(fig5=4.7),
+                                perf_record(fig5=2.0))
+        assert perf_main([base, cur, "--gate",
+                          "--min-speedup", "fig5=3.0"]) == 1
+        assert "required 3x" in capsys.readouterr().out
+
+    def test_min_speedup_missing_experiment_fails(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, perf_record(fig5=4.7),
+                                perf_record(fig12=1.0))
+        assert perf_main([base, cur, "--gate",
+                          "--min-speedup", "fig5=3.0"]) == 1
+        assert "cannot be verified" in capsys.readouterr().out
+
+    def test_without_gate_speedup_miss_only_warns(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, perf_record(fig5=4.7),
+                                perf_record(fig5=4.0))
+        assert perf_main([base, cur, "--min-speedup", "fig5=3.0"]) == 0
+        assert "::warning" in capsys.readouterr().out
+
+
+class TestPerfMinMerge:
+    def test_merge_keeps_fastest_run_per_experiment(self):
+        from repro.bench.perf import merge_min
+
+        merged = merge_min([
+            perf_record(fig5=2.0, fig12=1.0),
+            perf_record(fig5=1.5, fig12=1.2),
+        ])
+        assert merged["runs_merged"] == 2
+        assert merged["experiments"]["fig5"]["wall_seconds"] == 1.5
+        assert merged["experiments"]["fig12"]["wall_seconds"] == 1.0
+        # the winning run's derived stats come along unchanged
+        assert merged["experiments"]["fig5"]["events_per_sec"] == 100.0 / 1.5
+
+    def test_min_cli_writes_merged_record(self, tmp_path, capsys):
+        runs = []
+        for i, wall in enumerate((2.0, 1.4, 1.7)):
+            path = tmp_path / f"run{i}.json"
+            path.write_text(json.dumps(perf_record(fig5=wall)))
+            runs.append(str(path))
+        out = tmp_path / "merged.json"
+        assert perf_main(["min", str(out)] + runs) == 0
+        merged = json.loads(out.read_text())
+        assert merged["kind"] == "perf"
+        assert merged["experiments"]["fig5"]["wall_seconds"] == 1.4

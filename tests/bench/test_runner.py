@@ -150,3 +150,39 @@ class TestRunCases:
         stored = run_cases("tiny", [Case("k", fn)], scenario, cache=cache)
         replayed = run_cases("tiny", [Case("k", fn)], scenario, cache=cache)
         assert stored == replayed == fresh
+
+    def test_counters_fill_events_and_replay_from_cache(self, tmp_path):
+        # A real (tiny) HeMem run processes PEBS samples, so the counters
+        # capture must produce a non-zero event total — and a cached
+        # counters run must replay the identical total without simulating.
+        scenario = tiny_scenario()
+        cases = [Case("64GB/hemem", _gups, {"system": "hemem", "ws_gb": 64})]
+        cache = ResultCache(tmp_path)
+
+        fresh = RunStats()
+        run_cases("tiny", cases, scenario, cache=cache, metrics=False,
+                  stats=fresh, counters=True)
+        assert fresh.events > 0 and fresh.cache_misses == 1
+
+        replay = RunStats()
+        run_cases("tiny", cases, scenario, cache=cache, metrics=False,
+                  stats=replay, counters=True)
+        assert replay.cache_hits == 1
+        assert replay.events == fresh.events
+
+        # Without counters no events are accounted...
+        off = RunStats()
+        run_cases("tiny", cases, scenario, cache=cache, metrics=False,
+                  stats=off)
+        assert off.events == 0 and off.cache_hits == 1
+
+    def test_entry_without_events_is_a_miss_for_counters_run(self, tmp_path):
+        scenario = tiny_scenario()
+        cases = [Case("64GB/hemem", _gups, {"system": "hemem", "ws_gb": 64})]
+        cache = ResultCache(tmp_path)
+        run_cases("tiny", cases, scenario, cache=cache, metrics=False)
+
+        stats = RunStats()
+        run_cases("tiny", cases, scenario, cache=cache, metrics=False,
+                  stats=stats, counters=True)
+        assert stats.cache_misses == 1 and stats.events > 0

@@ -120,7 +120,7 @@ class TestFreeForAll:
 
 class TestRegistry:
     def test_known_policies(self):
-        assert set(POLICIES) == {"static", "fair", "priority", "none"}
+        assert set(POLICIES) == {"static", "fair", "priority", "none", "floor"}
         for name in POLICIES:
             assert make_policy(name).name == name
 

@@ -1,0 +1,122 @@
+"""Sharded colocation: partition/merge laws and shard-equivalence.
+
+The acceptance property of :mod:`repro.colo.sharding` is exact: splitting
+the 64-tenant fleet into N independent simulations and merging their
+per-tenant summaries must reproduce the unsharded run bit for bit.  The
+equivalence test runs the real ``colo_sharded`` experiment (all 64
+tenants, shortened duration) under two different shard layouts.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import colo_sharded
+from repro.bench.runner import run_experiment
+from repro.bench.scenario import Scenario
+from repro.colo import TenantSpec, make_policy
+from repro.colo.policies import TenantShare
+from repro.colo.sharding import merge_tenant_results, shard_specs
+from repro.workloads.gups import GupsConfig, GupsWorkload
+from repro.sim.units import GB
+
+
+def _specs(n):
+    return [
+        TenantSpec(f"t{i}", GupsWorkload(GupsConfig(working_set=GB)))
+        for i in range(n)
+    ]
+
+
+class TestShardSpecs:
+    def test_partition_is_disjoint_and_complete(self):
+        specs = _specs(10)
+        parts = [shard_specs(specs, i, 3) for i in range(3)]
+        names = [s.name for part in parts for s in part]
+        assert sorted(names) == sorted(s.name for s in specs)
+        assert len(set(names)) == len(names)
+
+    def test_round_robin_balances_size_classes(self):
+        # Tenants laid out in class order: every shard sees every class.
+        specs = _specs(8)
+        for i in range(4):
+            part = shard_specs(specs, i, 4)
+            assert [int(s.name[1:]) % 4 for s in part] == [i, i]
+
+    def test_single_shard_is_identity(self):
+        specs = _specs(5)
+        assert [s.name for s in shard_specs(specs, 0, 1)] == [
+            s.name for s in specs
+        ]
+
+    def test_bad_indices_rejected(self):
+        specs = _specs(4)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 0, 0)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 2, 2)
+        with pytest.raises(ValueError):
+            shard_specs(specs, -1, 2)
+
+
+class TestMergeTenantResults:
+    def test_union(self):
+        merged = merge_tenant_results([{"a": 1}, {"b": 2}, {"c": 3}])
+        assert merged == {"a": 1, "b": 2, "c": 3}
+
+    def test_duplicate_tenant_rejected(self):
+        with pytest.raises(ValueError, match="multiple shards"):
+            merge_tenant_results([{"a": 1}, {"a": 2}])
+
+
+class TestFloorPolicy:
+    def test_quota_independent_of_co_runners(self):
+        policy = make_policy("floor")
+        alone = policy.quotas(1000, [TenantShare("a", floor_pages=200)])
+        crowd = policy.quotas(1000, [
+            TenantShare("a", floor_pages=200),
+            TenantShare("b", floor_pages=300, demand_pages=900),
+        ])
+        assert alone["a"] == crowd["a"] == 200
+
+    def test_oversubscribed_floors_scaled_down(self):
+        policy = make_policy("floor")
+        quotas = policy.quotas(100, [
+            TenantShare("a", floor_pages=100),
+            TenantShare("b", floor_pages=100),
+        ])
+        assert quotas == {"a": 50, "b": 50}
+
+
+class TestShardEquivalence:
+    """The 64-tenant fleet merges bit-identically under any shard split."""
+
+    SCENARIO = Scenario(scale=512.0, duration=1.5, warmup=0.5)
+
+    def _canonical(self, tenants):
+        return json.dumps(tenants, sort_keys=True)
+
+    def test_sharded_matches_unsharded(self):
+        unsharded = colo_sharded.run_shard_case(self.SCENARIO, 0, 1)["tenants"]
+        assert len(unsharded) == colo_sharded.N_TENANTS == 64
+        parts = [
+            colo_sharded.run_shard_case(self.SCENARIO, i, 4)["tenants"]
+            for i in range(4)
+        ]
+        merged = merge_tenant_results(parts)
+        assert self._canonical(merged) == self._canonical(unsharded)
+
+    def test_assembled_table_identical_via_runner(self):
+        table_1 = run_experiment(
+            colo_sharded, "colo_sharded", self.SCENARIO,
+            jobs=1, cache=None, metrics=False,
+        )
+        table_8 = run_experiment(
+            colo_sharded, "colo_sharded", self.SCENARIO,
+            jobs=1, cache=None, metrics=False, shards=8,
+        )
+        assert table_1.to_csv() == table_8.to_csv()
+
+    def test_too_many_shards_rejected(self):
+        with pytest.raises(ValueError):
+            colo_sharded.cases(self.SCENARIO, shards=65)

@@ -34,9 +34,9 @@ class TestPebsSource:
         tracker = engine.manager.tracker
         hot_pages = set(int(p) for p in workload._hot_pages)
         hot_marked = cold_marked = 0
-        for (rid, page), node in tracker._nodes.items():
+        for node in tracker.iter_refs():
             if tracker.is_hot(node):
-                if page in hot_pages:
+                if node.page in hot_pages:
                     hot_marked += 1
                 else:
                     cold_marked += 1

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.config import HeMemConfig
-from repro.core.tracking import HotColdTracker, PageList, PageNode
+from repro.core.pagestore import NO_LIST, PageStore
+from repro.core.tracking import HotColdTracker
 from repro.mem.page import HUGE_PAGE, Tier
 from repro.mem.region import Region
 
@@ -18,68 +19,84 @@ def tracker(stats):
     return HotColdTracker(HeMemConfig(), stats)
 
 
-class TestPageList:
-    def make_nodes(self, region, n=3):
-        return [PageNode(region, i) for i in range(n)]
+class TestPageFifo:
+    """FIFO semantics of the index-linked lists (PageList parity)."""
+
+    def make_store(self, region):
+        store = PageStore()
+        base = store.bind_region(region)
+        return store, base
 
     def test_fifo_order(self, region):
-        lst = PageList("l")
-        nodes = self.make_nodes(region)
-        for n in nodes:
-            lst.push_back(n)
-        assert lst.pop_front() is nodes[0]
-        assert lst.pop_front() is nodes[1]
+        store, base = self.make_store(region)
+        lst = store.new_list("l")
+        for pid in (base, base + 1, base + 2):
+            lst.push_back(pid)
+        assert lst.pop_front() == base
+        assert lst.pop_front() == base + 1
 
     def test_push_front(self, region):
-        lst = PageList("l")
-        a, b = self.make_nodes(region, 2)
-        lst.push_back(a)
-        lst.push_front(b)
-        assert lst.front is b
+        store, base = self.make_store(region)
+        lst = store.new_list("l")
+        lst.push_back(base)
+        lst.push_front(base + 1)
+        assert lst.front_pid == base + 1
 
     def test_remove_middle(self, region):
-        lst = PageList("l")
-        a, b, c = self.make_nodes(region)
-        for n in (a, b, c):
-            lst.push_back(n)
+        store, base = self.make_store(region)
+        lst = store.new_list("l")
+        a, b, c = base, base + 1, base + 2
+        for pid in (a, b, c):
+            lst.push_back(pid)
         lst.remove(b)
         assert list(lst) == [a, c]
-        assert b.owner is None
+        assert store.list_id[b] == NO_LIST
 
     def test_byte_accounting(self, region):
-        lst = PageList("l")
-        a, b = self.make_nodes(region, 2)
-        lst.push_back(a)
-        lst.push_back(b)
+        store, base = self.make_store(region)
+        lst = store.new_list("l")
+        lst.push_back(base)
+        lst.push_back(base + 1)
         assert lst.nbytes == 2 * HUGE_PAGE
-        lst.remove(a)
+        lst.remove(base)
         assert lst.nbytes == HUGE_PAGE
 
     def test_double_insert_rejected(self, region):
-        lst = PageList("l")
-        (a,) = self.make_nodes(region, 1)
-        lst.push_back(a)
+        store, base = self.make_store(region)
+        lst = store.new_list("l")
+        lst.push_back(base)
         with pytest.raises(ValueError):
-            lst.push_back(a)
+            lst.push_back(base)
 
-    def test_remove_foreign_node_rejected(self, region):
-        l1, l2 = PageList("a"), PageList("b")
-        (a,) = self.make_nodes(region, 1)
-        l1.push_back(a)
+    def test_remove_foreign_pid_rejected(self, region):
+        store, base = self.make_store(region)
+        l1 = store.new_list("a")
+        l2 = store.new_list("b")
+        l1.push_back(base)
         with pytest.raises(ValueError):
-            l2.remove(a)
+            l2.remove(base)
 
-    def test_pop_empty_returns_none(self):
-        assert PageList("l").pop_front() is None
+    def test_pop_empty_returns_sentinel(self, region):
+        store, _ = self.make_store(region)
+        assert store.new_list("l").pop_front() == -1
 
     def test_iteration_allows_removal(self, region):
-        lst = PageList("l")
-        nodes = self.make_nodes(region)
-        for n in nodes:
-            lst.push_back(n)
-        for node in lst:
-            lst.remove(node)
+        store, base = self.make_store(region)
+        lst = store.new_list("l")
+        for pid in (base, base + 1, base + 2):
+            lst.push_back(pid)
+        for pid in lst:
+            lst.remove(pid)
         assert len(lst) == 0
+
+    def test_block_recycled_after_release(self, region):
+        store, base = self.make_store(region)
+        capacity = store.capacity
+        store.release_region(region)
+        assert store.base_of(region) is None
+        twin = Region(0x2000000, 32 * HUGE_PAGE)
+        assert store.bind_region(twin) == base  # same-size block reused
+        assert store.capacity == capacity
 
 
 class TestTrackPage:
@@ -93,13 +110,22 @@ class TestTrackPage:
         assert node.owner is tracker.list_for(Tier.NVM, hot=False)
 
     def test_idempotent(self, tracker, region):
-        assert tracker.track_page(region, 0) is tracker.track_page(region, 0)
+        assert tracker.track_page(region, 0) == tracker.track_page(region, 0)
+        assert len(tracker) == 1
 
     def test_untrack(self, tracker, region):
         tracker.track_page(region, 0)
         tracker.untrack_page(region, 0)
         assert tracker.node(region, 0) is None
         assert len(tracker.list_for(Tier.DRAM, hot=False)) == 0
+
+    def test_untrack_region(self, tracker, region):
+        for page in range(4):
+            tracker.track_page(region, page)
+        tracker.untrack_region(region)
+        assert len(tracker) == 0
+        assert len(tracker.list_for(Tier.DRAM, hot=False)) == 0
+        assert tracker.node(region, 0) is None
 
 
 class TestClassification:
@@ -199,11 +225,11 @@ class TestCooling:
         # stays on the hot list, at the back (second chance).
         assert node.owner is hot
         assert not node.write_heavy
-        assert hot.front is not node or len(hot) == 1
+        assert hot.front != node or len(hot) == 1
 
 
 class TestMigrationInteraction:
-    def test_under_migration_nodes_stay_off_lists(self, tracker, region):
+    def test_under_migration_pages_stay_off_lists(self, tracker, region):
         node = tracker.track_page(region, 0)
         node.owner.remove(node)
         node.under_migration = True
@@ -225,7 +251,78 @@ class TestMigrationInteraction:
         b.writes = 5
         b.write_heavy = True
         tracker.page_migrated(b)
-        assert tracker.list_for(Tier.DRAM, hot=True).front is b
+        assert tracker.list_for(Tier.DRAM, hot=True).front == b
+
+
+class TestBatchedSamples:
+    """record_samples must be op-for-op identical to per-record applies."""
+
+    def test_matches_per_record_application(self, tracker, region, stats):
+        from repro.mem.pebs import PebsEventKind, PebsRecord
+
+        records = [
+            PebsRecord(
+                PebsEventKind.STORE if (i * 7) % 3 == 0 else PebsEventKind.DRAM_READ,
+                region,
+                (i * 13) % 8,
+            )
+            for i in range(200)
+        ]
+        other = HotColdTracker(HeMemConfig(), stats.scoped("other"))
+        tracker.record_samples(records)
+        for rec in records:
+            other.record_sample(rec.region, rec.page, rec.kind is PebsEventKind.STORE)
+        assert tracker.global_clock == other.global_clock
+        for page in range(8):
+            a = tracker.node(region, page)
+            b = other.node(region, page)
+            assert (a.reads, a.writes, a.clock, a.owner.name) == (
+                b.reads, b.writes, b.clock, b.owner.name
+            )
+
+
+class TestProfiledBatch:
+    """The REPRO_PROFILE fallback loop is op-for-op identical to the fast one."""
+
+    def _records(self, region):
+        from repro.mem.pebs import PebsEventKind, PebsRecord
+
+        return [
+            PebsRecord(
+                PebsEventKind.STORE if (i * 7) % 3 == 0 else PebsEventKind.DRAM_READ,
+                region,
+                (i * 13) % 8,
+            )
+            for i in range(200)
+        ]
+
+    def test_profiled_state_identical_and_attributed(self, region, stats):
+        fast = HotColdTracker(HeMemConfig(), stats.scoped("fast"))
+        prof = HotColdTracker(HeMemConfig(), stats.scoped("prof"))
+        # Force the profiled path without touching the environment.
+        prof.profile = {"drain_ns": 0, "cool_ns": 0, "classify_ns": 0,
+                        "samples": 0, "batches": 0}
+        records = self._records(region)
+        fast.record_samples(records)
+        prof.record_samples(records)
+        assert prof.global_clock == fast.global_clock
+        for page in range(8):
+            a = fast.node(region, page)
+            b = prof.node(region, page)
+            assert (a.reads, a.writes, a.clock, a.owner.name) == (
+                b.reads, b.writes, b.clock, b.owner.name
+            )
+        assert prof.profile["samples"] == len(records)
+        assert prof.profile["batches"] == 1
+        assert prof.profile["drain_ns"] > 0
+        assert prof.profile["cool_ns"] > 0
+        assert prof.profile["classify_ns"] > 0
+
+    def test_profile_enabled_by_env_flag(self, stats, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert HotColdTracker(HeMemConfig(), stats).profile is not None
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert HotColdTracker(HeMemConfig(), stats.scoped("off")).profile is None
 
 
 class TestScanHits:

@@ -49,7 +49,7 @@ def fail_times(node, n):
     state = {"left": n, "calls": 0}
 
     def hook(request, now):
-        if request.tag[0] is not node:
+        if request.tag[0] != node.pid:  # tags carry pids
             return False
         state["calls"] += 1
         if state["left"] > 0:

@@ -1,5 +1,7 @@
 """Tests for the process-global capture scope and machine instrumentation."""
 
+import types
+
 import pytest
 
 from repro.mem.machine import Machine, MachineSpec
@@ -76,6 +78,37 @@ class TestCaptureScope:
             make_machine()
             make_machine()
         assert len(cap.payloads()) == 2
+
+
+class TestCounterCapture:
+    """The cheap events path behind ``--perf-record`` without tracing."""
+
+    def test_event_count_sums_tracker_counters(self):
+        from repro.obs.runtime import event_count
+        from repro.sim.stats import StatsRegistry
+
+        stats = StatsRegistry()
+        stats.counter("hemem.tracker.samples").add(5)
+        stats.counter("hemem.tracker.cooling_events").add(2)
+        stats.counter("hemem.pages_migrated").add(100)  # not an event
+        machine = types.SimpleNamespace(stats=stats)
+        assert event_count(machine) == 7
+
+    def test_counters_payload_without_instrumentation(self):
+        with capture(trace=False, metrics=False, counters=True) as cap:
+            machine = make_machine()
+        assert machine.tracer is None
+        assert machine.metrics is None
+        [payload] = cap.payloads()
+        assert payload["trace"] is None
+        assert payload["metrics"] is None
+        assert payload["events"] == 0  # nothing simulated yet
+
+    def test_events_none_when_counters_off(self):
+        with capture(trace=False, metrics=True) as cap:
+            make_machine()
+        [payload] = cap.payloads()
+        assert payload["events"] is None
 
 
 class TestInstallTracer:

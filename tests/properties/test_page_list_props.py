@@ -1,44 +1,44 @@
-"""Property-based tests for the intrusive page list.
+"""Property-based tests for the index-linked page FIFO.
 
-Invariants under any operation sequence: node count and byte accounting
-match, every node's owner pointer is consistent, FIFO order is preserved
-for push_back, and nodes are never lost or duplicated.
+Invariants under any operation sequence: membership count and byte
+accounting match, every pid's list id is consistent, FIFO order is
+preserved for push_back, and pids are never lost or duplicated.
 """
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
-from repro.core.tracking import PageList, PageNode
+from repro.core.pagestore import NO_LIST, PageStore
 from repro.mem.page import HUGE_PAGE
 from repro.mem.region import Region
 
 
 def apply_ops(ops):
-    """Replay an op sequence against a PageList and a Python-list model."""
+    """Replay an op sequence against a PageFifo and a Python-list model."""
     region = Region(0x1000000, 64 * HUGE_PAGE)
-    nodes = [PageNode(region, i) for i in range(64)]
-    lst = PageList("sut")
+    store = PageStore()
+    lst = store.new_list("sut")
+    base = store.bind_region(region)
     model = []
     for kind, idx in ops:
-        node = nodes[idx % len(nodes)]
+        pid = base + (idx % region.n_pages)
         if kind == "push_back":
-            if node.owner is None:
-                lst.push_back(node)
-                model.append(node)
+            if store.list_id[pid] == NO_LIST:
+                lst.push_back(pid)
+                model.append(pid)
         elif kind == "push_front":
-            if node.owner is None:
-                lst.push_front(node)
-                model.insert(0, node)
+            if store.list_id[pid] == NO_LIST:
+                lst.push_front(pid)
+                model.insert(0, pid)
         elif kind == "remove":
-            if node.owner is lst:
-                lst.remove(node)
-                model.remove(node)
+            if store.list_id[pid] == lst.lid:
+                lst.remove(pid)
+                model.remove(pid)
         elif kind == "pop_front":
             popped = lst.pop_front()
-            expected = model.pop(0) if model else None
-            assert popped is expected
-    return lst, model
+            expected = model.pop(0) if model else -1
+            assert popped == expected
+    return store, lst, model
 
 
 op_strategy = st.lists(
@@ -53,7 +53,7 @@ op_strategy = st.lists(
 @given(op_strategy)
 @settings(max_examples=200, deadline=None)
 def test_list_matches_model(ops):
-    lst, model = apply_ops(ops)
+    store, lst, model = apply_ops(ops)
     assert list(lst) == model
     assert len(lst) == len(model)
 
@@ -61,21 +61,21 @@ def test_list_matches_model(ops):
 @given(op_strategy)
 @settings(max_examples=200, deadline=None)
 def test_byte_accounting(ops):
-    lst, model = apply_ops(ops)
-    assert lst.nbytes == sum(n.nbytes for n in model)
+    store, lst, model = apply_ops(ops)
+    assert lst.nbytes == sum(store.psize[pid] for pid in model)
 
 
 @given(op_strategy)
 @settings(max_examples=200, deadline=None)
-def test_owner_pointers_consistent(ops):
-    lst, model = apply_ops(ops)
-    for node in model:
-        assert node.owner is lst
+def test_list_ids_and_links_consistent(ops):
+    store, lst, model = apply_ops(ops)
+    for pid in model:
+        assert store.list_id[pid] == lst.lid
     # Walk links both ways.
     forward = list(lst)
     backward = []
-    node = lst._tail
-    while node is not None:
-        backward.append(node)
-        node = node.prev
+    pid = store._tail[lst.lid]
+    while pid >= 0:
+        backward.append(pid)
+        pid = store.prev[pid]
     assert forward == list(reversed(backward))

@@ -1,0 +1,137 @@
+"""Differential test: columnar tracker vs the legacy object-graph tracker.
+
+``repro.core.legacy_tracking`` keeps the original ``PageNode``/``PageList``
+implementation in-tree purely as an oracle.  Under any random sequence of
+accesses, cooling-clock bumps, tier migrations, and untracks, the
+array-backed tracker must produce identical hot/cold membership, FIFO
+order, counter values, and cooling state.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import HeMemConfig
+from repro.core.legacy_tracking import HotColdTracker as LegacyTracker
+from repro.core.tracking import HotColdTracker
+from repro.mem.page import HUGE_PAGE, Tier
+from repro.mem.region import Region
+from repro.sim.stats import StatsRegistry
+
+N_PAGES = 24
+
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("sample"),
+                  st.integers(min_value=0, max_value=N_PAGES - 1),
+                  st.booleans()),
+        st.tuples(st.just("scan"),
+                  st.integers(min_value=0, max_value=N_PAGES - 1),
+                  st.booleans()),
+        st.tuples(st.just("cool"),
+                  st.integers(min_value=0, max_value=N_PAGES - 1),
+                  st.just(False)),
+        st.tuples(st.just("migrate"),
+                  st.integers(min_value=0, max_value=N_PAGES - 1),
+                  st.just(False)),
+        st.tuples(st.just("tick"), st.just(0), st.just(False)),
+        st.tuples(st.just("untrack"),
+                  st.integers(min_value=0, max_value=N_PAGES - 1),
+                  st.just(False)),
+    ),
+    max_size=400,
+)
+
+
+def snapshot(tracker, region):
+    """Canonical tracker state: per-page counters + per-list FIFO order."""
+    pages = {}
+    for page in range(N_PAGES):
+        node = tracker.node(region, page)
+        if node is None:
+            pages[page] = None
+        else:
+            pages[page] = (
+                node.reads, node.writes, node.clock,
+                node.write_heavy, node.under_migration,
+                node.owner.name if node.owner is not None else None,
+            )
+    lists = {}
+    for tier in (Tier.DRAM, Tier.NVM):
+        for hot in (False, True):
+            lst = tracker.list_for(tier, hot)
+            order = [
+                (ref.page if hasattr(ref, "page") else ref)
+                for ref in (lst.refs() if hasattr(lst, "refs") else lst)
+            ]
+            # Legacy lists yield nodes; normalise to page numbers.
+            order = [o.page if hasattr(o, "page") else o for o in order]
+            lists[lst.name] = (order, len(lst), lst.nbytes)
+    return tracker.global_clock, pages, lists
+
+
+def apply_ops(ops):
+    stats = StatsRegistry()
+    region_new = Region(0x1000000, N_PAGES * HUGE_PAGE)
+    region_old = Region(0x1000000, N_PAGES * HUGE_PAGE)
+    new = HotColdTracker(HeMemConfig(), stats.scoped("new"))
+    old = LegacyTracker(HeMemConfig(), stats.scoped("old"))
+    for kind, page, flag in ops:
+        if kind == "sample":
+            new.record_sample(region_new, page, flag)
+            old.record_sample(region_old, page, flag)
+        elif kind == "scan":
+            new.record_scan_hit(region_new, page, True, flag)
+            old.record_scan_hit(region_old, page, True, flag)
+        elif kind == "cool":
+            n, o = new.node(region_new, page), old.node(region_old, page)
+            if n is not None and o is not None:
+                new.cool_if_stale(n)
+                old.cool_if_stale(o)
+        elif kind == "migrate":
+            n, o = new.node(region_new, page), old.node(region_old, page)
+            if n is not None and o is not None:
+                flipped = Tier.NVM if region_new.tier[page] == Tier.DRAM else Tier.DRAM
+                region_new.tier[page] = flipped
+                region_old.tier[page] = flipped
+                new.page_migrated(n)
+                old.page_migrated(o)
+        elif kind == "tick":
+            new.global_clock += 1
+            old.global_clock += 1
+        elif kind == "untrack":
+            new.untrack_page(region_new, page)
+            old.untrack_page(region_old, page)
+    return new, old, region_new, region_old
+
+
+@given(op_strategy)
+@settings(max_examples=150, deadline=None)
+def test_columnar_tracker_matches_legacy(ops):
+    new, old, region_new, region_old = apply_ops(ops)
+    assert snapshot(new, region_new) == snapshot(old, region_old)
+    assert len(new) == len(old)
+
+
+@given(op_strategy)
+@settings(max_examples=50, deadline=None)
+def test_batched_apply_matches_legacy(ops):
+    """The batched record_samples path against the legacy oracle."""
+    from repro.mem.pebs import PebsEventKind, PebsRecord
+
+    samples = [(page, flag) for kind, page, flag in ops if kind == "sample"]
+    stats = StatsRegistry()
+    region_new = Region(0x1000000, N_PAGES * HUGE_PAGE)
+    region_old = Region(0x1000000, N_PAGES * HUGE_PAGE)
+    new = HotColdTracker(HeMemConfig(), stats.scoped("new"))
+    old = LegacyTracker(HeMemConfig(), stats.scoped("old"))
+    records = [
+        PebsRecord(
+            PebsEventKind.STORE if is_store else PebsEventKind.DRAM_READ,
+            region_new, page,
+        )
+        for page, is_store in samples
+    ]
+    new.record_samples(records)
+    for page, is_store in samples:
+        old.record_sample(region_old, page, is_store)
+    assert snapshot(new, region_new) == snapshot(old, region_old)

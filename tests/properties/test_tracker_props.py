@@ -46,10 +46,11 @@ def test_every_tracked_page_on_exactly_one_list(samples):
     region, tracker = run_samples(samples)
     seen = set()
     for key, lst in tracker.lists.items():
-        for node in lst:
+        for node in lst.refs():
             assert (node.region.region_id, node.page) not in seen
             seen.add((node.region.region_id, node.page))
-    assert seen == set(tracker._nodes)
+    tracked = {(r.region.region_id, r.page) for r in tracker.iter_refs()}
+    assert seen == tracked
 
 
 @given(sample_strategy)
@@ -57,7 +58,7 @@ def test_every_tracked_page_on_exactly_one_list(samples):
 def test_list_membership_matches_classification(samples):
     region, tracker = run_samples(samples)
     for (tier, hot), lst in tracker.lists.items():
-        for node in lst:
+        for node in lst.refs():
             assert node.tier == tier
             assert tracker.is_hot(node) == hot
 
@@ -67,7 +68,7 @@ def test_list_membership_matches_classification(samples):
 def test_counters_nonnegative_and_bounded(samples):
     region, tracker = run_samples(samples)
     limit = tracker.config.cooling_threshold + 1
-    for node in tracker._nodes.values():
+    for node in tracker.iter_refs():
         assert node.reads >= 0
         assert node.writes >= 0
         # Cooling fires at the threshold, so counts can only exceed it by
@@ -79,7 +80,7 @@ def test_counters_nonnegative_and_bounded(samples):
 @settings(max_examples=100, deadline=None)
 def test_cooling_never_increases_counts(samples):
     region, tracker = run_samples(samples)
-    for node in tracker._nodes.values():
+    for node in tracker.iter_refs():
         before = (node.reads, node.writes)
         tracker.global_clock += 1
         tracker.cool_if_stale(node)
@@ -93,6 +94,6 @@ def test_hot_bytes_matches_lists(samples):
     region, tracker = run_samples(samples)
     for tier in (Tier.DRAM, Tier.NVM):
         manual = sum(
-            node.nbytes for node in tracker.list_for(tier, hot=True)
+            node.nbytes for node in tracker.list_for(tier, hot=True).refs()
         )
         assert tracker.hot_bytes(tier) == manual
