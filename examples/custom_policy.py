@@ -1,25 +1,36 @@
 #!/usr/bin/env python3
-"""Writing a custom memory-management policy against the public API.
+"""Writing a custom placement policy against the PlacementPolicy protocol.
 
 HeMem's flexibility claim (§1, §3.4) is that policy lives at user level.
-This example subclasses the HeMem manager with a different promotion rule —
-"LFU-ish": promote the page with the highest instantaneous counter sum
-instead of FIFO order — and benchmarks it against stock HeMem on a skewed
-GUPS workload.  The point is API shape, not a better policy.
+Placement decisions are pluggable (``repro.core.placement``): subclass
+:class:`PlacementPolicy` — or :class:`HeMemPolicy` to keep the stock
+promote/demote skeleton and override just the victim/ordering rules — and
+hand the class to ``HeMemManager(policy=...)``.  This example implements
+"LFU-ish" promotion: promote the page with the highest instantaneous
+counter sum instead of FIFO order, then benchmarks it against stock HeMem
+and the built-in ``nomad`` and ``learned`` policies on a skewed GUPS
+workload.  The point is API shape, not a better policy.
 
     python examples/custom_policy.py
 """
 
 from repro import run_gups
 from repro.core import HeMemManager
-from repro.core.policy import PolicyService
+from repro.core.placement import HeMemPolicy
 from repro.mem.page import Tier
 from repro.sim.units import GB
 from repro.workloads import GupsConfig
 
 
-class HottestFirstPolicy(PolicyService):
-    """Promote the hottest (by current counters) NVM page each round."""
+class HottestFirstPolicy(HeMemPolicy):
+    """Promote the hottest (by current counters) NVM page each round.
+
+    Inherits ``run_pass`` (promote, then enforce the watermark) and the
+    ``_submit_*`` migration primitives from :class:`HeMemPolicy`; only
+    the promotion ordering changes.
+    """
+
+    name = "hottest-first"
 
     def _promote(self, now):
         manager = self.manager
@@ -27,7 +38,8 @@ class HottestFirstPolicy(PolicyService):
         migrator = manager.migrator
         store = tracker.store
         nvm_hot = tracker.list_for(Tier.NVM, hot=True)
-        count = 0
+        promoted = 0
+        demoted = 0
         while nvm_hot and migrator.queued_bytes < manager.config.migration_queue_limit:
             # List iteration yields page ids; the columns are public API.
             hottest = max(nvm_hot, key=lambda pid: store.reads[pid] + 2 * store.writes[pid])
@@ -36,25 +48,13 @@ class HottestFirstPolicy(PolicyService):
                 continue
             if manager.dram_free_bytes() <= manager.config.dram_free_watermark:
                 victim = tracker.list_for(Tier.DRAM, hot=False).front_pid
-                if victim < 0 or not migrator.migrate(victim, Tier.NVM, now):
+                if victim < 0 or not self._submit_demotion(victim, now, "demote-swap"):
                     break
-                count += 1
-            if not migrator.migrate(hottest, Tier.DRAM, now):
+                demoted += 1
+            if not self._submit_promotion(hottest, now, "promote-lfu"):
                 break
-            count += 1
-        return count, 0
-
-
-class CustomHeMem(HeMemManager):
-    name = "hemem-lfu"
-
-    def _on_attach(self):
-        super()._on_attach()
-        # Swap the stock policy service for ours.
-        for service in list(self.engine.services):
-            if service.name == "hemem_policy":
-                self.engine.remove_service(service)
-        self.engine.add_service(HottestFirstPolicy(self))
+            promoted += 1
+        return promoted, demoted
 
 
 def main():
@@ -64,9 +64,17 @@ def main():
         hot_set=16 * GB // scale,
         threads=16,
     )
-    for name, factory in [("stock hemem", HeMemManager), ("hottest-first", CustomHeMem)]:
-        result = run_gups(factory(), config, duration=40.0, warmup=15.0, scale=scale)
-        promoted = result["counters"]["hemem.pages_promoted"]
+    contenders = [
+        ("stock hemem", HeMemManager()),
+        ("nomad", HeMemManager(policy="nomad")),
+        ("learned", HeMemManager(policy="learned")),
+        # A policy class (or any manager -> policy callable) plugs in the
+        # same way the registry names do.
+        ("hottest-first", HeMemManager(policy=HottestFirstPolicy, name="hemem-lfu")),
+    ]
+    for name, manager in contenders:
+        result = run_gups(manager, config, duration=40.0, warmup=15.0, scale=scale)
+        promoted = result["counters"][f"{manager.name}.pages_promoted"]
         print(f"{name:>14}: {result['gups']:.4f} GUPS, {promoted:.0f} promotions")
 
 

@@ -141,12 +141,25 @@ def run_gups(
     seed: int = 42,
     tick: float = 0.01,
     faults: Faults = None,
+    policy: Optional[str] = None,
 ) -> dict:
     """Run the GUPS microbenchmark; adds the measured GUPS to the result.
+
+    ``policy`` overrides the manager's placement policy (a name from
+    :data:`repro.core.placement.POLICIES`); the manager must carry a
+    policy thread (HeMem-family), baselines reject the override.
 
     Note: ``config`` sizes must already be expressed at the same ``scale``
     as the machine (the bench scenarios handle this).
     """
+    if policy is not None:
+        if not hasattr(manager, "_policy_override"):
+            raise ValueError(
+                f"manager {getattr(manager, 'name', manager)!r} has no "
+                "placement-policy thread; 'policy' applies to HeMem-family "
+                "managers only"
+            )
+        manager._policy_override = policy
     workload = GupsWorkload(config, warmup=warmup)
     engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed,
                          tick=tick, faults=faults)

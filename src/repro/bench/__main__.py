@@ -56,6 +56,7 @@ from repro.bench.runner import (
     tune_gc,
 )
 from repro.bench.scenario import PRESETS
+from repro.core.placement import POLICIES as PLACEMENT_POLICIES
 
 #: where --update-golden writes, relative to the repository root
 DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
@@ -94,6 +95,11 @@ def main(argv=None) -> int:
                         help="inject faults into every case, e.g. "
                              "'dma_channel_down@t=2.0,nvm_degrade:0.5@t=5.0' "
                              "(grammar: kind[:value][@t=start[+duration]])")
+    parser.add_argument("--policy", default=None,
+                        choices=sorted(PLACEMENT_POLICIES),
+                        help="placement policy for every HeMem-family "
+                             "manager in every case (baselines ignore it); "
+                             "default: each manager's configured policy")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="capture structured event traces and write them "
                              "to FILE (.json or .csv); forces re-runs")
@@ -127,11 +133,17 @@ def main(argv=None) -> int:
         overrides["seed"] = args.seed
     if args.faults is not None:
         overrides["faults"] = args.faults
+    if args.policy is not None:
+        overrides["policy"] = args.policy
     if overrides:
         scenario = scenario.with_(**overrides)
     if args.update_golden and scenario.faults:
         parser.error("--update-golden with --faults would poison the golden "
                      "tables; goldens are defined for fault-free runs only")
+    if args.update_golden and scenario.policy:
+        parser.error("--update-golden with --policy would poison the golden "
+                     "tables; goldens are defined for each manager's default "
+                     "policy (policy_matrix sweeps the zoo explicitly)")
 
     names = []
     for name in args.experiments:

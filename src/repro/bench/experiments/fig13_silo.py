@@ -31,7 +31,8 @@ def run_silo_case(scenario: Scenario, system: str, warehouses: int) -> float:
     )
     workload = SiloWorkload(config, warmup=scenario.warmup)
     machine = make_machine(scenario)
-    engine = Engine(machine, make_manager(system), workload,
+    engine = Engine(machine, make_manager(system, policy=scenario.policy),
+                    workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))
     engine.run(scenario.duration)
     return workload.throughput(engine.clock.now)

@@ -35,7 +35,7 @@ def run_kvs_case(scenario: Scenario, system: str, ws_gb: int,
     )
     workload = KvsWorkload(config, warmup=scenario.warmup)
     machine = make_machine(scenario)
-    manager = make_manager(system)
+    manager = make_manager(system, policy=scenario.policy)
     engine = Engine(machine, manager, workload,
                     EngineConfig(tick=scenario.tick, seed=scenario.seed))
     engine.run(scenario.duration)

@@ -43,6 +43,10 @@ SMOKE_PLANS: Dict[str, str] = {
     "nvm_degrade": "nvm_degrade:0.5@t=1.5+2.0",
     "nvm_wear": "nvm_wear:0.25@t=1.0+3.0",
     "copy_fail": "copy_fail:0.5@t=1.0+3.0",
+    # same failure window, but under the Nomad policy: shadow-retaining
+    # promotions and no-copy demotions must keep the NVM occupancy ledger
+    # (mapped + in-flight + shadows) exact through aborts and retries
+    "nomad": "copy_fail:0.5@t=1.0+3.0",
     "pebs_spike": "pebs_spike:0.05@t=1.5+2.0",
     # colocation: the fault targets tenant "a" only; tenant "b" must ride
     # through untouched while the shared DAX pools stay leak-free
@@ -62,7 +66,7 @@ def run_smoke_case(kind: str, plan: str, duration: float = 6.0,
         from repro.faults import FaultPlan
 
         machine.install_faults(FaultPlan.parse(plan))
-        manager = HeMemManager()
+        manager = HeMemManager(policy="nomad" if kind == "nomad" else None)
         workload = GupsWorkload(
             GupsConfig(working_set=8 * GB, hot_set=256 * MB), warmup=1.0
         )
@@ -160,9 +164,12 @@ def check_case(kind: str, plan: str, counters: dict, gups: float,
             bad.append("copy-thread fallback moved no bytes")
         if manager.migrator.mover is not machine.dma:
             bad.append("migration not routed back to DMA after recovery")
-    if kind == "copy_fail":
+    if kind in ("copy_fail", "nomad"):
         if counters.get("hemem.migration_retries", 0.0) < 1:
             bad.append("injected copy failures produced no retries")
+    if kind == "nomad":
+        if counters.get("hemem.shadows_created", 0.0) < 1:
+            bad.append("nomad policy retained no shadows")
     bad.extend(occupancy_violations(manager, machine))
     return bad
 
@@ -172,9 +179,11 @@ def occupancy_violations(manager, machine) -> List[str]:
 
     A migration holds its destination reservation from submit (or retry
     wait) until completion, so at any instant
-    ``used == mapped + in-flight destinations`` per tier.  An aborted or
-    failed copy that leaked would push ``used`` above that; a double-free
-    would push it below (or corrupt the free list's used+free total).
+    ``used == mapped + in-flight destinations`` per tier — plus, in NVM,
+    the shadow copies a non-exclusive policy (Nomad) has retained for
+    DRAM-resident pages.  An aborted or failed copy that leaked would push
+    ``used`` above that; a double-free would push it below (or corrupt the
+    free list's used+free total).
     """
     bad: List[str] = []
     inflight = {Tier.DRAM: 0, Tier.NVM: 0}
@@ -183,6 +192,8 @@ def occupancy_violations(manager, machine) -> List[str]:
             inflight[request.dst_tier] += 1
     for _ready_at, request in manager.migrator._retry_queue:
         inflight[request.dst_tier] += 1
+    store = getattr(manager.tracker, "store", None)
+    shadow_pages = getattr(store, "shadow_pages", 0)
     for tier, dax in manager.dax.items():
         if dax.used_pages + dax.free_pages != dax.n_pages:
             bad.append(f"{tier.name}: used {dax.used_pages} + free "
@@ -191,10 +202,12 @@ def occupancy_violations(manager, machine) -> List[str]:
             int((region.mapped & (region.tier == tier)).sum())
             for region in machine.regions
         )
-        expected = mapped + inflight[tier]
+        shadows = shadow_pages if tier == Tier.NVM else 0
+        expected = mapped + inflight[tier] + shadows
         if dax.used_pages != expected:
             bad.append(f"{tier.name}: used {dax.used_pages} != mapped "
-                       f"{mapped} + in-flight {inflight[tier]}")
+                       f"{mapped} + in-flight {inflight[tier]} + "
+                       f"shadows {shadows}")
     return bad
 
 

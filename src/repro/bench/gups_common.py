@@ -37,10 +37,19 @@ def run_gups_case(
     spec: Optional[MachineSpec] = None,
     manager=None,
     seed: Optional[int] = None,
+    policy: Optional[str] = None,
 ) -> dict:
-    """Run one GUPS configuration; returns gups + counters + engine."""
+    """Run one GUPS configuration; returns gups + counters + engine.
+
+    ``policy`` (default: the scenario's ``--policy`` override) selects the
+    placement policy for HeMem-family managers; baselines ignore it.
+    """
     machine = make_machine(scenario, spec=spec, seed=seed)
-    manager = manager if manager is not None else make_manager(manager_name)
+    if manager is None:
+        manager = make_manager(
+            manager_name,
+            policy=policy if policy is not None else scenario.policy,
+        )
     workload = GupsWorkload(gups, warmup=scenario.warmup)
     engine = Engine(
         machine, manager, workload,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines import (
     DramOnlyManager,
@@ -27,13 +27,23 @@ MANAGERS: Dict[str, Callable[[], object]] = {
 }
 
 
-def make_manager(name: str):
+def make_manager(name: str, policy: Optional[str] = None):
+    """Build a registered manager.
+
+    ``policy`` selects the placement policy for HeMem-family managers
+    (see :data:`repro.core.placement.POLICIES`); baselines without a
+    policy thread ignore it, so one sweep can mix ``hemem`` contenders
+    with ``mm``/``nvm`` rows under a single ``--policy`` flag.
+    """
     try:
-        return MANAGERS[name]()
+        manager = MANAGERS[name]()
     except KeyError:
         raise KeyError(
             f"unknown manager {name!r}; choose from {sorted(MANAGERS)}"
         ) from None
+    if policy is not None and isinstance(manager, HeMemManager):
+        manager._policy_override = policy
+    return manager
 
 
 def manager_names() -> List[str]:

@@ -129,6 +129,7 @@ def scenario_digest(scenario: Scenario) -> str:
         "tick": scenario.tick,
         "repeats": scenario.repeats,
         "faults": scenario.faults,
+        "policy": scenario.policy,
     }
     return hashlib.sha256(
         json.dumps(fields, sort_keys=True).encode()

@@ -30,12 +30,24 @@ class Scenario:
     #: fault plan in ``--faults`` CLI syntax; kept as the canonical string
     #: (not a FaultPlan) so scenarios stay JSON-able for the case digest
     faults: Optional[str] = None
+    #: placement-policy registry name (``--policy`` CLI flag); applied to
+    #: every HeMem-family manager a case builds, ignored by baselines.
+    #: None leaves each manager on its configured default
+    policy: Optional[str] = None
 
     def __post_init__(self):
         if self.scale <= 0:
             raise ValueError(f"scale must be positive: {self.scale}")
         if self.duration <= self.warmup:
             raise ValueError("duration must exceed warmup")
+        if self.policy is not None:
+            from repro.core.placement import POLICIES
+
+            if self.policy not in POLICIES:
+                raise ValueError(
+                    f"unknown placement policy {self.policy!r}; "
+                    f"choose from {sorted(POLICIES)}"
+                )
         if self.faults is not None:
             # Fail fast on bad syntax, and canonicalise so two spellings of
             # one plan share a cache digest.

@@ -40,6 +40,12 @@ class HeMemConfig:
     #: small/ephemeral allocations bypass management (§3.3); switchable for
     #: the manage-everything ablation (the X-Mem/HeteroOS contrast).
     small_bypass: bool = True
+    #: placement-policy registry name (see repro.core.placement):
+    #: ``hemem`` (the paper's loop), ``nomad`` (non-exclusive tiering with
+    #: NVM shadow copies), ``learned`` (feature-vector predictor).
+    #: Resolved at manager attach; unknown names fail there with the
+    #: registry's message.
+    policy: str = "hemem"
 
     def __post_init__(self):
         if self.hot_read_threshold <= 0 or self.hot_write_threshold <= 0:

@@ -37,10 +37,15 @@ class HeMemManager(TieredMemoryManager):
         config: Optional[HeMemConfig] = None,
         source_factory: Optional[Callable[["HeMemManager"], AccessSource]] = None,
         name: Optional[str] = None,
+        policy=None,
     ):
         super().__init__()
         self.config = config or HeMemConfig()
         self._source_factory = source_factory
+        #: placement-policy override: a registry name, a PlacementPolicy
+        #: subclass, or any ``manager -> policy`` callable.  None defers
+        #: to ``config.policy`` (default "hemem").
+        self._policy_override = policy
         if name is not None:
             self.name = name
         # populated in _on_attach
@@ -115,11 +120,26 @@ class HeMemManager(TieredMemoryManager):
 
         for service in self.source.services():
             self._register_service(service)
-        self._register_service(PolicyService(self))
+        self._register_service(self._make_policy_service())
         # Dedicated page-fault and cooling threads (each burns a core;
         # cf. §5.1 "enables the policy and cooling threads" and Fig 7).
         self._register_service(SpinningService("hemem_fault"))
         self._register_service(SpinningService("hemem_cooling"))
+
+    def _make_policy_service(self) -> PolicyService:
+        """Build the policy thread (hook: the legacy differential oracle
+        substitutes the frozen pre-zoo service here without perturbing
+        service registration order)."""
+        return PolicyService(self, policy=self._policy_override)
+
+    @property
+    def policy(self):
+        """The bound :class:`~repro.core.placement.PlacementPolicy`
+        (None before attach)."""
+        for service in self.services:
+            if isinstance(service, PolicyService):
+                return service.policy
+        return None
 
     def _register_service(self, service) -> None:
         self.services.append(service)
@@ -158,6 +178,16 @@ class HeMemManager(TieredMemoryManager):
                 if offsets[page] >= 0:
                     tier = Tier(region.tier[page])
                     self.dax[tier].free_page(int(offsets[page]))
+            store = self.tracker.store
+            if store.shadow_pages:
+                # Non-exclusive tiering: shadow copies are NVM pages too.
+                base = store.base_of(region)
+                if base is not None:
+                    for pid in range(base, base + region.n_pages):
+                        if store.shadow[pid] >= 0:
+                            self.dax[Tier.NVM].free_page(
+                                int(store.clear_shadow(pid))
+                            )
             # Single pass over the region's pid block (recycled for the
             # next region of the same size).
             self.tracker.untrack_region(region)

@@ -19,13 +19,24 @@ exponential backoff — and only two outcomes exist: the copy eventually
 completes (source freed, page remapped) or the migration is aborted after
 ``max_retries`` (reservation rolled back, page stays put, write protection
 lifted).  Either way no DAX page is leaked or double-freed.
+
+Non-exclusive tiering (Nomad, arXiv 2401.13154) extends the same
+machinery: a promotion submitted with ``retain_shadow=True`` keeps the
+source NVM page allocated at completion and records it as the page's
+*shadow copy* in the pagestore.  While the shadow stays clean (no sampled
+store — see ``HotColdTracker.enable_shadow_tracking``) a later demotion
+commits as a zero-byte remap (:meth:`Migrator.remap_demote`); dirty or
+pressure-reclaimed shadows are released through :meth:`Migrator.drop_shadow`.
+Rollback (``_abort``) never touches shadow state: a failed copy leaves the
+shadow columns exactly as they were at submit.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.core.pagestore import UNDER_MIGRATION
+from repro.core.pagestore import DIRTY, UNDER_MIGRATION
 from repro.core.tracking import HotColdTracker
 from repro.kernel.dax import DaxFile
 from repro.kernel.fault import FaultCostModel
@@ -37,6 +48,8 @@ from repro.obs.events import (
     MigrationDone,
     MigrationRetried,
     MigrationStart,
+    ShadowCreated,
+    ShadowDropped,
 )
 
 
@@ -74,6 +87,9 @@ class Migrator:
         self._wp_stalls = stats.counter("wp_write_stalls")
         self._retried = stats.counter("migration_retries")
         self._aborted = stats.counter("migrations_aborted")
+        self._nocopy = stats.counter("demotions_nocopy")
+        self._shadows_created = stats.counter("shadows_created")
+        self._shadows_dropped = stats.counter("shadows_dropped")
         self._latency = stats.histogram("migration_latency_s")
         self._tracer = machine.tracer
         #: fault-injection hook: ``hook(request, now) -> True`` marks the
@@ -82,6 +98,11 @@ class Migrator:
         self.copy_fault_hook: Optional[Callable[[CopyRequest, float], bool]] = None
         #: (ready_at, request) pairs waiting out their retry backoff
         self._retry_queue: List[Tuple[float, CopyRequest]] = []
+        #: shadow copies in creation order, as (pid, offset) pairs; the
+        #: offset pins the entry to one specific shadow, so entries whose
+        #: shadow was already dropped (or whose pid block was recycled)
+        #: are detected as stale and skipped during reclamation.
+        self.shadow_fifo: Deque[Tuple[int, int]] = deque()
 
     def bind_offsets(self, region_id: int, offsets) -> None:
         """Manager hands us the region's per-page DAX offset array."""
@@ -148,13 +169,17 @@ class Migrator:
         return self.dax[dst].free_pages > 0
 
     def migrate(self, node, dst: Tier, now: float,
-                reason: str = "") -> bool:
+                reason: str = "", retain_shadow: bool = False) -> bool:
         """Begin migrating a page (pid or PageRef) to ``dst``; False if no
         space there.
 
         ``reason`` labels the submitting policy's decision in the trace
         (``promote-hot``, ``demote-watermark``, ``arbiter-evict``, ...); it
         affects nothing but the emitted ``MigrationStart`` event.
+
+        ``retain_shadow`` (promotions only) keeps the source NVM page
+        allocated at completion as the page's shadow copy instead of
+        freeing it — Nomad's non-exclusive tiering.
         """
         store = self.tracker.store
         pid = node if type(node) is int else node.pid
@@ -166,6 +191,13 @@ class Migrator:
             raise ValueError(f"{self.tracker.ref(pid)!r} is already in {dst.name}")
         if region.pinned_tier is not None:
             raise ValueError(f"{region.name} is pinned to {region.pinned_tier.name}")
+        if dst == Tier.NVM and store.shadow[pid] >= 0:
+            # Copy-demotion of a shadow holder: the shadow's bytes are
+            # stale the moment the fresh copy lands, so release it up
+            # front (this also hands its NVM page to the reservation
+            # below).  Policies demote clean shadow holders through
+            # remap_demote instead and never reach this.
+            self.drop_shadow(pid, now, reason="copy-demote")
         dax_dst = self.dax[dst]
         if dax_dst.free_pages == 0:
             return False
@@ -178,11 +210,12 @@ class Migrator:
         writes_at_submit = float(region.pending_writes[page])
 
         src = Tier(region.tier[page])
+        retain = retain_shadow and dst == Tier.DRAM
         request = CopyRequest(
             nbytes=region.page_size,
             src_tier=src,
             dst_tier=dst,
-            tag=(pid, new_offset, writes_at_submit, now),
+            tag=(pid, new_offset, writes_at_submit, now, retain),
             on_complete=self._complete,
             submitted_at=now,
         )
@@ -199,18 +232,25 @@ class Migrator:
         if self.copy_fault_hook is not None and self.copy_fault_hook(request, now):
             self._on_copy_failure(request, now)
             return
-        pid, new_offset, writes_at_submit, submitted_at = request.tag
+        pid, new_offset, writes_at_submit, submitted_at, retain = request.tag
         store = self.tracker.store
         region = store.region_ref[pid]
         page = store.page_no[pid]
         src = Tier(region.tier[page])
         dst = request.dst_tier
 
-        # Remap: free the old DAX page, install the new one.
+        # Remap: free the old DAX page (or retain it as a shadow copy),
+        # install the new one.
         offsets = self._offsets.get(region.region_id)
         if offsets is None:
             raise RuntimeError(f"no DAX offsets bound for {region.name}")
-        self.dax[src].free_page(int(offsets[page]))
+        old_offset = int(offsets[page])
+        if retain:
+            store.set_shadow(pid, old_offset)
+            self.shadow_fifo.append((pid, old_offset))
+            self._shadows_created.add(1)
+        else:
+            self.dax[src].free_page(old_offset)
         offsets[page] = new_offset
 
         region.tier[page] = dst
@@ -238,6 +278,100 @@ class Migrator:
                 now, region.name, page, src.name, dst.name,
                 region.page_size, latency,
             ))
+            if retain:
+                tracer.emit(ShadowCreated(
+                    now, region.name, page, region.page_size, "promote",
+                ))
+
+    # -- non-exclusive tiering (shadow copies) -----------------------------------
+    def remap_demote(self, node, now: float,
+                     reason: str = "demote-nocopy") -> bool:
+        """Demote a clean shadow-holding DRAM page by remapping alone.
+
+        No bytes move: the page's DRAM slot is freed and its virtual pages
+        point back at the still-valid NVM shadow copy — the commit is a
+        zero-byte transaction, so it is instantaneous and can never fail
+        mid-way.  Demoting a DIRTY page this way would resurrect stale
+        bytes, so it raises; a page with no shadow raises too.
+        """
+        store = self.tracker.store
+        pid = node if type(node) is int else node.pid
+        if store.flags[pid] & UNDER_MIGRATION:
+            return False
+        if store.flags[pid] & DIRTY:
+            raise ValueError(
+                f"{self.tracker.ref(pid)!r} is dirty: its shadow is stale "
+                "and cannot be remapped onto"
+            )
+        region = store.region_ref[pid]
+        page = store.page_no[pid]
+        if Tier(region.tier[page]) != Tier.DRAM:
+            raise ValueError(f"{self.tracker.ref(pid)!r} is not in DRAM")
+        if region.pinned_tier is not None:
+            raise ValueError(f"{region.name} is pinned to {region.pinned_tier.name}")
+        offsets = self._offsets.get(region.region_id)
+        if offsets is None:
+            raise RuntimeError(f"no DAX offsets bound for {region.name}")
+        shadow_offset = store.clear_shadow(pid)  # raises if there is none
+
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(MigrationStart(
+                now, region.name, page, Tier.DRAM.name, Tier.NVM.name,
+                region.page_size, reason,
+            ))
+        self.dax[Tier.DRAM].free_page(int(offsets[page]))
+        offsets[page] = shadow_offset
+        region.tier[page] = Tier.NVM
+        region.tier_version += 1
+        self.tracker.page_migrated(pid)
+        self._migrated.add(1)
+        self._demoted.add(1)
+        self._nocopy.add(1)
+        if tracer is not None:
+            tracer.emit(MigrationDone(
+                now, region.name, page, Tier.DRAM.name, Tier.NVM.name,
+                region.page_size, 0.0,
+            ))
+        return True
+
+    def drop_shadow(self, node, now: float, reason: str = "") -> int:
+        """Release a page's shadow copy back to the NVM DAX pool.
+
+        Returns the freed offset.  Raises if the page holds no shadow.
+        """
+        store = self.tracker.store
+        pid = node if type(node) is int else node.pid
+        region = store.region_ref[pid]
+        offset = store.clear_shadow(pid)
+        self.dax[Tier.NVM].free_page(int(offset))
+        self._shadows_dropped.add(1)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(ShadowDropped(
+                now, region.name, store.page_no[pid], int(store.psize[pid]),
+                reason,
+            ))
+        return offset
+
+    def reclaim_shadows(self, n_pages: int, now: float,
+                        reason: str = "pressure") -> int:
+        """Drop up to ``n_pages`` shadows, oldest first; returns the count.
+
+        Stale FIFO entries — shadows already dropped (dirty demotions,
+        copy-demotions) or pids recycled to a new region — are identified
+        by offset mismatch and skipped.
+        """
+        store = self.tracker.store
+        fifo = self.shadow_fifo
+        freed = 0
+        while fifo and freed < n_pages:
+            pid, offset = fifo.popleft()
+            if store.shadow[pid] != offset:
+                continue  # stale entry: that shadow is already gone
+            self.drop_shadow(pid, now, reason=reason)
+            freed += 1
+        return freed
 
     # -- failure handling (fault injection) -------------------------------------
     def _on_copy_failure(self, request: CopyRequest, now: float) -> None:
@@ -248,7 +382,7 @@ class Migrator:
         steal the slot and strand the migration halfway (the partial-failure
         corruption transactional migration exists to prevent).
         """
-        pid, _new_offset, _writes_at_submit, _submitted_at = request.tag
+        pid = request.tag[0]
         store = self.tracker.store
         region = store.region_ref[pid]
         page = store.page_no[pid]
@@ -273,7 +407,9 @@ class Migrator:
     def _abort(self, request: CopyRequest, now: float) -> None:
         """Roll the migration back: release the reservation, leave the page
         where it is, and lift the write protection."""
-        pid, new_offset, writes_at_submit, _submitted_at = request.tag
+        # Shadow state is deliberately untouched here: a rolled-back copy
+        # leaves the shadow columns exactly as they were at submit.
+        pid, new_offset, writes_at_submit, _submitted_at, _retain = request.tag
         store = self.tracker.store
         region = store.region_ref[pid]
         page = store.page_no[pid]

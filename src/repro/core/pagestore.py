@@ -50,6 +50,10 @@ NO_LIST = 255
 WRITE_HEAVY = 1
 UNDER_MIGRATION = 2
 TRACKED = 4
+#: a PEBS-sampled store hit the page while it held an NVM shadow copy
+#: (non-exclusive tiering): the shadow's bytes are stale, so the page can
+#: no longer be demoted by remap alone.
+DIRTY = 8
 
 #: raw tier int -> display name (no enum construction on hot paths)
 TIER_NAMES = ("DRAM", "NVM")
@@ -70,6 +74,15 @@ class PageStore:
         self.next = array("i")
         self.psize = array("Q")
         self.page_no = array("I")
+        #: NVM DAX offset of the page's shadow copy (non-exclusive
+        #: tiering), -1 when the page has none.  The offset itself is the
+        #: shadow's identity: stale bookkeeping (e.g. a recycled pid) is
+        #: detected by comparing offsets.
+        self.shadow = array("q")
+        #: incremental shadow accounting (DAX conservation extends to
+        #: shadows: live used pages include these)
+        self.shadow_pages = 0
+        self.shadow_nbytes = 0
         self.region_ref: List = []
         # pid block allocation
         self._base: Dict[int, int] = {}  # region_id -> block base
@@ -107,6 +120,7 @@ class PageStore:
         self.next.frombytes(b"\xff\xff\xff\xff" * n)
         self.psize.frombytes(bytes(8 * n))
         self.page_no.frombytes(bytes(4 * n))
+        self.shadow.frombytes(b"\xff" * (8 * n))  # -1 sentinels
         self.region_ref.extend([None] * n)
         self.capacity += n
 
@@ -154,8 +168,47 @@ class PageStore:
         self.list_id[base:end] = b"\xff" * n
         self.prev[base:end] = array("i", b"\xff\xff\xff\xff" * n)
         self.next[base:end] = array("i", b"\xff\xff\xff\xff" * n)
+        for pid in range(base, end):
+            if self.shadow[pid] >= 0:
+                # The manager frees shadow DAX pages before release; this
+                # keeps the aggregate counters honest if one slipped by.
+                self.shadow_pages -= 1
+                self.shadow_nbytes -= self.psize[pid]
+        self.shadow[base:end] = array("q", b"\xff" * (8 * n))
         self.region_ref[base:end] = [None] * n
         self._free_blocks.setdefault(n, []).append(base)
+
+    # -- shadow copies ---------------------------------------------------------
+    def set_shadow(self, pid: int, offset: int) -> None:
+        """Record ``offset`` as ``pid``'s NVM shadow copy.
+
+        At most one shadow per page: installing over a live shadow raises
+        (the caller must drop the old one first — silently overwriting
+        would leak its DAX page).  A fresh shadow is clean by definition.
+        """
+        if offset < 0:
+            raise ValueError(f"invalid shadow offset {offset}")
+        if self.shadow[pid] >= 0:
+            raise ValueError(f"pid {pid} already holds a shadow copy")
+        self.shadow[pid] = offset
+        self.flags[pid] &= ~DIRTY & 0xFF
+        self.shadow_pages += 1
+        self.shadow_nbytes += self.psize[pid]
+
+    def clear_shadow(self, pid: int) -> int:
+        """Forget ``pid``'s shadow and return its DAX offset.
+
+        The caller owns freeing (or remapping onto) the returned offset;
+        the store only does the bookkeeping.
+        """
+        offset = self.shadow[pid]
+        if offset < 0:
+            raise ValueError(f"pid {pid} has no shadow copy")
+        self.shadow[pid] = -1
+        self.flags[pid] &= ~DIRTY & 0xFF
+        self.shadow_pages -= 1
+        self.shadow_nbytes -= self.psize[pid]
+        return offset
 
     # -- FIFO primitives -----------------------------------------------------
     def push_back(self, lid: int, pid: int) -> None:
@@ -353,6 +406,16 @@ class PageRef:
             self.store.flags[self.pid] |= UNDER_MIGRATION
         else:
             self.store.flags[self.pid] &= ~UNDER_MIGRATION & 0xFF
+
+    @property
+    def shadow(self) -> int:
+        """NVM DAX offset of the page's shadow copy, or -1."""
+        return self.store.shadow[self.pid]
+
+    @property
+    def dirty(self) -> bool:
+        """True when a sampled store invalidated the shadow's bytes."""
+        return bool(self.store.flags[self.pid] & DIRTY)
 
     @property
     def owner(self) -> Optional[PageFifo]:

@@ -1,15 +1,19 @@
 """The HeMem policy thread (§3.3): runs every 10 ms.
 
-Per activation the policy:
+The *thread* — its dedicated core, the 10 ms decision cadence, and the
+``PolicyPass`` trace — lives here.  The *decision* (what to promote, what
+to demote, and how each page moves) is a pluggable
+:class:`~repro.core.placement.PlacementPolicy`, selected by
+``HeMemConfig.policy`` (``hemem`` — the paper's loop — ``nomad`` or
+``learned``; see :mod:`repro.core.placement`) or injected directly via
+``HeMemManager(policy=...)``.
 
-1. *Promotes* — pops the NVM hot list (write-heavy pages sit at its front)
-   and migrates pages to DRAM, using free DRAM above the watermark first
-   and swapping against DRAM cold-list victims otherwise.  If DRAM holds
-   no cold page and no free space, promotion stops: the hot set exceeds
-   DRAM and migrating would only thrash.
-2. *Enforces the free-DRAM watermark* — demotes DRAM cold pages (or, if
-   none are cold, the oldest hot pages, HeMem's stand-in for "random
-   data") until the configured amount of DRAM is free for new allocations.
+Per activation the selected policy:
+
+1. *Promotes* — moves predicted-hot NVM pages to DRAM, using free DRAM
+   above the watermark first and swapping against DRAM victims otherwise.
+2. *Enforces the free-DRAM watermark* — demotes DRAM pages until the
+   configured amount of DRAM is free for new allocations.
 
 The amount of work queued per activation is bounded so the migration
 backlog never exceeds ``migration_queue_limit`` bytes.
@@ -17,27 +21,15 @@ backlog never exceeds ``migration_queue_limit`` bytes.
 
 from __future__ import annotations
 
-from repro.mem.page import Tier
-from repro.obs.events import PolicyPass
+from repro.core.placement import (
+    PlacementPolicy,
+    make_policy,
+    pick_demotion_victim,
+)
+from repro.obs.events import PolicyPass, PolicySelected
 from repro.sim.service import Service
 
-
-def pick_demotion_victim(dram_cold, tracker):
-    """Front of the DRAM cold list, skipping freshly-hot entries.
-
-    Returns a pid (or None).  Shared between the per-manager policy thread
-    and the colocation arbiter's cross-tenant eviction path (repro.colo),
-    so both demote by the same victim-selection rule.
-    """
-    list_id = tracker.store.list_id
-    lid = dram_cold.lid
-    while dram_cold:
-        pid = dram_cold.front_pid
-        tracker.cool_if_stale(pid)
-        if list_id[pid] == lid:
-            return pid
-        # cool_if_stale re-homed it (it had become hot); try the next.
-    return None
+__all__ = ["PolicyService", "pick_demotion_victim"]
 
 
 class PolicyService(Service):
@@ -47,107 +39,45 @@ class PolicyService(Service):
     decisions fire once per period.  Charging the full tick models the
     dedicated thread, which is what contends with the application at high
     thread counts (Fig 7).
+
+    ``policy`` may be a :class:`PlacementPolicy` instance, a
+    ``manager -> policy`` callable (e.g. a policy class), a registry name,
+    or None to use ``manager.config.policy``.
     """
 
-    def __init__(self, manager):
+    def __init__(self, manager, policy=None):
         super().__init__("hemem_policy", period=0.0)
         self.manager = manager
+        if policy is None:
+            policy = getattr(manager.config, "policy", "hemem")
+        if isinstance(policy, str):
+            policy = make_policy(policy, manager)
+        elif not isinstance(policy, PlacementPolicy):
+            policy = policy(manager)  # class or factory callable
+        self.policy = policy
+        self.policy.bind()
         self._next_decision = 0.0
+        tracer = manager.machine.tracer
+        if tracer is not None:
+            tracer.emit(PolicySelected(tracer.now, manager.name, policy.name))
 
     def run(self, engine, now, dt) -> float:
         if now + 1e-12 >= self._next_decision:
-            promoted, swap_demoted = self._promote(now)
-            demoted = swap_demoted + self._enforce_watermark(now)
+            promoted, demoted = self.policy.run_pass(now)
             self._next_decision = now + self.manager.config.policy_period
             tracer = engine.machine.tracer
             if tracer is not None and (promoted or demoted):
                 tracer.emit(PolicyPass(now, promoted, demoted))
         return dt
 
-    # -- promotion ------------------------------------------------------------
+    # -- compat shims ----------------------------------------------------------
+    # Pre-zoo revisions exposed the decision loop as methods right here;
+    # tests and examples that drive single passes keep working through the
+    # bound policy (HeMem-family policies only).
     def _promote(self, now: float) -> tuple:
-        """Promote NVM-hot pages; returns ``(promoted, demoted)``.
+        return self.policy._promote(now)
 
-        Swap-path victim demotions are counted as *demotions* — lumping
-        them into the promoted total (as an earlier revision did) misstates
-        both directions in ``PolicyPass`` traces and pass counters.
-        """
-        manager = self.manager
-        config = manager.config
-        tracker = manager.tracker
-        migrator = manager.migrator
-        store = tracker.store
-        nvm_hot = tracker.list_for(Tier.NVM, hot=True)
-        dram_cold = tracker.list_for(Tier.DRAM, hot=False)
-        dram_dax = manager.dax[Tier.DRAM]
-        nvm_dax = manager.dax[Tier.NVM]
-        promoted = 0
-        demoted = 0
-        while nvm_hot and migrator.queued_bytes < config.migration_queue_limit:
-            pid = nvm_hot.front_pid
-            # Freshness check: cool before spending migration bandwidth.
-            tracker.cool_if_stale(pid)
-            if store.list_id[pid] != nvm_hot.lid:
-                continue  # cooled below hot; it moved to the cold list
-            have_free = (
-                dram_dax.free_bytes - store.psize[pid] >= config.dram_free_watermark
-            )
-            if have_free:
-                if not migrator.migrate(pid, Tier.DRAM, now,
-                                        reason="promote-hot"):
-                    break
-                promoted += 1
-                continue
-            victim = self._pick_demotion_victim(dram_cold, tracker)
-            if victim is None:
-                # Hot set exceeds DRAM: stop migrating (§3.3).
-                break
-            # Atomic swap: a demotion frees its DRAM slot only at copy
-            # *completion*, so the hot page's DRAM reservation must exist
-            # up front.  Check both sides before submitting either copy —
-            # submitting the demotion first and then failing to reserve
-            # would churn the watermark for nothing.
-            if dram_dax.free_pages == 0 or nvm_dax.free_pages == 0:
-                break
-            if not migrator.migrate(victim, Tier.NVM, now,
-                                    reason="demote-swap"):
-                break
-            demoted += 1
-            if not migrator.migrate(pid, Tier.DRAM, now,
-                                    reason="promote-swap"):
-                break
-            promoted += 1
-        return promoted, demoted
-
-    # -- watermark ------------------------------------------------------------
     def _enforce_watermark(self, now: float) -> int:
-        manager = self.manager
-        config = manager.config
-        tracker = manager.tracker
-        migrator = manager.migrator
-        dram_dax = manager.dax[Tier.DRAM]
-        dram_cold = tracker.list_for(Tier.DRAM, hot=False)
-        dram_hot = tracker.list_for(Tier.DRAM, hot=True)
-        count = 0
-        while (
-            dram_dax.free_bytes < config.dram_free_watermark
-            and migrator.queued_bytes < config.migration_queue_limit
-        ):
-            victim = self._pick_demotion_victim(dram_cold, tracker)
-            reason = "demote-watermark"
-            if victim is None:
-                # No cold data: demote the oldest resident hot page
-                # ("migrates random data to NVM until the threshold amount
-                # of DRAM is free").
-                front = dram_hot.front_pid
-                victim = front if front >= 0 else None
-                reason = "demote-watermark-hot"
-            if victim is None:
-                break
-            if not migrator.migrate(victim, Tier.NVM, now, reason=reason):
-                break
-            count += 1
-        return count
+        return self.policy._enforce_watermark(now)
 
-    # -- helpers --------------------------------------------------------------
     _pick_demotion_victim = staticmethod(pick_demotion_victim)

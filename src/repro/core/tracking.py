@@ -28,6 +28,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.config import HeMemConfig
 from repro.core.pagestore import (
+    DIRTY,
     NO_LIST,
     TIER_NAMES,
     TRACKED,
@@ -90,6 +91,15 @@ class HotColdTracker:
         #: batched-event buffer; non-None only inside ``record_samples``,
         #: which flushes it to the tracer in one ``extend`` (same order).
         self._event_buffer = None
+        #: non-exclusive tiering support: when enabled (the Nomad policy's
+        #: ``bind``), sampled stores to shadow-holding pages set the DIRTY
+        #: flag.  Off by default so the exclusive-tiering hot loop pays a
+        #: single ``is None`` test per store sample.
+        self._shadow_tracking = False
+
+    def enable_shadow_tracking(self) -> None:
+        """Fold sampled stores into per-page dirty bits (shadow copies)."""
+        self._shadow_tracking = True
 
     def _emit(self, event) -> None:
         """Route one trace event through the batch buffer when active."""
@@ -232,6 +242,8 @@ class HotColdTracker:
         self.cool_if_stale(pid)
         if is_store:
             store.writes[pid] += 1
+            if self._shadow_tracking and store.shadow[pid] >= 0:
+                store.flags[pid] |= DIRTY
         else:
             store.reads[pid] += 1
         self._samples.add(1)
@@ -265,6 +277,10 @@ class HotColdTracker:
         hot_reads = self._hot_reads
         hot_writes = self._hot_writes
         skip_mask = WRITE_HEAVY | UNDER_MIGRATION
+        # Shadow (non-exclusive tiering) dirty folding: None unless the
+        # bound policy enabled it, so the default path's per-store cost is
+        # one ``is not None`` test.
+        shadow = store.shadow if self._shadow_tracking else None
         tracer = self._tracer
         events = None
         if tracer is not None:
@@ -287,6 +303,8 @@ class HotColdTracker:
                     self.cool_if_stale(pid)
                 if kind is _STORE_KIND:
                     writes[pid] += 1
+                    if shadow is not None and shadow[pid] >= 0:
+                        flags[pid] |= DIRTY
                 else:
                     reads[pid] += 1
                 n_samples += 1
@@ -346,6 +364,7 @@ class HotColdTracker:
         hot_reads = self._hot_reads
         hot_writes = self._hot_writes
         skip_mask = WRITE_HEAVY | UNDER_MIGRATION
+        shadow = store.shadow if self._shadow_tracking else None
         tracer = self._tracer
         events = None
         if tracer is not None:
@@ -374,6 +393,8 @@ class HotColdTracker:
                     cool_ns += t0 - t1
                 if kind is _STORE_KIND:
                     writes[pid] += 1
+                    if shadow is not None and shadow[pid] >= 0:
+                        flags[pid] |= DIRTY
                 else:
                     reads[pid] += 1
                 n_samples += 1
@@ -427,6 +448,8 @@ class HotColdTracker:
             store.reads[pid] += 1
         if dirty:
             store.writes[pid] += 1
+            if self._shadow_tracking and store.shadow[pid] >= 0:
+                store.flags[pid] |= DIRTY
         self._samples.add(1)
         if store.reads[pid] + store.writes[pid] >= self._cooling_threshold:
             self._advance_clock()

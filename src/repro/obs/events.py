@@ -229,6 +229,48 @@ class TenantEvicted(NamedTuple):
     pages: int
 
 
+class ShadowCreated(NamedTuple):
+    """A promotion retained its source NVM page as a shadow copy
+    (non-exclusive tiering).
+
+    ``reason`` is defaulted so traces written before the field carried a
+    value still load.
+    """
+
+    t: float
+    region: str
+    page: int
+    nbytes: int
+    reason: str = ""
+
+
+class ShadowDropped(NamedTuple):
+    """A shadow copy was released back to the NVM pool.
+
+    ``reason`` labels why: ``dirty`` (a sampled store staled the bytes),
+    ``copy-demote`` (superseded by a fresh copy), ``nvm-pressure`` /
+    ``demote-room`` / ``swap-room`` (reclamation).
+    """
+
+    t: float
+    region: str
+    page: int
+    nbytes: int
+    reason: str = ""
+
+
+class PolicySelected(NamedTuple):
+    """A manager bound its placement policy at attach time.
+
+    One event per manager per run; ``policy`` is the registry name
+    (``hemem``, ``nomad``, ``learned``, or a custom policy's name).
+    """
+
+    t: float
+    manager: str
+    policy: str = "hemem"
+
+
 #: event class -> wire discriminator (stable; the trace format depends on it)
 EVENT_KINDS: Dict[Type, str] = {
     MigrationStart: "migration_start",
@@ -249,6 +291,9 @@ EVENT_KINDS: Dict[Type, str] = {
     QuotaUpdated: "quota_updated",
     TenantEvicted: "tenant_evicted",
     PageClassified: "page_classified",
+    ShadowCreated: "shadow_created",
+    ShadowDropped: "shadow_dropped",
+    PolicySelected: "policy_selected",
 }
 
 KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}

@@ -99,6 +99,90 @@ class TestPageFifo:
         assert store.capacity == capacity
 
 
+class TestShadowColumns:
+    """Shadow-copy bookkeeping on the store (Nomad non-exclusive tiering)."""
+
+    def make_store(self, region):
+        store = PageStore()
+        base = store.bind_region(region)
+        return store, base
+
+    def test_set_and_clear_round_trip(self, region):
+        store, base = self.make_store(region)
+        store.set_shadow(base + 3, 77)
+        assert store.shadow[base + 3] == 77
+        assert store.shadow_pages == 1
+        assert store.shadow_nbytes == HUGE_PAGE
+        assert store.clear_shadow(base + 3) == 77
+        assert store.shadow[base + 3] == -1
+        assert store.shadow_pages == 0
+        assert store.shadow_nbytes == 0
+
+    def test_second_shadow_rejected(self, region):
+        store, base = self.make_store(region)
+        store.set_shadow(base, 1)
+        with pytest.raises(ValueError):
+            store.set_shadow(base, 2)
+
+    def test_negative_offset_rejected(self, region):
+        store, base = self.make_store(region)
+        with pytest.raises(ValueError):
+            store.set_shadow(base, -1)
+
+    def test_clear_without_shadow_rejected(self, region):
+        store, base = self.make_store(region)
+        with pytest.raises(ValueError):
+            store.clear_shadow(base)
+
+    def test_out_of_order_frees_keep_counters_exact(self, region):
+        store, base = self.make_store(region)
+        pids = [base + 2, base + 5, base + 7, base + 11]
+        for i, pid in enumerate(pids):
+            store.set_shadow(pid, 100 + i)
+        assert store.shadow_pages == 4
+        # Free in an order unrelated to creation order.
+        assert store.clear_shadow(base + 7) == 102
+        assert store.clear_shadow(base + 2) == 100
+        assert store.shadow_pages == 2
+        assert store.shadow_nbytes == 2 * HUGE_PAGE
+        assert store.shadow[base + 5] == 101
+        assert store.shadow[base + 11] == 103
+
+    def test_release_sweeps_leftover_shadows(self, region):
+        store, base = self.make_store(region)
+        store.set_shadow(base + 1, 9)
+        store.set_shadow(base + 4, 10)
+        store.clear_shadow(base + 4)
+        store.release_region(region)
+        # Defensive sweep: the straggler was counted out.
+        assert store.shadow_pages == 0
+        assert store.shadow_nbytes == 0
+
+    def test_recycled_block_starts_with_clean_shadow_columns(self, region):
+        """Blocks freed with shadows still set (in any order) must come
+        back shadow-free for the next same-size region."""
+        store, base = self.make_store(region)
+        other = Region(0x2000000, 32 * HUGE_PAGE)
+        base_b = store.bind_region(other)
+        store.set_shadow(base + 7, 41)
+        store.set_shadow(base_b + 3, 42)
+        # Release out of creation order: second region first.
+        store.release_region(other)
+        store.release_region(region)
+        assert store.shadow_pages == 0
+        twin_a = Region(0x3000000, 32 * HUGE_PAGE)
+        twin_b = Region(0x4000000, 32 * HUGE_PAGE)
+        # LIFO recycling: last-released block is handed out first.
+        assert store.bind_region(twin_a) == base
+        assert store.bind_region(twin_b) == base_b
+        for pid in range(store.capacity):
+            assert store.shadow[pid] == -1
+        # Fresh shadows on the recycled block behave as on a new one.
+        store.set_shadow(base + 7, 55)
+        assert store.shadow_pages == 1
+        assert store.clear_shadow(base + 7) == 55
+
+
 class TestTrackPage:
     def test_new_pages_enter_cold_list(self, tracker, region):
         node = tracker.track_page(region, 0)

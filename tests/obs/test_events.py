@@ -18,8 +18,11 @@ from repro.obs.events import (
     PebsDrain,
     PebsDrop,
     PolicyPass,
+    PolicySelected,
     QuotaUpdated,
     ServiceRun,
+    ShadowCreated,
+    ShadowDropped,
     TenantArrived,
     TenantDeparted,
     TenantEvicted,
@@ -47,6 +50,9 @@ SAMPLES = [
     TenantDeparted(9.0, "kvs-prio", 4096),
     QuotaUpdated(5.1, "kvs-prio", 64 << 30, "fair:shrink"),
     TenantEvicted(5.2, "gups-scan", 32),
+    PolicySelected(0.0, "hemem", "nomad"),
+    ShadowCreated(0.52, "heap", 3, 2 << 20, "promote"),
+    ShadowDropped(0.9, "heap", 3, 2 << 20, "dirty"),
 ]
 
 
