@@ -89,11 +89,27 @@ def run_colocation(
     engine = make_engine(manager, workload, spec=spec, scale=scale, seed=seed,
                          tick=tick, faults=faults)
     result = engine.run(duration)
+    # Departures scheduled at exactly the run end never see a tick at or
+    # after them; reclaim those tenants before summarizing.
+    manager.finish(engine.clock.now)
     result["tenants_slo"] = colocation_summary(
         manager, engine.clock.now, duration=engine.clock.now
     )
     result["engine"] = engine
     return result
+
+
+def run_fleet(fleet, duration: float, make_workload, **kwargs) -> dict:
+    """Run a serving fleet (diurnal tenant churn + SLO monitoring).
+
+    ``fleet`` is a :class:`repro.serve.FleetSpec`; ``make_workload``
+    builds each tenant's workload from its class.  See
+    :func:`repro.serve.fleet.run_fleet` for the control arms and knobs.
+    """
+    # Local import: repro.serve sits above the api's other dependencies.
+    from repro.serve.fleet import run_fleet as _run_fleet
+
+    return _run_fleet(fleet, duration, make_workload, **kwargs)
 
 
 def diagnose(trace, detectors=None):

@@ -160,6 +160,13 @@ def main(argv=None) -> int:
     jobs = max(args.jobs or 1, 1)
     diagnostics = args.perfetto_out is not None or args.health_out is not None
     tracing = args.trace_out is not None or diagnostics
+    # Trace capture always streams to rotating on-disk segments (next to
+    # the requested output file) so capture memory is O(window) no matter
+    # how long the runs are; the exporters read the segments back.
+    stream_root = None
+    if tracing:
+        out = args.trace_out or args.perfetto_out or args.health_out
+        stream_root = f"{out}.segments"
     # Metric capture costs per-tick sampling plus summary serialisation, so
     # the default CLI path runs without it; asking for an export turns it on
     # (and the captured summaries land in the cache for later replays).
@@ -182,7 +189,11 @@ def main(argv=None) -> int:
                                trace=tracing, metrics=metrics,
                                observations=observations,
                                shards=max(args.shards, 1),
-                               counters=counters)
+                               counters=counters,
+                               stream_dir=(
+                                   os.path.join(stream_root, name)
+                                   if stream_root is not None else None
+                               ))
         stats.wall_seconds = time.time() - start
         all_stats.append(stats)
         observed[name] = observations

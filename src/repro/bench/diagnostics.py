@@ -25,6 +25,8 @@ def collect_traces(observed: Dict[str, dict]) -> Dict[str, Trace]:
     Labels are ``experiment/case/m<index>`` — stable, filesystem-safe, and
     what the Perfetto process names and health-report keys show.
     """
+    from repro.bench.report import trace_events
+
     traces: Dict[str, Trace] = {}
     for experiment, cases in observed.items():
         for case_key, obs in cases.items():
@@ -33,8 +35,9 @@ def collect_traces(observed: Dict[str, dict]) -> Dict[str, Trace]:
                 continue
             for index, events in enumerate(payloads):
                 if events is not None:
+                    # streamed payloads (segment manifests) replay from disk
                     traces[f"{experiment}/{case_key}/m{index}"] = (
-                        Trace.from_dicts(events)
+                        Trace.from_dicts(trace_events(events))
                     )
     return traces
 

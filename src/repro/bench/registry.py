@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     fig14_bc_small,
     fig15_bc_large,
     fig16_nvm_wear,
+    fleet_diurnal,
     policy_matrix,
     table1_devices,
     table2_write_skew,
@@ -60,6 +61,7 @@ MODULES = {
     "colo_matrix": colo_matrix,
     "colo_sharded": colo_sharded,
     "colo_table4": colo_table4,
+    "fleet_diurnal": fleet_diurnal,
     "policy_matrix": policy_matrix,
 }
 

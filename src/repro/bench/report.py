@@ -98,11 +98,15 @@ def _fmt(value) -> str:
 # ---------------------------------------------------------------------------
 #
 # ``observations`` maps experiment -> case key -> one per-machine list, as
-# filled in by the runner: traces are lists of event dicts, metrics are
+# filled in by the runner: traces are lists of event dicts — or, for
+# streamed captures, a segment-manifest dict (``{"streamed": True, "dir",
+# ...}``) whose events live in rotating JSONL files — and metrics are
 # ``{"counters", "histograms", "series"}`` summaries.  The exporters pick a
 # format from the file suffix: ``.csv`` writes a flat long-format table,
 # anything else a single JSON document (the JSON form is what
-# :meth:`repro.obs.replay.Trace.load` reads back).
+# :meth:`repro.obs.replay.Trace.load` reads back).  Streamed traces are
+# read back segment by segment and written incrementally, so the export
+# path never materialises a whole run's events in memory either.
 
 def _csv_line(cells: Sequence[str]) -> str:
     def esc(cell: str) -> str:
@@ -125,20 +129,73 @@ def _iter_payloads(observations: Dict[str, dict], what: str):
                     yield experiment, case_key, index, payload
 
 
+def trace_events(payload):
+    """Iterate one machine's trace events (in-memory list or manifest)."""
+    if isinstance(payload, dict):
+        from repro.obs.stream import iter_segment_events
+
+        return iter_segment_events(payload["dir"])
+    return iter(payload)
+
+
 def trace_export_json(observations: Dict[str, dict]) -> dict:
+    """Materialised trace document (streamed payloads are read back in).
+
+    Prefer :func:`save_observations`, which writes the same document
+    incrementally without holding every event at once.
+    """
     return {
         "kind": "trace",
         "experiments": {
-            exp: {case: obs.get("trace") for case, obs in cases.items()}
+            exp: {
+                case: (
+                    None if (obs or {}).get("trace") is None
+                    else [
+                        None if payload is None else list(trace_events(payload))
+                        for payload in obs["trace"]
+                    ]
+                )
+                for case, obs in cases.items()
+            }
             for exp, cases in observations.items()
         },
     }
 
 
+def _write_trace_json(fh, observations: Dict[str, dict]) -> None:
+    """Stream the ``trace_export_json`` document to ``fh`` event by event
+    (byte-identical to ``json.dump`` of the materialised form)."""
+    fh.write('{"kind": "trace", "experiments": {')
+    for i, (exp, cases) in enumerate(observations.items()):
+        fh.write(("" if i == 0 else ", ") + json.dumps(exp) + ": {")
+        for j, (case, obs) in enumerate(cases.items()):
+            fh.write(("" if j == 0 else ", ") + json.dumps(case) + ": ")
+            payloads = (obs or {}).get("trace")
+            if payloads is None:
+                fh.write("null")
+                continue
+            fh.write("[")
+            for k, payload in enumerate(payloads):
+                if k:
+                    fh.write(", ")
+                if payload is None:
+                    fh.write("null")
+                    continue
+                fh.write("[")
+                for n, event in enumerate(trace_events(payload)):
+                    if n:
+                        fh.write(", ")
+                    fh.write(json.dumps(event))
+                fh.write("]")
+            fh.write("]")
+        fh.write("}")
+    fh.write("}}")
+
+
 def trace_export_csv(observations: Dict[str, dict]) -> str:
     lines = [_csv_line(["experiment", "case", "machine", "t", "kind", "data"])]
-    for experiment, case_key, index, events in _iter_payloads(observations, "trace"):
-        for event in events:
+    for experiment, case_key, index, payload in _iter_payloads(observations, "trace"):
+        for event in trace_events(payload):
             data = {k: v for k, v in event.items() if k not in ("t", "kind")}
             lines.append(_csv_line([
                 experiment, case_key, index, event["t"], event["kind"],
@@ -186,9 +243,11 @@ def save_observations(path, observations: Dict[str, dict], what: str) -> None:
             observations
         )
         path.write_text(text)
-    else:
-        doc = (trace_export_json if what == "trace" else metrics_export_json)(
-            observations
-        )
+    elif what == "trace":
+        # Incremental write: streamed-segment payloads are re-read one
+        # event at a time, never materialised whole.
         with open(path, "w") as fh:
-            json.dump(doc, fh)
+            _write_trace_json(fh, observations)
+    else:
+        with open(path, "w") as fh:
+            json.dump(metrics_export_json(observations), fh)

@@ -208,7 +208,8 @@ class ResultCache:
 
 def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any],
                   trace: bool = False, metrics: bool = False,
-                  counters: bool = False) -> Any:
+                  counters: bool = False,
+                  stream_dir: Optional[str] = None) -> Any:
     """Run one case, optionally inside an observability capture.
 
     Runs in the worker process under a pool, so the capture scope is opened
@@ -217,15 +218,35 @@ def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any],
     ``{"trace", "metrics", "events"}`` dict per machine the case built
     (None when no capture was requested).  ``counters`` asks only for the
     end-of-run event-counter totals — a cheap capture with no per-tick
-    cost, used by ``--perf-record`` when tracing is off.
+    cost, used by ``--perf-record`` when tracing is off.  ``stream_dir``
+    switches trace capture to rotating on-disk segments (O(window) memory);
+    the trace payload is then a segment manifest dict instead of an event
+    list.
     """
     if not trace and not metrics and not counters:
         return fn(scenario, **kwargs), None
     from repro.obs.runtime import capture
 
-    with capture(trace=trace, metrics=metrics, counters=counters) as cap:
+    with capture(trace=trace, metrics=metrics, counters=counters,
+                 stream_dir=stream_dir) as cap:
         result = fn(scenario, **kwargs)
     return result, cap.payloads()
+
+
+def _trace_event_count(payload) -> int:
+    """Events in one machine's trace payload (list or segment manifest)."""
+    if isinstance(payload, dict):
+        return int(payload["events"])
+    return len(payload)
+
+
+def _case_stream_dir(stream_dir: Optional[str], key: str) -> Optional[str]:
+    """Per-case segment directory under the stream root (keys can hold
+    path-hostile characters; keep the mapping readable but safe)."""
+    if stream_dir is None:
+        return None
+    safe = "".join(c if c.isalnum() or c in "-_.=" else "_" for c in key)
+    return os.path.join(stream_dir, safe or "case")
 
 
 def _normalize(result: Any) -> Any:
@@ -244,6 +265,7 @@ def run_cases(
     metrics: bool = True,
     observations: Optional[Dict[str, Any]] = None,
     counters: bool = False,
+    stream_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute ``cases``, via cache/pool, returning ``{case.key: result}``.
 
@@ -297,14 +319,16 @@ def run_cases(
                                      initializer=tune_gc) as pool:
                 futures = [
                     pool.submit(_execute_case, case.fn, scenario, case.kwargs,
-                                trace, metrics, counters)
+                                trace, metrics, counters,
+                                _case_stream_dir(stream_dir, case.key))
                     for case in misses
                 ]
                 fresh = [f.result() for f in futures]
         else:
             fresh = [
                 _execute_case(case.fn, scenario, case.kwargs, trace, metrics,
-                              counters)
+                              counters,
+                              _case_stream_dir(stream_dir, case.key))
                 for case in misses
             ]
         for case, (result, payloads) in zip(misses, fresh):
@@ -319,7 +343,7 @@ def run_cases(
                 if trace:
                     case_traces = [p["trace"] for p in payloads]
                     stats.events += sum(
-                        len(events) for events in case_traces
+                        _trace_event_count(events) for events in case_traces
                         if events is not None
                     )
                 elif counters:
@@ -348,6 +372,7 @@ def run_experiment(
     observations: Optional[Dict[str, Any]] = None,
     shards: int = 1,
     counters: bool = False,
+    stream_dir: Optional[str] = None,
 ) -> Table:
     """Run one experiment module through the case runner.
 
@@ -366,5 +391,6 @@ def run_experiment(
         cases = module.cases(scenario)
     results = run_cases(experiment, cases, scenario, jobs=jobs, cache=cache,
                         stats=stats, trace=trace, metrics=metrics,
-                        observations=observations, counters=counters)
+                        observations=observations, counters=counters,
+                        stream_dir=stream_dir)
     return module.assemble(scenario, results)

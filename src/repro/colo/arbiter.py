@@ -59,9 +59,14 @@ class DramArbiter(Service):
             tenant.update_demand(self.ewma_alpha)
             shares.append(TenantShare(
                 name=tenant.name,
-                weight=tenant.spec.weight,
+                # The online SLO controller steers through these boosts;
+                # they default to neutral (1.0 / 0) outside serving runs.
+                weight=tenant.spec.weight * tenant.weight_boost,
                 priority=tenant.spec.priority,
-                floor_pages=tenant.floor_pages(total),
+                floor_pages=min(
+                    tenant.floor_pages(total) + tenant.floor_boost_pages,
+                    total,
+                ),
                 demand_pages=tenant.demand_pages,
             ))
         quotas = self.policy.quotas(total, shares)

@@ -83,9 +83,7 @@ class ColoManager(TieredMemoryManager):
         specs = list(specs)
         if not specs:
             raise ValueError("colocation needs at least one tenant")
-        names = [spec.name for spec in specs]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+        self._validate_names(specs)
         self.specs = specs
         self.config = config or ColoConfig()
         #: admitted tenants by name (kept after departure for reporting)
@@ -95,6 +93,28 @@ class ColoManager(TieredMemoryManager):
         self.arbiter: Optional[DramArbiter] = None
         self._stream_tenant: Dict[int, Tenant] = {}
         self._workload = None
+
+    @staticmethod
+    def _validate_names(specs: Sequence[TenantSpec]) -> None:
+        """Same-name specs are allowed only with disjoint lifetimes (a
+        departed tenant's name may be reused by a later arrival — serving
+        churn does this constantly); overlapping lifetimes stay an error."""
+        by_name: Dict[str, List[TenantSpec]] = {}
+        for spec in specs:
+            by_name.setdefault(spec.name, []).append(spec)
+        for name, group in by_name.items():
+            if len(group) == 1:
+                continue
+            group.sort(key=lambda s: s.arrival)
+            for earlier, later in zip(group, group[1:]):
+                if earlier.departure is None or (
+                    earlier.departure > later.arrival + 1e-12
+                ):
+                    raise ValueError(
+                        f"duplicate tenant name {name!r} with overlapping "
+                        f"lifetimes (re-arrival needs the previous "
+                        f"incarnation to depart first)"
+                    )
 
     # -- wiring ---------------------------------------------------------------
     def _on_attach(self) -> None:
@@ -172,6 +192,17 @@ class ColoManager(TieredMemoryManager):
         manager.attach(machine, self.engine)
         tenant.active = True
         tenant.arrived_at = now
+        previous = self.tenants.get(spec.name)
+        if previous is not None:
+            # Same-name re-arrival: keep the departed incarnation for
+            # reporting under a generation-suffixed key so the fresh one
+            # owns the bare name (stats/RNG/series stay attributable).
+            generation = 1
+            while f"{spec.name}@{generation}" in self.tenants:
+                generation += 1
+            rekeyed = f"{spec.name}@{generation}"
+            previous.name = rekeyed
+            self.tenants[rekeyed] = previous
         self.tenants[spec.name] = tenant
         self._arrivals.add(1)
         if machine.tracer is not None:
@@ -180,7 +211,14 @@ class ColoManager(TieredMemoryManager):
 
     def _initial_quota_pages(self, spec: TenantSpec) -> int:
         """Weight-proportional bootstrap quota (refined by the first
-        arbiter pass, but prefault needs something sane immediately)."""
+        arbiter pass, but prefault needs something sane immediately).
+
+        The weight sum covers the tenants actually sharing the machine at
+        admission time, not the whole spec list: a serving fleet compiles
+        far more churn specs than ever run concurrently, and dividing by
+        the full list would make every mid-run arrival prefault against a
+        sliver of its real share (its hot set would land in NVM and only
+        crawl back via sampled promotion)."""
         total = self.shared_dax[Tier.DRAM].n_pages
         if self.config.policy == "none":
             return total
@@ -190,7 +228,9 @@ class ColoManager(TieredMemoryManager):
             # mid-run would prefault against a share-dependent quota and
             # break shard-equivalence (repro.colo.sharding).
             return max(int(total * spec.dram_floor_frac), 1)
-        weight_sum = sum(s.weight for s in self.specs)
+        weight_sum = spec.weight + sum(
+            t.spec.weight for t in self.tenants.values() if t.active
+        )
         return max(int(total * spec.weight / weight_sum), 1)
 
     def setup_tenant_workload(self, tenant: Tenant, now: float) -> None:
@@ -225,6 +265,9 @@ class ColoManager(TieredMemoryManager):
         tenant.departed_at = now
         freed = used_before - self._tenant_used_pages(tenant)
         self._departures.add(1)
+        metrics = getattr(machine, "metrics", None)
+        if metrics is not None:
+            metrics.tenant_departed(tenant.name)
         if machine.tracer is not None:
             machine.tracer.emit(TenantDeparted(now, tenant.name, freed))
 
@@ -251,6 +294,26 @@ class ColoManager(TieredMemoryManager):
                 and now + 1e-12 >= tenant.spec.departure
             ):
                 self._depart(tenant, now)
+                changed = True
+        if changed:
+            self.arbiter.rebalance(now)
+
+    def finish(self, now: float) -> None:
+        """Depart tenants whose departure lands exactly at run end.
+
+        ``end_tick`` fires at tick *starts*, so a departure scheduled at
+        precisely the run's duration never gets a tick at-or-after it and
+        used to leak the tenant's DAX pages past the run.  The API entry
+        points call this once after the engine loop.
+        """
+        changed = False
+        for tenant in list(self.tenants.values()):
+            if (
+                tenant.active
+                and tenant.spec.departure is not None
+                and now + 1e-9 >= tenant.spec.departure
+            ):
+                self._depart(tenant, min(now, tenant.spec.departure))
                 changed = True
         if changed:
             self.arbiter.rebalance(now)

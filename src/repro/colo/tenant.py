@@ -40,6 +40,9 @@ class TenantSpec:
     dram_floor_frac: float = 0.0
     arrival: float = 0.0
     departure: Optional[float] = None
+    #: SLO target in workload ops/s (GUPS updates/s); None = best-effort.
+    #: Consumed by the serving layer's monitor and online controller.
+    slo_ops_per_sec: Optional[float] = None
 
     def __post_init__(self):
         if not self.name:
@@ -55,6 +58,10 @@ class TenantSpec:
         if self.departure is not None and self.departure <= self.arrival:
             raise ValueError(
                 f"tenant {self.name!r}: departure must come after arrival"
+            )
+        if self.slo_ops_per_sec is not None and self.slo_ops_per_sec <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: slo_ops_per_sec must be positive"
             )
 
 
@@ -79,6 +86,11 @@ class Tenant:
         self.hot_ewma = 0.0
         #: pages the arbiter demoted from this tenant (cross-tenant eviction)
         self.evicted_pages = 0
+        #: online-controller knobs: the arbiter multiplies the spec weight
+        #: by ``weight_boost`` and adds ``floor_boost_pages`` to the floor.
+        #: Neutral defaults (1.0 / 0) leave every existing run bit-identical.
+        self.weight_boost = 1.0
+        self.floor_boost_pages = 0
 
     # -- demand signal --------------------------------------------------------
     def update_demand(self, alpha: float) -> None:

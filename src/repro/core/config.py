@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.mem.page import BASE_PAGE
 from repro.sim.units import GB
 
 
@@ -70,7 +71,14 @@ class HeMemConfig:
             raise ValueError(f"scale factor must be positive: {factor}")
         return replace(
             self,
-            dram_free_watermark=max(int(self.dram_free_watermark / factor), 0),
+            # The watermark must survive scaling as at least one page:
+            # clamping to 0 silently disables the watermark demotion loop
+            # (a free-byte check against 0 is always satisfied).  The floor
+            # is the base page so sane factors keep their proportional
+            # value and only a degenerate factor hits the clamp.
+            dram_free_watermark=max(
+                int(self.dram_free_watermark / factor), BASE_PAGE
+            ),
             manage_threshold=max(int(self.manage_threshold / factor), 1),
             migration_queue_limit=max(int(self.migration_queue_limit / factor), 1),
         )

@@ -56,6 +56,13 @@ from repro.obs.perfetto import (
 )
 from repro.obs.replay import Trace, load_bench_export
 from repro.obs.runtime import capture, capture_active, is_metrics, is_tracing
+from repro.obs.stream import (
+    StreamingTracer,
+    TraceSegmentWriter,
+    WindowRollup,
+    iter_segment_events,
+    load_segment_trace,
+)
 from repro.obs.trace import Tracer
 
 __all__ = [
@@ -77,8 +84,11 @@ __all__ = [
     "PolicyPass",
     "ProvenanceStep",
     "ServiceRun",
+    "StreamingTracer",
     "Trace",
+    "TraceSegmentWriter",
     "Tracer",
+    "WindowRollup",
     "capture",
     "capture_active",
     "event_from_dict",
@@ -86,7 +96,9 @@ __all__ = [
     "export_traces",
     "is_metrics",
     "is_tracing",
+    "iter_segment_events",
     "load_bench_export",
+    "load_segment_trace",
     "metrics_summary",
     "perfetto_document",
     "run_health",

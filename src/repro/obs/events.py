@@ -259,6 +259,23 @@ class ShadowDropped(NamedTuple):
     reason: str = ""
 
 
+class ControllerAction(NamedTuple):
+    """The online SLO controller adjusted one tenant's arbiter knobs.
+
+    ``action`` is ``boost`` (attack: weight raised on sustained burn),
+    ``decay`` (release: boost relaxing back toward neutral) or ``floor``
+    (critical burn: floor pages granted).  The new knob values are
+    recorded absolutely so a trace replays the control trajectory.
+    """
+
+    t: float
+    tenant: str
+    action: str
+    weight_boost: float
+    floor_boost_pages: int
+    severity: str = ""
+
+
 class PolicySelected(NamedTuple):
     """A manager bound its placement policy at attach time.
 
@@ -294,6 +311,7 @@ EVENT_KINDS: Dict[Type, str] = {
     ShadowCreated: "shadow_created",
     ShadowDropped: "shadow_dropped",
     PolicySelected: "policy_selected",
+    ControllerAction: "controller_action",
 }
 
 KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}

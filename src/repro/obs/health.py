@@ -175,6 +175,47 @@ def _window_of(t: float, width: float) -> int:
     return int(t // width)
 
 
+# Fixed-bin detectors scan two grids: the aligned grid (windows starting at
+# k*width) and a half-offset grid (windows starting at k*width - width/2).
+# A burst straddling an aligned bin boundary splits its mass across two
+# aligned windows — and can evade a per-window threshold — but always lands
+# whole inside exactly one offset window.  Aligned findings are canonical;
+# an offset finding survives only when it overlaps no aligned finding with
+# the same dedupe key, so traces that never straddle a boundary report
+# exactly what they always did.
+
+def _dual_windows(t: float, width: float):
+    """The (grid, window-index) keys of the two windows containing ``t``."""
+    return ((0, int(t // width)), (1, int((t + 0.5 * width) // width)))
+
+
+def _window_span(grid: int, win: int, width: float):
+    start = win * width - (0.5 * width if grid else 0.0)
+    return start, start + width
+
+
+def _merge_grids(entries: List[Tuple[int, object, Finding]]) -> List[Finding]:
+    """Dedupe offset-grid findings against aligned ones.
+
+    ``entries`` is ``[(grid, dedupe_key, finding), ...]``; aligned-grid
+    (``grid == 0``) findings always survive, offset ones only when no
+    aligned finding with the same key overlaps their time window.
+    """
+    aligned = [(key, f) for grid, key, f in entries if grid == 0]
+    out = [f for _, f in aligned]
+    for grid, key, finding in entries:
+        if grid == 0:
+            continue
+        if any(
+            k == key and a.start < finding.end and finding.start < a.end
+            for k, a in aligned
+        ):
+            continue
+        out.append(finding)
+    out.sort(key=lambda f: (f.start, f.end))
+    return out
+
+
 class PebsLossSpike(Detector):
     """Windows where the PEBS ring dropped a large record fraction."""
 
@@ -188,35 +229,38 @@ class PebsLossSpike(Detector):
         self.min_lost = min_lost
 
     def scan(self, trace, ctx: HealthContext) -> List[Finding]:
-        lost: Dict[int, int] = defaultdict(int)
-        drained: Dict[int, int] = defaultdict(int)
+        lost: Dict[Tuple[int, int], int] = defaultdict(int)
+        drained: Dict[Tuple[int, int], int] = defaultdict(int)
         for event in trace.events:
             kind = type(event)
             if kind is PebsDrop:
-                lost[_window_of(event.t, self.window)] += event.n
+                for key in _dual_windows(event.t, self.window):
+                    lost[key] += event.n
             elif kind is PebsDrain:
-                drained[_window_of(event.t, self.window)] += event.drained
-        findings = []
-        for win, n_lost in sorted(lost.items()):
+                for key in _dual_windows(event.t, self.window):
+                    drained[key] += event.drained
+        entries = []
+        for (grid, win), n_lost in sorted(lost.items()):
             if n_lost < self.min_lost:
                 continue
-            total = n_lost + drained.get(win, 0)
+            total = n_lost + drained.get((grid, win), 0)
             fraction = n_lost / total if total else 1.0
             if fraction < self.warn_fraction:
                 continue
             severity = (
                 "critical" if fraction >= self.critical_fraction else "warning"
             )
-            start = win * self.window
-            findings.append(Finding(
-                self.name, severity, start, start + self.window,
+            start, end = _window_span(grid, win, self.window)
+            entries.append((grid, None, Finding(
+                self.name, severity, max(start, 0.0), end,
                 f"PEBS dropped {n_lost} records "
                 f"({fraction:.0%} of the window's traffic) — "
                 "hot/cold classification is sampling blind",
-                data={"lost": n_lost, "drained": drained.get(win, 0),
+                data={"lost": n_lost,
+                      "drained": drained.get((grid, win), 0),
                       "fraction": fraction},
-            ))
-        return findings
+            )))
+        return _merge_grids(entries)
 
 
 class MigrationStallStorm(Detector):
@@ -231,18 +275,20 @@ class MigrationStallStorm(Detector):
         self.critical_aborts = critical_aborts
 
     def scan(self, trace, ctx: HealthContext) -> List[Finding]:
-        retries: Dict[int, List] = defaultdict(list)
-        aborts: Dict[int, List] = defaultdict(list)
+        retries: Dict[Tuple[int, int], List] = defaultdict(list)
+        aborts: Dict[Tuple[int, int], List] = defaultdict(list)
         for event in trace.events:
             kind = type(event)
             if kind is MigrationRetried:
-                retries[_window_of(event.t, self.window)].append(event)
+                for key in _dual_windows(event.t, self.window):
+                    retries[key].append(event)
             elif kind is MigrationAborted:
-                aborts[_window_of(event.t, self.window)].append(event)
-        findings = []
-        for win in sorted(set(retries) | set(aborts)):
-            n_retries = len(retries.get(win, []))
-            n_aborts = len(aborts.get(win, []))
+                for key in _dual_windows(event.t, self.window):
+                    aborts[key].append(event)
+        entries = []
+        for grid, win in sorted(set(retries) | set(aborts)):
+            n_retries = len(retries.get((grid, win), []))
+            n_aborts = len(aborts.get((grid, win), []))
             if n_retries < self.warn_retries and n_aborts < self.critical_aborts:
                 continue
             severity = (
@@ -250,21 +296,21 @@ class MigrationStallStorm(Detector):
             )
             pages = sorted({
                 (e.region, e.page)
-                for e in retries.get(win, []) + aborts.get(win, [])
+                for e in retries.get((grid, win), []) + aborts.get((grid, win), [])
             })
-            start = win * self.window
+            start, end = _window_span(grid, win, self.window)
             message = f"{n_retries} copy retries"
             if n_aborts:
                 message += f" and {n_aborts} aborted migrations"
             message += (
                 f" within {self.window:g}s — the migration path is stalling"
             )
-            findings.append(Finding(
-                self.name, severity, start, start + self.window, message,
+            entries.append((grid, None, Finding(
+                self.name, severity, max(start, 0.0), end, message,
                 pages=pages, provenance=ctx.chains_for(pages),
                 data={"retries": n_retries, "aborts": n_aborts},
-            ))
-        return findings
+            )))
+        return _merge_grids(entries)
 
 
 class ThrashDetector(Detector):
@@ -419,27 +465,27 @@ class SloBurn(Detector):
         self.critical_pages = critical_pages
 
     def scan(self, trace, ctx: HealthContext) -> List[Finding]:
-        evicted: Dict[Tuple[str, int], int] = defaultdict(int)
+        evicted: Dict[Tuple[str, int, int], int] = defaultdict(int)
         for event in trace.events:
             if type(event) is TenantEvicted:
-                key = (event.tenant, _window_of(event.t, self.window))
-                evicted[key] += event.pages
-        findings = []
-        for (tenant, win), pages in sorted(evicted.items()):
+                for grid, win in _dual_windows(event.t, self.window):
+                    evicted[(event.tenant, grid, win)] += event.pages
+        entries = []
+        for (tenant, grid, win), pages in sorted(evicted.items()):
             if pages < self.warn_pages:
                 continue
             severity = (
                 "critical" if pages >= self.critical_pages else "warning"
             )
-            start = win * self.window
-            findings.append(Finding(
-                self.name, severity, start, start + self.window,
+            start, end = _window_span(grid, win, self.window)
+            entries.append((grid, tenant, Finding(
+                self.name, severity, max(start, 0.0), end,
                 f"tenant {tenant}: {pages} pages evicted from DRAM within "
                 f"{self.window:g}s — sustained quota pressure is burning "
                 "its SLO headroom",
                 data={"tenant": tenant, "evicted_pages": pages},
-            ))
-        return findings
+            )))
+        return _merge_grids(entries)
 
 
 DEFAULT_DETECTORS: Tuple[Detector, ...] = (

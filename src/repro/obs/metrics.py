@@ -87,6 +87,19 @@ class MetricsSampler:
         if tenants:
             self._sample_tenants(tenants, now)
 
+    def tenant_departed(self, name: str) -> None:
+        """Finalize a departed tenant's bookkeeping (colo churn hook).
+
+        Only *active* tenants are sampled, so a departed tenant's
+        ``obs.<tenant>.*`` series stop growing on their own — but the loss
+        baseline must be dropped, or a same-name re-arrival (whose fresh
+        PEBS unit restarts its counters at zero) would clamp against the
+        previous incarnation's totals and report a zero loss rate until the
+        new counters catch up.  The series objects are kept: a re-arrival
+        appends to the same named series, which is what the exporters want.
+        """
+        self._tenant_last.pop(name, None)
+
     # -- helpers ---------------------------------------------------------------
     def _split(self, regions):
         """(dram, nvm) byte split over ``regions`` via the occupancy memo."""

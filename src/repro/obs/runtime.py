@@ -68,13 +68,19 @@ class Capture:
     """Context manager that instruments machines created inside it."""
 
     def __init__(self, trace: bool = True, metrics: bool = True,
-                 counters: bool = False):
+                 counters: bool = False, stream_dir: Optional[str] = None):
         self.trace = trace
         self.metrics = metrics
         #: when True, payloads include an ``events`` count read from the
         #: machine's stats counters (see :func:`event_count`) — the
         #: no-tracing path to a non-null events/sec in perf records.
         self.counters = counters
+        #: when set (and tracing), machines get a
+        #: :class:`~repro.obs.stream.StreamingTracer` writing rotating
+        #: JSONL segments under ``<stream_dir>/m<idx>/`` instead of an
+        #: in-memory tracer, and the payload's ``"trace"`` entry becomes
+        #: the segment manifest dict — capture stays O(window).
+        self.stream_dir = stream_dir
         self._records: List[dict] = []
 
     def __enter__(self) -> "Capture":
@@ -99,17 +105,49 @@ class Capture:
             tracer: Optional[Tracer] = record["tracer"]
             out.append(
                 {
-                    "trace": tracer.to_dicts() if tracer is not None else None,
+                    "trace": self._trace_payload(record, tracer),
                     "metrics": metrics_summary(machine) if self.metrics else None,
                     "events": event_count(machine) if self.counters else None,
                 }
             )
         return out
 
+    @staticmethod
+    def _trace_payload(record: dict, tracer: Optional[Tracer]):
+        if tracer is None:
+            return None
+        from repro.obs.stream import StreamingTracer
+
+        if isinstance(tracer, StreamingTracer):
+            manifest = record.get("manifest")
+            if manifest is None:
+                manifest = tracer.finalize()
+                manifest = {
+                    "streamed": True,
+                    "kind": manifest["kind"],
+                    "dir": manifest["dir"],
+                    "segments": len(manifest["segments"]),
+                    "events": manifest["events"],
+                    "max_buffered": tracer.max_buffered,
+                }
+                record["manifest"] = manifest
+            return manifest
+        return tracer.to_dicts()
+
     # -- hook ----------------------------------------------------------------
     def _instrument(self, machine) -> None:
-        tracer = Tracer() if self.trace else None
-        if tracer is not None:
+        tracer: Optional[Tracer] = None
+        if self.trace:
+            if self.stream_dir is not None:
+                import os
+
+                from repro.obs.stream import StreamingTracer
+
+                subdir = os.path.join(self.stream_dir,
+                                      f"m{len(self._records)}")
+                tracer = StreamingTracer(subdir)
+            else:
+                tracer = Tracer()
             machine.install_tracer(tracer)
         if self.metrics:
             machine.metrics = MetricsSampler(machine)
@@ -117,9 +155,11 @@ class Capture:
 
 
 def capture(trace: bool = True, metrics: bool = True,
-            counters: bool = False) -> Capture:
+            counters: bool = False,
+            stream_dir: Optional[str] = None) -> Capture:
     """Shorthand: ``with obs.capture(trace=True, metrics=False) as cap:``."""
-    return Capture(trace=trace, metrics=metrics, counters=counters)
+    return Capture(trace=trace, metrics=metrics, counters=counters,
+                   stream_dir=stream_dir)
 
 
 def on_machine_created(machine) -> None:

@@ -1,0 +1,23 @@
+"""Fleet-scale serving on the colocation layer: open-loop diurnal tenant
+churn, windowed SLO monitoring, and online SLO control."""
+
+from repro.serve.arrivals import (
+    FlashCrowd,
+    FleetSpec,
+    TenantClass,
+    compile_fleet,
+)
+from repro.serve.controller import SloController
+from repro.serve.fleet import CONTROLLERS, run_fleet
+from repro.serve.monitor import FleetMonitor
+
+__all__ = [
+    "CONTROLLERS",
+    "FlashCrowd",
+    "FleetMonitor",
+    "FleetSpec",
+    "SloController",
+    "TenantClass",
+    "compile_fleet",
+    "run_fleet",
+]

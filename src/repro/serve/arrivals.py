@@ -1,0 +1,193 @@
+"""Open-loop fleet arrival generation: diurnal Poisson tenant churn.
+
+A serving fleet is described declaratively by a :class:`FleetSpec` — a
+set of tenant *classes* (size, QoS contract, relative popularity), a
+base arrival rate modulated by a diurnal sinusoid, and optional
+flash-crowd spikes.  :func:`compile_fleet` samples it into a concrete
+list of :class:`~repro.colo.tenant.TenantSpec` churn entries via Poisson
+thinning, so the existing colocation layer runs the fleet unmodified.
+
+Determinism: arrival times draw from the ``(seed, "serve", "arrivals")``
+substream and each tenant's class/lifetime from ``(seed, "serve",
+"tenant", i)``, so tenant *i*'s identity never depends on how many
+tenants preceded it — the same seed always compiles the same fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.colo.tenant import TenantSpec
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One class of tenants in the fleet (a row of the serving mix).
+
+    ``share`` is the class's relative arrival popularity (normalised over
+    the spec's classes); ``slo_ops_per_sec`` is the per-tenant SLO target
+    handed to :class:`~repro.colo.tenant.TenantSpec` (None = best-effort
+    batch work the monitor ignores).
+    """
+
+    name: str
+    working_set: int
+    hot_set: int
+    weight: float = 1.0
+    priority: int = 0
+    dram_floor_frac: float = 0.0
+    slo_ops_per_sec: Optional[float] = None
+    share: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant class name cannot be empty")
+        if self.working_set <= 0 or self.hot_set <= 0:
+            raise ValueError(
+                f"class {self.name!r}: working_set and hot_set must be positive"
+            )
+        if self.share <= 0:
+            raise ValueError(f"class {self.name!r}: share must be positive")
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A multiplicative arrival-rate spike over ``[start, start+duration)``."""
+
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError(f"flash crowd duration must be positive: {self.duration}")
+        if self.multiplier <= 0:
+            raise ValueError(
+                f"flash crowd multiplier must be positive: {self.multiplier}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Declarative description of a serving fleet's tenant churn.
+
+    ``base_rate`` is the mean arrival rate (tenants per virtual second);
+    the diurnal term modulates it as ``1 + amplitude*sin(...)`` with the
+    trough at ``t=0`` (midnight) and the peak at mid-day, period
+    ``day_seconds``.  ``initial_tenants`` are admitted at ``t=0`` (the
+    fleet never starts cold).  Lifetimes are exponential with mean
+    ``mean_lifetime``, clipped below at ``min_lifetime``.
+    """
+
+    classes: Tuple[TenantClass, ...] = field(default=())
+    base_rate: float = 1.0
+    day_seconds: float = 8.0
+    diurnal_amplitude: float = 0.6
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+    mean_lifetime: float = 2.5
+    min_lifetime: float = 0.25
+    initial_tenants: int = 4
+
+    def __post_init__(self):
+        if not self.classes:
+            raise ValueError("fleet needs at least one tenant class")
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive: {self.base_rate}")
+        if self.day_seconds <= 0:
+            raise ValueError(f"day_seconds must be positive: {self.day_seconds}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1): {self.diurnal_amplitude}"
+            )
+        if self.mean_lifetime <= 0 or self.min_lifetime <= 0:
+            raise ValueError("lifetimes must be positive")
+        if self.initial_tenants < 0:
+            raise ValueError(
+                f"initial_tenants cannot be negative: {self.initial_tenants}"
+            )
+
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        phase = 2.0 * math.pi * t / self.day_seconds - 0.5 * math.pi
+        rate = self.base_rate * (1.0 + self.diurnal_amplitude * math.sin(phase))
+        for crowd in self.flash_crowds:
+            if crowd.start <= t < crowd.start + crowd.duration:
+                rate *= crowd.multiplier
+        return rate
+
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate` (the thinning envelope)."""
+        peak = self.base_rate * (1.0 + self.diurnal_amplitude)
+        mult = max((c.multiplier for c in self.flash_crowds), default=1.0)
+        return peak * max(mult, 1.0)
+
+
+#: builds the tenant's workload from its class (class, per-tenant rng) ->
+#: Workload; the rng is the tenant's private substream
+WorkloadFactory = Callable[[TenantClass, object], object]
+
+
+def compile_fleet(
+    fleet: FleetSpec,
+    duration: float,
+    seed: int,
+    make_workload: WorkloadFactory,
+    manager_factory: Optional[Callable[[], object]] = None,
+) -> List[TenantSpec]:
+    """Sample the fleet into concrete churn :class:`TenantSpec` entries.
+
+    Arrival times come from thinning a homogeneous Poisson process at the
+    envelope rate down to :meth:`FleetSpec.rate` — the standard exact
+    method for inhomogeneous processes.  Departures past ``duration`` are
+    kept as-is (the tenant simply outlives the run).  Names are unique
+    (``<class>-<index>``), so churn never exercises same-name re-arrival
+    unless a caller constructs it deliberately.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    arrivals_rng = make_rng(seed, "serve", "arrivals")
+    envelope = fleet.peak_rate()
+    times = [0.0] * fleet.initial_tenants
+    t = 0.0
+    while True:
+        t += arrivals_rng.exponential(1.0 / envelope)
+        if t >= duration:
+            break
+        if arrivals_rng.random() * envelope <= fleet.rate(t):
+            times.append(t)
+
+    share_sum = sum(cls.share for cls in fleet.classes)
+    cumulative = []
+    acc = 0.0
+    for cls in fleet.classes:
+        acc += cls.share / share_sum
+        cumulative.append(acc)
+
+    specs: List[TenantSpec] = []
+    for index, arrival in enumerate(times):
+        tenant_rng = make_rng(seed, "serve", "tenant", index)
+        draw = tenant_rng.random()
+        cls = fleet.classes[-1]
+        for cut, candidate in zip(cumulative, fleet.classes):
+            if draw <= cut:
+                cls = candidate
+                break
+        lifetime = max(
+            float(tenant_rng.exponential(fleet.mean_lifetime)),
+            fleet.min_lifetime,
+        )
+        specs.append(TenantSpec(
+            f"{cls.name}-{index:03d}",
+            make_workload(cls, tenant_rng),
+            manager_factory=manager_factory,
+            weight=cls.weight,
+            priority=cls.priority,
+            dram_floor_frac=cls.dram_floor_frac,
+            arrival=arrival,
+            departure=arrival + lifetime,
+            slo_ops_per_sec=cls.slo_ops_per_sec,
+        ))
+    return specs

@@ -1,0 +1,101 @@
+"""Fleet-scale serving runs: compile a FleetSpec, run it, score it.
+
+:func:`run_fleet` is the serving analogue of
+:func:`repro.api.run_colocation`: it samples the declarative fleet into
+churn specs (:func:`~repro.serve.arrivals.compile_fleet`), runs them
+through the existing colocation layer, attaches the windowed
+:class:`~repro.serve.monitor.FleetMonitor`, and — for the ``slo``
+control arm — the online :class:`~repro.serve.controller.SloController`.
+
+Control arms (``controller=``):
+
+- ``"none"``: no DRAM arbitration at all (sharing policy ``none``) — the
+  free-for-all baseline;
+- ``"static"``: the configured sharing policy with fixed weights;
+- ``"slo"``: same policy plus the online controller adjusting per-tenant
+  weight boosts and floor grants from windowed slo-burn findings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.serve.arrivals import FleetSpec, WorkloadFactory, compile_fleet
+from repro.serve.controller import SloController
+from repro.serve.monitor import FleetMonitor
+
+#: valid control arms
+CONTROLLERS = ("none", "static", "slo")
+
+
+def run_fleet(
+    fleet: FleetSpec,
+    duration: float,
+    make_workload: WorkloadFactory,
+    controller: str = "static",
+    policy: str = "static",
+    bandwidth: str = "shared",
+    spec=None,
+    scale: float = 1.0,
+    seed: int = 42,
+    tick: float = 0.01,
+    faults=None,
+    arbiter_period: float = 0.1,
+    window: float = 0.5,
+    warmup: float = 0.0,
+    manager_factory: Optional[Callable[[], object]] = None,
+    monitor_kwargs: Optional[dict] = None,
+    controller_kwargs: Optional[dict] = None,
+) -> dict:
+    """Run one serving fleet; returns the engine result plus ``"fleet"``.
+
+    The result carries the per-tenant ``"tenants_slo"`` summaries (as in
+    colocation runs), the monitor's ``"fleet"`` scoreboard (attainment,
+    storms, slowdown heatmap), and ``"controller_actions"``.
+    """
+    if controller not in CONTROLLERS:
+        raise ValueError(
+            f"unknown control arm {controller!r}; choose from {CONTROLLERS}"
+        )
+    # Local imports: repro.colo/api sit above this module's other deps.
+    from repro.api import make_engine
+    from repro.colo import (
+        ColoConfig,
+        ColoManager,
+        ColoWorkload,
+        colocation_summary,
+    )
+
+    specs = compile_fleet(fleet, duration, seed, make_workload,
+                          manager_factory=manager_factory)
+    colo_policy = "none" if controller == "none" else policy
+    manager = ColoManager(specs, ColoConfig(
+        policy=colo_policy, bandwidth=bandwidth,
+        arbiter_period=arbiter_period,
+    ))
+    workload = ColoWorkload()
+    engine = make_engine(manager, workload, spec=spec, scale=scale,
+                         seed=seed, tick=tick, faults=faults)
+    monitor = FleetMonitor(manager, window=window, warmup=warmup,
+                           **(monitor_kwargs or {}))
+    monitor.bind_day(fleet.day_seconds)
+    engine.add_service(monitor)
+    slo_controller = None
+    if controller == "slo":
+        slo_controller = SloController(manager, window=window,
+                                       **(controller_kwargs or {}))
+        engine.add_service(slo_controller)
+
+    result = engine.run(duration)
+    # Departures at exactly the run end never see a tick at-or-after them.
+    manager.finish(engine.clock.now)
+    result["fleet"] = monitor.fleet_summary(day_seconds=fleet.day_seconds)
+    result["tenants_slo"] = colocation_summary(
+        manager, engine.clock.now, duration=engine.clock.now
+    )
+    result["controller"] = controller
+    result["controller_actions"] = (
+        slo_controller.actions if slo_controller is not None else 0
+    )
+    result["engine"] = engine
+    return result

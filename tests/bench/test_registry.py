@@ -11,7 +11,8 @@ EXPECTED_EXPERIMENTS = {
     "table1", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12", "table2", "fig13", "table3",
     "table4", "fig14", "fig15", "fig16", "ablations", "dma",
-    "colo_matrix", "colo_table4", "colo_sharded", "policy_matrix",
+    "colo_matrix", "colo_table4", "colo_sharded", "fleet_diurnal",
+    "policy_matrix",
 }
 
 

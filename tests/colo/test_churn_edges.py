@@ -1,0 +1,185 @@
+"""Churn edge cases: run-end departures, post-run arrivals, same-name
+re-arrival.  Each exercises a boundary the steady-state churn tests miss."""
+
+import pytest
+
+from repro.api import run_colocation
+from repro.colo import ColoManager, TenantSpec
+from repro.sim.units import GB, MB
+from tests.colo.test_arbiter import gups_tenant, two_tenants
+
+
+def colo_run(specs, duration=4.0, **kw):
+    kw.setdefault("policy", "fair")
+    return run_colocation(specs, duration=duration, scale=64, seed=7,
+                          tick=0.01, **kw)
+
+
+class TestRunEndDeparture:
+    def test_departure_at_exactly_run_end_reclaims_dax(self):
+        # end_tick fires at tick starts, so a departure at t == duration
+        # used to leak the tenant's pages past the run; finish() sweeps it.
+        specs = two_tenants() + [
+            gups_tenant("edge", 1 * GB, 128 * MB,
+                        arrival=1.0, departure=4.0),
+        ]
+        result = colo_run(specs, duration=4.0)
+        edge = result["engine"].manager.get_tenant("edge")
+        assert not edge.active
+        assert edge.departed_at == pytest.approx(4.0, abs=0.05)
+        assert edge.dram_dax.used_pages == 0
+        assert edge.nvm_dax.used_pages == 0
+        assert edge.dram_dax.quota_pages == 0
+        assert edge.regions == []
+        counters = result["engine"].machine.stats.counters()
+        assert counters["colo.tenants_departed"] == 1.0
+        assert result["tenants_slo"]["edge"]["active"] is False
+
+    def test_departure_past_run_end_stays_active(self):
+        specs = two_tenants() + [
+            gups_tenant("edge", 1 * GB, 128 * MB,
+                        arrival=1.0, departure=10.0),
+        ]
+        result = colo_run(specs, duration=4.0)
+        edge = result["engine"].manager.get_tenant("edge")
+        assert edge.active
+        assert edge.departed_at is None
+
+
+class TestPostRunArrival:
+    def test_arrival_after_run_end_never_admits(self):
+        specs = two_tenants() + [
+            gups_tenant("late", 1 * GB, 128 * MB, arrival=100.0),
+        ]
+        result = colo_run(specs, duration=4.0)
+        engine = result["engine"]
+        colo = engine.manager
+        # never admitted: no tenant object, no stats scope, no SLO row
+        assert "late" not in colo.tenants
+        assert "late" not in result["tenants_slo"]
+        counters = engine.machine.stats.counters()
+        assert counters["colo.tenants_arrived"] == 2.0
+        assert not any(k.startswith("late.") for k in counters)
+        series = engine.machine.stats.series_data()
+        assert not any(".late." in k or k.startswith("colo.late")
+                       for k in series)
+
+
+class TestBootstrapQuota:
+    def test_bootstrap_splits_among_concurrent_tenants_not_spec_list(self):
+        from repro.mem.page import Tier
+
+        # A serving fleet compiles far more churn specs than ever run at
+        # once; the bootstrap quota a mid-run arrival prefaults against
+        # must split DRAM among the tenants actually sharing the machine,
+        # not the whole compiled list (or its hot set lands in NVM).
+        future = [
+            gups_tenant(f"future-{i:02d}", 1 * GB, 128 * MB, arrival=100.0)
+            for i in range(36)
+        ]
+        result = colo_run(two_tenants() + future, duration=2.0)
+        colo = result["engine"].manager
+        total = colo.shared_dax[Tier.DRAM].n_pages
+        probe = gups_tenant("probe", 1 * GB, 128 * MB, arrival=100.0)
+        # two active incumbents + the arriving probe, 36 idle specs
+        assert colo._initial_quota_pages(probe) == total // 3
+
+    def test_none_policy_bootstrap_sees_whole_device(self):
+        from repro.mem.page import Tier
+
+        result = colo_run(two_tenants(), duration=2.0, policy="none")
+        colo = result["engine"].manager
+        total = colo.shared_dax[Tier.DRAM].n_pages
+        probe = gups_tenant("probe", 1 * GB, 128 * MB, arrival=100.0)
+        assert colo._initial_quota_pages(probe) == total
+
+
+class TestSameNameReArrival:
+    def _specs(self):
+        return two_tenants() + [
+            gups_tenant("burst", 1 * GB, 128 * MB,
+                        arrival=0.5, departure=1.5),
+            gups_tenant("burst", 1 * GB, 128 * MB,
+                        arrival=2.0, departure=3.5),
+        ]
+
+    def test_old_incarnation_rekeyed_and_reclaimed(self):
+        result = colo_run(self._specs(), duration=4.5)
+        colo = result["engine"].manager
+        old = colo.get_tenant("burst@1")
+        new = colo.get_tenant("burst")
+        assert old.name == "burst@1"
+        assert not old.active
+        assert old.departed_at == pytest.approx(1.5, abs=0.05)
+        # first incarnation fully reclaimed: the re-arrival starts clean
+        assert old.dram_dax.used_pages == 0
+        assert old.nvm_dax.used_pages == 0
+        assert old.dram_dax.quota_pages == 0
+        # second incarnation lived its own life and also departed
+        assert not new.active
+        assert new.arrived_at == pytest.approx(2.0, abs=0.05)
+        assert new.departed_at == pytest.approx(3.5, abs=0.05)
+        assert new.dram_dax.used_pages == 0
+        counters = result["engine"].machine.stats.counters()
+        assert counters["colo.tenants_arrived"] == 4.0
+        assert counters["colo.tenants_departed"] == 2.0
+
+    def test_no_stale_sampler_or_rng_state(self):
+        import repro.obs as obs
+
+        with obs.capture(trace=False, metrics=True) as cap:
+            result = colo_run(self._specs(), duration=4.5)
+        machine = result["engine"].machine
+        sampler = machine.metrics
+        # both incarnations departed: the loss baseline must be empty of
+        # them (a third arrival would otherwise clamp against stale totals)
+        assert "burst" not in sampler._tenant_last
+        assert "burst@1" not in sampler._tenant_last
+        [payload] = cap.payloads()
+        times = payload["metrics"]["series"]["obs.burst.pebs_loss_rate"]["times"]
+        # the shared series covers both lifetimes but not the gap after the
+        # final departure
+        assert times[0] == pytest.approx(0.5, abs=0.05)
+        assert times[-1] == pytest.approx(3.5, abs=0.05)
+        gap = [t for t in times if 1.55 < t < 1.95]
+        assert gap == []
+
+    def test_arbiter_quota_conservation_through_rearrival(self):
+        result = colo_run(self._specs(), duration=4.5)
+        engine = result["engine"]
+        machine = engine.machine
+        total = sum(
+            t.dram_dax.quota_pages
+            for t in engine.manager.active_tenants()
+            if t.dram_dax is not None
+        )
+        assert total * machine.spec.page_size <= machine.dram.capacity
+        # departed incarnations hold no quota at all
+        for key in ("burst", "burst@1"):
+            assert engine.manager.get_tenant(key).dram_dax.quota_pages == 0
+
+    def test_overlapping_same_name_lifetimes_rejected(self):
+        specs = two_tenants() + [
+            gups_tenant("burst", 1 * GB, 128 * MB,
+                        arrival=0.5, departure=3.0),
+            gups_tenant("burst", 1 * GB, 128 * MB, arrival=2.0),
+        ]
+        with pytest.raises(ValueError, match="overlapping"):
+            ColoManager(specs)
+
+    def test_open_ended_first_incarnation_rejected(self):
+        wl_specs = two_tenants() + [
+            gups_tenant("burst", 1 * GB, 128 * MB, arrival=0.5),
+            gups_tenant("burst", 1 * GB, 128 * MB, arrival=2.0),
+        ]
+        with pytest.raises(ValueError, match="overlapping"):
+            ColoManager(wl_specs)
+
+
+def test_spec_slo_validation():
+    from repro.workloads.gups import GupsConfig, GupsWorkload
+
+    wl = GupsWorkload(GupsConfig(working_set=GB, hot_set=128 * MB))
+    assert TenantSpec("a", wl, slo_ops_per_sec=1e6).slo_ops_per_sec == 1e6
+    with pytest.raises(ValueError):
+        TenantSpec("a", wl, slo_ops_per_sec=0.0)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.config import HeMemConfig
+from repro.mem.page import BASE_PAGE
 from repro.sim.units import GB, MB
 
 
@@ -26,6 +27,18 @@ def test_scaled_shrinks_byte_knobs_only():
     assert cfg.hot_read_threshold == 8
     assert cfg.policy_period == 0.010
     assert cfg.migration_max_rate == 10 * GB
+
+
+def test_scaled_watermark_never_drops_below_one_page():
+    # A factor larger than the watermark in bytes used to clamp the
+    # watermark to 0, silently disabling the watermark demotion loop.  The
+    # floor is one base page, same spirit as manage_threshold's >= 1 clamp.
+    cfg = HeMemConfig().scaled(2 * GB)
+    assert cfg.dram_free_watermark == BASE_PAGE
+    assert cfg.manage_threshold >= 1
+    # Sane factors still scale proportionally.
+    assert HeMemConfig().scaled(64).dram_free_watermark == 16 * MB
+    assert HeMemConfig().scaled(4096).dram_free_watermark == 256 * 1024
 
 
 def test_cooling_must_cover_hot_threshold():

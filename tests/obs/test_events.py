@@ -5,6 +5,7 @@ import pytest
 from repro.obs.events import (
     EVENT_KINDS,
     KIND_TO_EVENT,
+    ControllerAction,
     CoolingPass,
     DmaTransfer,
     FaultInjected,
@@ -53,6 +54,7 @@ SAMPLES = [
     PolicySelected(0.0, "hemem", "nomad"),
     ShadowCreated(0.52, "heap", 3, 2 << 20, "promote"),
     ShadowDropped(0.9, "heap", 3, 2 << 20, "dirty"),
+    ControllerAction(6.0, "kvs-prio", "boost", 1.25, 0, "warning"),
 ]
 
 

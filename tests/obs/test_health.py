@@ -104,6 +104,77 @@ class TestPebsLossSpike:
         assert f.data["fraction"] == pytest.approx(0.25)
 
 
+class TestBoundaryStraddle:
+    """Bursts split across an aligned bin boundary must not evade the
+    per-window thresholds: the half-offset grid catches them whole, and
+    findings dedupe against the aligned grid."""
+
+    def test_pebs_burst_straddling_a_boundary_fires(self):
+        # 10+10 lost records around t=1.0: each aligned window sees 10
+        # (< min_lost=16), the offset window [0.5, 1.5) sees all 20.
+        events = [
+            PebsDrain(0.9, 40, 40),
+            PebsDrop(0.95, "load", 10),
+            PebsDrop(1.05, "load", 10),
+        ]
+        [f] = PebsLossSpike().scan(Trace(events), _ctx(events))
+        assert (f.start, f.end) == (0.5, 1.5)
+        assert f.data["lost"] == 20
+        assert f.severity == "warning"
+
+    def test_retry_storm_straddling_a_boundary_fires(self):
+        from repro.obs.health import MigrationStallStorm
+
+        # 3+3 retries around t=1.0: each aligned window sees 3 (< 5), the
+        # offset window [0.5, 1.5) sees all 6.
+        events = [
+            MigrationRetried(0.85 + 0.05 * i, "heap", 2, i + 1, 0.01)
+            for i in range(3)
+        ] + [
+            MigrationRetried(1.05 + 0.05 * i, "heap", 2, i + 4, 0.01)
+            for i in range(3)
+        ]
+        [f] = MigrationStallStorm().scan(Trace(events), _ctx(events))
+        assert (f.start, f.end) == (0.5, 1.5)
+        assert f.data["retries"] == 6
+        assert f.severity == "warning"
+
+    def test_eviction_burst_straddling_a_boundary_fires(self):
+        # 20+20 evicted pages around t=1.0 (each side < warn_pages=32).
+        events = [
+            TenantEvicted(0.9, "t", 20),
+            TenantEvicted(1.1, "t", 20),
+        ]
+        [f] = SloBurn().scan(Trace(events), _ctx(events))
+        assert (f.start, f.end) == (0.5, 1.5)
+        assert f.data["evicted_pages"] == 40
+
+    def test_offset_findings_dedupe_against_aligned_ones(self):
+        # A burst inside one aligned window fires on both grids but must
+        # report exactly once, with the aligned window's span.
+        events = [PebsDrain(0.4, 100, 100), PebsDrop(0.45, "load", 100)]
+        [f] = PebsLossSpike().scan(Trace(events), _ctx(events))
+        assert (f.start, f.end) == (0.0, 1.0)
+
+    def test_offset_grid_never_reports_negative_starts(self):
+        events = [PebsDrop(0.1, "load", 100)]
+        findings = PebsLossSpike().scan(Trace(events), _ctx(events))
+        assert findings and all(f.start >= 0.0 for f in findings)
+
+    def test_distinct_tenants_do_not_dedupe_each_other(self):
+        # Tenant "a" fires on the aligned grid, tenant "b" straddles the
+        # same boundary: both findings must survive.
+        events = [
+            TenantEvicted(1.2, "a", 40),
+            TenantEvicted(0.9, "b", 20),
+            TenantEvicted(1.1, "b", 20),
+        ]
+        findings = SloBurn().scan(Trace(events), _ctx(events))
+        assert {(f.data["tenant"], f.start, f.end) for f in findings} == {
+            ("a", 1.0, 2.0), ("b", 0.5, 1.5),
+        }
+
+
 class TestThrash:
     def test_round_trips_slower_than_window_are_quiet(self):
         events = thrash_events(t0=1.0, step=10.0)  # 10 s apart

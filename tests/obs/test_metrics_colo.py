@@ -7,6 +7,7 @@ import pytest
 import repro.obs as obs
 from repro.api import run_colocation
 from repro.core.hemem import HeMemManager
+from repro.obs.metrics import MetricsSampler
 from repro.workloads.gups import GupsConfig
 
 
@@ -51,6 +52,49 @@ class TestColoRuns:
         # tenants did sample: the per-tenant loss series carry real ticks,
         # one sample per engine tick, aligned with the global series
         assert len(series["obs.hot.pebs_loss_rate"]["values"]) > 100
+
+
+@pytest.mark.slow
+class TestChurnSampling:
+    """Departed tenants' series must be finalized, not grown forever."""
+
+    def _run(self):
+        from tests.colo.test_arbiter import gups_tenant, two_tenants
+        from repro.sim.units import GB, MB
+
+        specs = two_tenants() + [
+            gups_tenant("burst", 1 * GB, 128 * MB,
+                        arrival=1.0, departure=2.5),
+        ]
+        with obs.capture(trace=False, metrics=True) as cap:
+            result = run_colocation(specs, duration=4.0, policy="fair",
+                                    scale=64, tick=0.01)
+        [payload] = cap.payloads()
+        return _series(payload), result
+
+    def test_departed_series_stop_at_departure(self):
+        series, _ = self._run()
+        times = series["obs.burst.pebs_loss_rate"]["times"]
+        assert times, "burst never sampled while active"
+        # samples span the tenant's lifetime only, not the whole run
+        assert times[0] == pytest.approx(1.0, abs=0.05)
+        assert times[-1] == pytest.approx(2.5, abs=0.05)
+        # incumbents keep sampling to the end of the run
+        assert series["obs.hot.pebs_loss_rate"]["times"][-1] > 3.5
+
+    def test_departure_drops_the_loss_baseline(self):
+        _, result = self._run()
+        sampler = result["engine"].machine.metrics
+        assert "burst" not in sampler._tenant_last
+        assert "hot" in sampler._tenant_last
+
+
+def test_tenant_departed_resets_loss_baseline_directly():
+    sampler = MetricsSampler.__new__(MetricsSampler)
+    sampler._tenant_last = {"a": (100.0, 50.0), "b": (7.0, 1.0)}
+    sampler.tenant_departed("a")
+    sampler.tenant_departed("ghost")  # unknown names are a no-op
+    assert sampler._tenant_last == {"b": (7.0, 1.0)}
 
 
 def test_single_manager_run_has_no_tenant_series(spec64):

@@ -1,0 +1,162 @@
+"""Fleet arrival generation: determinism, rates, spec validity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve import FlashCrowd, FleetSpec, TenantClass, compile_fleet
+from repro.sim.units import MB
+
+
+def small_class(name="web", **kw):
+    defaults = dict(working_set=64 * MB, hot_set=16 * MB,
+                    slo_ops_per_sec=1e6, share=1.0)
+    defaults.update(kw)
+    return TenantClass(name, **defaults)
+
+
+def make_workload(cls, rng):
+    # Arrival tests never run the workload; a marker object suffices.
+    return ("workload", cls.name)
+
+
+def small_fleet(**kw):
+    defaults = dict(
+        classes=(small_class("web", share=0.6),
+                 small_class("batch", slo_ops_per_sec=None, share=0.4)),
+        base_rate=2.0, day_seconds=4.0, diurnal_amplitude=0.5,
+        mean_lifetime=1.5, min_lifetime=0.25, initial_tenants=3,
+    )
+    defaults.update(kw)
+    return FleetSpec(**defaults)
+
+
+class TestRate:
+    def test_diurnal_trough_at_midnight_peak_at_noon(self):
+        fleet = small_fleet()
+        assert fleet.rate(0.0) == pytest.approx(1.0)   # 2.0 * (1 - 0.5)
+        assert fleet.rate(2.0) == pytest.approx(3.0)   # 2.0 * (1 + 0.5)
+        # periodic over days
+        assert fleet.rate(6.0) == pytest.approx(fleet.rate(2.0))
+
+    def test_flash_crowd_multiplies_inside_its_window_only(self):
+        fleet = small_fleet(
+            flash_crowds=(FlashCrowd(start=1.0, duration=0.5, multiplier=3.0),)
+        )
+        base = small_fleet()
+        assert fleet.rate(1.2) == pytest.approx(3.0 * base.rate(1.2))
+        assert fleet.rate(0.9) == pytest.approx(base.rate(0.9))
+        assert fleet.rate(1.5) == pytest.approx(base.rate(1.5))
+
+    def test_peak_rate_is_an_envelope(self):
+        fleet = small_fleet(
+            flash_crowds=(FlashCrowd(start=1.0, duration=0.5, multiplier=3.0),)
+        )
+        peak = fleet.peak_rate()
+        for i in range(400):
+            assert fleet.rate(i * 0.05) <= peak + 1e-12
+
+
+class TestCompile:
+    def test_same_seed_compiles_identical_fleet(self):
+        fleet = small_fleet()
+        a = compile_fleet(fleet, 12.0, 42, make_workload)
+        b = compile_fleet(fleet, 12.0, 42, make_workload)
+        assert [(s.name, s.arrival, s.departure, s.weight, s.slo_ops_per_sec)
+                for s in a] == \
+               [(s.name, s.arrival, s.departure, s.weight, s.slo_ops_per_sec)
+                for s in b]
+
+    def test_different_seed_compiles_different_fleet(self):
+        fleet = small_fleet()
+        a = compile_fleet(fleet, 12.0, 42, make_workload)
+        b = compile_fleet(fleet, 12.0, 43, make_workload)
+        assert [s.arrival for s in a] != [s.arrival for s in b]
+
+    def test_initial_tenants_arrive_at_zero(self):
+        specs = compile_fleet(small_fleet(initial_tenants=3), 12.0, 42,
+                              make_workload)
+        assert [s.arrival for s in specs[:3]] == [0.0, 0.0, 0.0]
+        assert all(s.arrival > 0.0 for s in specs[3:])
+
+    def test_names_unique_and_class_prefixed(self):
+        specs = compile_fleet(small_fleet(), 12.0, 42, make_workload)
+        names = [s.name for s in specs]
+        assert len(set(names)) == len(names)
+        assert all(n.split("-")[0] in ("web", "batch") for n in names)
+
+    def test_lifetimes_respect_minimum(self):
+        specs = compile_fleet(small_fleet(min_lifetime=0.5), 12.0, 42,
+                              make_workload)
+        assert specs
+        for s in specs:
+            assert s.departure - s.arrival >= 0.5 - 1e-12
+
+    def test_arrivals_inside_duration_and_sorted(self):
+        specs = compile_fleet(small_fleet(), 12.0, 42, make_workload)
+        arrivals = [s.arrival for s in specs]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < 12.0 for a in arrivals)
+
+    def test_slo_and_class_attributes_carried_onto_specs(self):
+        specs = compile_fleet(small_fleet(), 12.0, 42, make_workload)
+        for s in specs:
+            cls = s.name.split("-")[0]
+            if cls == "web":
+                assert s.slo_ops_per_sec == pytest.approx(1e6)
+            else:
+                assert s.slo_ops_per_sec is None
+            assert s.workload == ("workload", cls)
+
+    def test_diurnal_arrivals_cluster_at_midday(self):
+        fleet = small_fleet(base_rate=8.0, diurnal_amplitude=0.9,
+                            initial_tenants=0, day_seconds=12.0)
+        specs = compile_fleet(fleet, 12.0, 42, make_workload)
+        morning = sum(1 for s in specs if s.arrival < 3.0)
+        midday = sum(1 for s in specs if 3.0 <= s.arrival < 9.0)
+        assert midday > 2 * morning
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            compile_fleet(small_fleet(), 0.0, 42, make_workload)
+
+
+class TestValidation:
+    def test_fleet_needs_classes(self):
+        with pytest.raises(ValueError, match="class"):
+            FleetSpec(classes=(), base_rate=1.0)
+
+    @pytest.mark.parametrize("kw", [
+        {"base_rate": 0.0},
+        {"day_seconds": -1.0},
+        {"diurnal_amplitude": 1.0},
+        {"mean_lifetime": 0.0},
+        {"initial_tenants": -1},
+    ])
+    def test_fleet_rejects_bad_knobs(self, kw):
+        with pytest.raises(ValueError):
+            small_fleet(**kw)
+
+    @pytest.mark.parametrize("kw", [
+        {"working_set": 0},
+        {"share": 0.0},
+    ])
+    def test_class_rejects_bad_knobs(self, kw):
+        with pytest.raises(ValueError):
+            small_class(**kw)
+
+    def test_flash_crowd_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, duration=0.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, duration=1.0, multiplier=0.0)
+
+    def test_expected_arrival_count_tracks_rate_integral(self):
+        # Poisson thinning should produce ~base_rate*duration arrivals
+        # over whole days (the sinusoid integrates out).
+        fleet = small_fleet(base_rate=5.0, initial_tenants=0)
+        specs = compile_fleet(fleet, 40.0, 42, make_workload)
+        expected = 5.0 * 40.0
+        assert abs(len(specs) - expected) < 4 * math.sqrt(expected)

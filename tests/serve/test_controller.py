@@ -1,0 +1,281 @@
+"""SloController unit tests against a stub colocation manager.
+
+The controller only touches a narrow tenant surface (name, spec,
+workload counter, eviction counter, boost knobs, dram dax usage), so the
+tests drive :meth:`SloController.control` directly on SimpleNamespace
+stubs — no engine, no machine.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.mem.page import Tier
+from repro.serve import SloController
+
+WINDOW = 0.5
+
+
+def make_tenant(name, slo=1e6, ops=0.0, evicted=0, used=0):
+    return SimpleNamespace(
+        name=name,
+        spec=SimpleNamespace(slo_ops_per_sec=slo, weight=1.0),
+        workload=SimpleNamespace(total_ops=ops),
+        evicted_pages=evicted,
+        weight_boost=1.0,
+        floor_boost_pages=0,
+        dram_dax=SimpleNamespace(used_pages=used),
+    )
+
+
+def make_colo(tenants, total_pages=1024):
+    return SimpleNamespace(
+        active_tenants=lambda: list(tenants),
+        shared_dax={Tier.DRAM: SimpleNamespace(n_pages=total_pages)},
+        machine=SimpleNamespace(tracer=None),
+    )
+
+
+def make_controller(tenants, total_pages=1024, **kw):
+    defaults = dict(window=WINDOW, step=0.25, max_boost=4.0,
+                    attack_windows=2, release_windows=3,
+                    warn_pages=4, critical_pages=16,
+                    floor_step_pages=8, max_floor_pages=64,
+                    defend_headroom_pages=16)
+    defaults.update(kw)
+    return SloController(make_colo(tenants, total_pages), **defaults)
+
+
+def burn(tenant, pages):
+    tenant.evicted_pages += pages
+
+
+def attain(tenant, slo=1e6):
+    tenant.workload.total_ops += slo * WINDOW * 2
+
+
+class TestAttack:
+    def test_boost_after_sustained_burn_only(self):
+        t = make_tenant("web-000")
+        ctrl = make_controller([t], attack_windows=2)
+        burn(t, 10)
+        ctrl.control(0.5)
+        assert t.weight_boost == 1.0  # streak 1 < attack_windows
+        burn(t, 10)
+        ctrl.control(1.0)
+        assert t.weight_boost == pytest.approx(1.25)
+        assert ctrl.actions == 1
+
+    def test_below_warn_threshold_never_boosts(self):
+        t = make_tenant("web-000")
+        ctrl = make_controller([t], warn_pages=4)
+        for i in range(5):
+            burn(t, 3)
+            ctrl.control(0.5 * (i + 1))
+        assert t.weight_boost == 1.0
+        assert ctrl.actions == 0
+
+    def test_boost_capped_at_max(self):
+        t = make_tenant("web-000")
+        ctrl = make_controller([t], attack_windows=1, max_boost=2.0)
+        for i in range(20):
+            burn(t, 10)
+            ctrl.control(0.5 * (i + 1))
+        assert t.weight_boost == 2.0
+
+    def test_critical_burn_grants_floor_capped(self):
+        t = make_tenant("web-000")
+        ctrl = make_controller([t], attack_windows=1, critical_pages=16,
+                               floor_step_pages=8, max_floor_pages=20)
+        burn(t, 20)
+        ctrl.control(0.5)
+        assert t.floor_boost_pages == 8
+        burn(t, 20)
+        ctrl.control(1.0)
+        assert t.floor_boost_pages == 16
+        burn(t, 20)
+        ctrl.control(1.5)
+        assert t.floor_boost_pages == 20  # capped
+
+    def test_warn_burn_grants_no_floor(self):
+        t = make_tenant("web-000")
+        ctrl = make_controller([t], attack_windows=1, warn_pages=4,
+                               critical_pages=100)
+        burn(t, 10)
+        ctrl.control(0.5)
+        assert t.weight_boost > 1.0
+        assert t.floor_boost_pages == 0
+
+
+class TestRelease:
+    def boosted(self, **kw):
+        t = make_tenant("web-000")
+        ctrl = make_controller([t], attack_windows=1, **kw)
+        burn(t, 10)
+        ctrl.control(0.5)
+        assert t.weight_boost == pytest.approx(1.25)
+        return t, ctrl
+
+    def test_decay_waits_out_hysteresis(self):
+        t, ctrl = self.boosted(release_windows=3)
+        ctrl.control(1.0)
+        ctrl.control(1.5)
+        assert t.weight_boost == pytest.approx(1.25)  # streak 2 < 3
+        ctrl.control(2.0)
+        assert t.weight_boost == 1.0  # 1.25 / 1.25 snaps to exactly 1.0
+
+    def test_decay_reaches_exactly_neutral(self):
+        t, ctrl = self.boosted(release_windows=1, max_boost=4.0)
+        for i in range(4):
+            burn(t, 10)
+            ctrl.control(0.5 * (i + 2))
+        assert t.weight_boost > 2.0
+        for i in range(20):
+            ctrl.control(3.0 + 0.5 * i)
+        assert t.weight_boost == 1.0
+        assert t.floor_boost_pages == 0
+
+    def test_burn_resets_release_streak(self):
+        t, ctrl = self.boosted(release_windows=2)
+        ctrl.control(1.0)  # clean 1
+        burn(t, 10)
+        ctrl.control(1.5)  # burning again
+        ctrl.control(2.0)  # clean 1 (reset)
+        assert t.weight_boost > 1.0
+
+    def test_stale_floor_claim_clamped_to_residency(self):
+        t = make_tenant("web-000", used=10)
+        ctrl = make_controller([t], attack_windows=1, critical_pages=8,
+                               floor_step_pages=40, max_floor_pages=64,
+                               release_windows=10,
+                               defend_headroom_pages=4)
+        burn(t, 10)
+        ctrl.control(0.5)
+        assert t.floor_boost_pages == 40
+        # first clean window: the part of the claim above used+headroom
+        # drops immediately, without waiting out the release hysteresis
+        ctrl.control(1.0)
+        assert t.floor_boost_pages == 14
+
+
+class TestDefend:
+    def test_attaining_tenant_floor_pinned_to_residency(self):
+        t = make_tenant("web-000", used=100)
+        ctrl = make_controller([t], max_floor_pages=256)
+        attain(t)
+        ctrl.control(0.5)  # first window: no rate baseline yet
+        assert t.floor_boost_pages == 0
+        attain(t)
+        ctrl.control(1.0)
+        assert t.floor_boost_pages == 116  # used + headroom
+        assert ctrl.actions == 1
+
+    def test_defend_is_idempotent_while_stable(self):
+        t = make_tenant("web-000", used=100)
+        ctrl = make_controller([t], max_floor_pages=256)
+        for i in range(4):
+            attain(t)
+            ctrl.control(0.5 * (i + 1))
+        assert t.floor_boost_pages == 116
+        assert ctrl.actions == 1  # only the first pin records an action
+
+    def test_defend_shrinks_silently_when_residency_drops(self):
+        t = make_tenant("web-000", used=100)
+        ctrl = make_controller([t], max_floor_pages=256)
+        attain(t)
+        ctrl.control(0.5)
+        attain(t)
+        ctrl.control(1.0)
+        t.dram_dax.used_pages = 50
+        attain(t)
+        ctrl.control(1.5)
+        assert t.floor_boost_pages == 66
+        assert ctrl.actions == 1
+
+    def test_defend_capped_by_max_floor(self):
+        t = make_tenant("web-000", used=100)
+        ctrl = make_controller([t], max_floor_pages=64)
+        attain(t)
+        ctrl.control(0.5)
+        attain(t)
+        ctrl.control(1.0)
+        assert t.floor_boost_pages == 64
+
+    def test_defend_budget_bounds_fleet_claims(self):
+        a = make_tenant("web-000", used=100)
+        b = make_tenant("web-001", used=100)
+        ctrl = make_controller([a, b], total_pages=1000, defend_frac=0.1,
+                               max_floor_pages=256)
+        for now in (0.5, 1.0):
+            attain(a)
+            attain(b)
+            ctrl.control(now)
+        assert a.floor_boost_pages + b.floor_boost_pages <= 100
+        # name-ordered: web-000 claims first
+        assert a.floor_boost_pages == 100
+        assert b.floor_boost_pages == 0
+
+    def test_burning_tenant_is_attacked_not_defended(self):
+        t = make_tenant("web-000", used=100)
+        ctrl = make_controller([t], attack_windows=1, warn_pages=4,
+                               critical_pages=100)
+        attain(t)
+        ctrl.control(0.5)
+        attain(t)
+        burn(t, 10)
+        ctrl.control(1.0)
+        assert t.weight_boost > 1.0
+        assert t.floor_boost_pages == 0  # warn burn grants no floor
+
+
+class TestScope:
+    def test_slo_only_skips_best_effort_tenants(self):
+        t = make_tenant("batch-000", slo=None, used=100)
+        ctrl = make_controller([t], attack_windows=1)
+        for i in range(3):
+            burn(t, 50)
+            attain(t)
+            ctrl.control(0.5 * (i + 1))
+        assert t.weight_boost == 1.0
+        assert t.floor_boost_pages == 0
+
+    def test_departed_tenant_state_pruned(self):
+        t = make_tenant("web-000")
+        tenants = [t]
+        colo = make_colo([])
+        colo.active_tenants = lambda: list(tenants)
+        ctrl = SloController(colo, window=WINDOW)
+        burn(t, 10)
+        ctrl.control(0.5)
+        assert "web-000" in ctrl._last_evicted
+        tenants.clear()
+        ctrl.control(1.0)
+        assert "web-000" not in ctrl._last_evicted
+        assert "web-000" not in ctrl._last_ops
+
+    def test_tenant_without_dram_dax_is_safe(self):
+        t = make_tenant("web-000", used=100)
+        t.dram_dax = None
+        ctrl = make_controller([t])
+        attain(t)
+        ctrl.control(0.5)
+        attain(t)
+        ctrl.control(1.0)  # defend path with no dax: no-op, no crash
+        assert t.floor_boost_pages == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        {"window": 0.0},
+        {"step": 0.0},
+        {"max_boost": 0.5},
+        {"attack_windows": 0},
+        {"release_windows": 0},
+        {"defend_frac": 1.5},
+        {"defend_frac": -0.1},
+    ])
+    def test_bad_knobs_rejected(self, kw):
+        with pytest.raises(ValueError):
+            SloController(make_colo([]), **kw)
