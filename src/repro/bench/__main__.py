@@ -1,5 +1,8 @@
 """CLI: python -m repro.bench <experiment...|all> [-j N] [--preset fast|full].
 
+``--list`` prints the registered experiments with a one-line description
+(the first line of each experiment module docstring) and exits.
+
 Experiments execute through the case runner: independent simulation runs
 fan out over a process pool (``-j``) and completed case results are reused
 from an on-disk content-addressed cache (``.bench_cache/`` by default,
@@ -71,8 +74,11 @@ def main(argv=None) -> int:
         prog="repro.bench",
         description="Regenerate HeMem (SOSP'21) evaluation tables and figures.",
     )
-    parser.add_argument("experiments", nargs="+", metavar="experiment",
+    parser.add_argument("experiments", nargs="*", metavar="experiment",
                         help=f"experiment ids or 'all': {', '.join(MODULES)}")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered experiments with a one-line "
+                             "description and exit")
     parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count(),
                         help="worker processes for independent cases "
                              "(default: CPU count)")
@@ -121,6 +127,15 @@ def main(argv=None) -> int:
     parser.add_argument("--golden-dir", default=str(DEFAULT_GOLDEN_DIR),
                         help="golden-table directory for --update-golden")
     args = parser.parse_args(argv)
+    if args.list:
+        width = max(len(name) for name in MODULES)
+        for name, module in MODULES.items():
+            doc = (module.__doc__ or "").strip().splitlines()
+            summary = doc[0].rstrip(".") if doc else ""
+            print(f"{name:<{width}}  {summary}")
+        return 0
+    if not args.experiments:
+        parser.error("no experiments given (try --list)")
     tune_gc()
 
     scenario = PRESETS[args.preset]()

@@ -11,11 +11,12 @@ from repro.baselines import (
     NvmOnlyManager,
     XMemManager,
 )
-from repro.core import HeMemConfig, HeMemManager
+from repro.core import BufferPoolManager, HeMemConfig, HeMemManager
 from repro.core.hemem import hemem_pt_async, hemem_pt_sync
 
 MANAGERS: Dict[str, Callable[[], object]] = {
     "hemem": HeMemManager,
+    "bufferpool": BufferPoolManager,
     "hemem-threads": lambda: HeMemManager(HeMemConfig(use_dma=False)),
     "hemem-pt-async": hemem_pt_async,
     "hemem-pt-sync": hemem_pt_sync,

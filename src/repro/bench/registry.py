@@ -31,6 +31,7 @@ from repro.bench.experiments import (
     table2_write_skew,
     table3_kvs,
     table4_kvs_priority,
+    tpcc_buffer,
 )
 from repro.bench.report import Table
 from repro.bench.scenario import Scenario
@@ -63,6 +64,7 @@ MODULES = {
     "colo_table4": colo_table4,
     "fleet_diurnal": fleet_diurnal,
     "policy_matrix": policy_matrix,
+    "tpcc_buffer": tpcc_buffer,
 }
 
 EXPERIMENTS: Dict[str, Callable[[Scenario], Table]] = {

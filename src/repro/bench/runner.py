@@ -34,6 +34,7 @@ tracing on, so the re-run cannot change any table.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import hashlib
 import json
@@ -121,18 +122,16 @@ def code_digest() -> str:
 
 
 def scenario_digest(scenario: Scenario) -> str:
-    fields = {
-        "scale": scenario.scale,
-        "seed": scenario.seed,
-        "duration": scenario.duration,
-        "warmup": scenario.warmup,
-        "tick": scenario.tick,
-        "repeats": scenario.repeats,
-        "faults": scenario.faults,
-        "policy": scenario.policy,
-    }
+    """Digest of every Scenario field, derived from the dataclass itself.
+
+    ``dataclasses.asdict`` keeps the digest honest as Scenario grows: a
+    new field can never be silently left out of the cache key (the old
+    hand-maintained dict could drift).  Field values must stay JSON-able
+    — Scenario's contract anyway.  For today's field set the JSON (and
+    so the digest) is unchanged from the explicit-dict version.
+    """
     return hashlib.sha256(
-        json.dumps(fields, sort_keys=True).encode()
+        json.dumps(dataclasses.asdict(scenario), sort_keys=True).encode()
     ).hexdigest()
 
 

@@ -32,6 +32,7 @@ from repro.colo.policies import (
 from repro.colo.sharding import merge_tenant_results, shard_specs
 from repro.colo.slo import colocation_summary, nvm_wait_inflation, tenant_summary
 from repro.colo.tenant import Tenant, TenantHandle, TenantSpec
+from repro.colo.tenants import tpcc_tenant
 from repro.colo.workload import ColoWorkload
 
 __all__ = [
@@ -59,5 +60,6 @@ __all__ = [
     "nvm_wait_inflation",
     "shard_specs",
     "tenant_summary",
+    "tpcc_tenant",
     "water_fill",
 ]

@@ -72,6 +72,13 @@ def tenant_summary(
         out["latency_us"] = {
             f"p{p:g}": lat[p] * 1e6 for p in percentiles
         }
+    if hasattr(workload, "txn_latency_percentiles"):
+        # Database tenants (repro.db) model end-to-end transaction
+        # latency at the current page placement.
+        lat = workload.txn_latency_percentiles(percentiles=percentiles)
+        out["txn_latency_us"] = {
+            f"p{p:g}": lat[p] * 1e6 for p in percentiles
+        }
     return out
 
 

@@ -1,0 +1,34 @@
+"""Canned tenant builders for colocation runs.
+
+Workload families that want to ride along as colo tenants get a one-call
+builder here, so experiments do not re-spell the workload wiring.  The
+builders always leave ``manager_factory`` at its default (a fresh HeMem
+instance per tenant): app-directed managers like the buffer pool size
+their DRAM budget off the *whole machine's* spec, not the tenant's
+arbiter quota, so under colocation the transparent backend is the one
+that composes.  The app-directed backend contests HeMem in standalone
+runs (see the ``tpcc_buffer`` experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.colo.tenant import TenantSpec
+from repro.db.workload import TpccBufferConfig, TpccBufferWorkload
+
+
+def tpcc_tenant(
+    name: str = "tpcc",
+    config: Optional[TpccBufferConfig] = None,
+    warmup: float = 0.0,
+    **spec_kwargs,
+) -> TenantSpec:
+    """A TPC-C database tenant (transparent HeMem backend).
+
+    ``spec_kwargs`` pass through to :class:`TenantSpec` (weight,
+    priority, dram_floor_frac, arrival, departure, slo_ops_per_sec).
+    """
+    cfg = config if config is not None else TpccBufferConfig()
+    workload = TpccBufferWorkload(cfg, warmup=warmup)
+    return TenantSpec(name, workload, **spec_kwargs)

@@ -15,10 +15,20 @@ The manager is assembled from the same pieces the paper describes in §3:
 - :mod:`repro.core.policy` — the 10 ms policy thread: promotion, demotion,
   free-DRAM watermark, write-heavy priority.
 - :mod:`repro.core.hemem` — the assembled manager.
+
+:mod:`repro.core.bufferpool` is the counterpoint: an *app-directed*
+manager (a database buffer pool) that contests HeMem's transparent
+approach in the ``tpcc_buffer`` experiment.
 """
 
 from repro.core.base import TieredMemoryManager
+from repro.core.bufferpool import BufferPoolManager
 from repro.core.config import HeMemConfig
 from repro.core.hemem import HeMemManager
 
-__all__ = ["HeMemConfig", "HeMemManager", "TieredMemoryManager"]
+__all__ = [
+    "BufferPoolManager",
+    "HeMemConfig",
+    "HeMemManager",
+    "TieredMemoryManager",
+]

@@ -1,0 +1,38 @@
+"""repro.db — the TPC-C database workload family (DESIGN.md §14).
+
+A functional in-memory TPC-C engine whose storage — heap tables plus
+B-tree indexes — is carved out of logical page arenas that back regions
+allocated *through the memory manager under test*.  The transaction
+mix's per-transaction page touches are compiled into
+:class:`~repro.mem.access.AccessStream`s by the access-model adapter,
+so the same database contest can run under HeMem's transparent paging,
+the placement-policy zoo, the app-directed
+:class:`~repro.core.bufferpool.BufferPoolManager` (which pins index
+pages in DRAM), or the Memory Mode hardware baseline — swapping memory
+backends the way py-tpcc swaps database drivers.
+"""
+
+from repro.db.adapter import TpccAccessModel
+from repro.db.btree import BTree
+from repro.db.engine import TpccEngine
+from repro.db.heap import HeapFile
+from repro.db.loader import TpccLoader, TpccStorage
+from repro.db.pages import Arena, PageAllocator
+from repro.db.schema import DbScale, MIX_WEIGHTS, TABLES
+from repro.db.workload import TpccBufferConfig, TpccBufferWorkload
+
+__all__ = [
+    "Arena",
+    "BTree",
+    "DbScale",
+    "HeapFile",
+    "MIX_WEIGHTS",
+    "PageAllocator",
+    "TABLES",
+    "TpccAccessModel",
+    "TpccBufferConfig",
+    "TpccBufferWorkload",
+    "TpccEngine",
+    "TpccLoader",
+    "TpccStorage",
+]

@@ -1,0 +1,174 @@
+"""Access-model adapter: functional TPC-C touches -> engine streams.
+
+The functional database is small (a few thousand logical pages); the
+paper-scale footprint is not.  The adapter stretches the measured
+per-logical-page touch distribution onto a manager-allocated region by
+an integer *expansion factor* ``e``: logical page ``l`` stands for the
+``e`` consecutive 4 KB blocks ``[l*e, (l+1)*e)``, which are then folded
+onto the region's 2 MB pages.  The *shape* of the distribution (index
+root/interior hot, heap long-tailed) survives; only the scale changes.
+
+The adapter also retains per-transaction touch *templates* — the actual
+page lists of sampled NewOrder/Payment/Delivery executions — and prices
+them against the current page placement by seeded Monte Carlo, which is
+where p99 transaction latency comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.db.engine import TpccEngine
+from repro.db.loader import HEAP_ARENA, INDEX_ARENA, TpccStorage
+from repro.mem.page import Tier
+
+#: per-touch media stall (seconds): device latency per cacheline-sized
+#: probe of a database block (HeMem's measured device points)
+T_DRAM_READ = 82e-9
+T_DRAM_WRITE = 82e-9
+T_NVM_READ = 175e-9
+T_NVM_WRITE = 94e-9
+
+
+class TpccAccessModel:
+    """Compiled touch statistics of a TPC-C mix run."""
+
+    def __init__(self, storage: TpccStorage, engine: TpccEngine,
+                 profile_txns: int = 400, keep_templates: int = 96):
+        self.storage = storage
+        self.engine = engine
+        self.profile_txns = profile_txns
+        self.keep_templates = keep_templates
+        arenas = {HEAP_ARENA: storage.heap_arena,
+                  INDEX_ARENA: storage.index_arena}
+        self._arenas = arenas
+        self.read_counts = {a: np.zeros(ar.n_pages) for a, ar in arenas.items()}
+        self.write_counts = {a: np.zeros(ar.n_pages) for a, ar in arenas.items()}
+        #: (txn_name, [(arena, page, is_write), ...]) samples of the mix
+        self.templates: List[Tuple[str, list]] = []
+        self.profile: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ compile
+    def compile(self) -> Dict[str, float]:
+        """Run the mix, accumulate page counts, keep txn templates."""
+        per_txn = {"heap_reads": 0.0, "heap_writes": 0.0,
+                   "index_reads": 0.0, "index_writes": 0.0}
+        for i in range(self.profile_txns):
+            name, touches = self.engine.run_one()
+            if len(self.templates) < self.keep_templates:
+                self.templates.append((name, touches))
+            for arena, page, is_write in touches:
+                if is_write:
+                    self.write_counts[arena][page] += 1
+                    key = "heap_writes" if arena == HEAP_ARENA else "index_writes"
+                else:
+                    self.read_counts[arena][page] += 1
+                    key = "heap_reads" if arena == HEAP_ARENA else "index_reads"
+                per_txn[key] += 1
+        n = float(self.profile_txns)
+        self.profile = {k + "_per_tx": v / n for k, v in per_txn.items()}
+        self.profile["touches_per_tx"] = sum(per_txn.values()) / n
+        return self.profile
+
+    # ------------------------------------------------ expansion mapping
+    def _expansion(self, arena_id: int, region) -> Tuple[int, int]:
+        """(e, slots_per_sim_page) for mapping this arena onto ``region``."""
+        arena = self._arenas[arena_id]
+        e = max(region.size // (arena.n_pages * arena.page_bytes), 1)
+        slots = max(region.page_size // arena.page_bytes, 1)
+        return e, slots
+
+    def region_weights(self, arena_id: int, region,
+                       writes_only: bool = False) -> Optional[np.ndarray]:
+        """Per-sim-page access weights for ``region`` backed by this arena."""
+        counts = self.write_counts[arena_id] if writes_only else (
+            self.read_counts[arena_id] + self.write_counts[arena_id])
+        total = counts.sum()
+        if total <= 0:
+            return None
+        e, slots = self._expansion(arena_id, region)
+        # Stretch logical pages over e virtual 4 KB blocks each, then fold
+        # the block vector onto the region's pages.
+        virtual = np.repeat(counts / (e * total), e)
+        n_slots = region.n_pages * slots
+        if len(virtual) < n_slots:
+            virtual = np.concatenate(
+                [virtual, np.zeros(n_slots - len(virtual))])
+        else:
+            virtual = virtual[:n_slots]
+        weights = virtual.reshape(region.n_pages, slots).sum(axis=1)
+        total = weights.sum()
+        if total <= 0:
+            return None
+        return weights / total
+
+    def _template_pages(self, touches: list, arena_id: int, region) -> np.ndarray:
+        e, slots = self._expansion(arena_id, region)
+        pages = np.array([p for a, p, _ in touches if a == arena_id],
+                         dtype=np.int64)
+        return np.minimum(pages * e // slots, region.n_pages - 1)
+
+    # ------------------------------------------------------ txn latency
+    def _touch_stall(self, touches: list, regions: dict) -> float:
+        """Summed media stall (seconds) of one touch list at current
+        placement."""
+        stall = 0.0
+        for arena_id, region in regions.items():
+            pages = self._template_pages(touches, arena_id, region)
+            if len(pages) == 0:
+                continue
+            w = np.array([bool(is_w) for a, _, is_w in touches
+                          if a == arena_id])
+            in_dram = region.tier[pages] == Tier.DRAM
+            stall += float(np.where(
+                in_dram,
+                np.where(w, T_DRAM_WRITE, T_DRAM_READ),
+                np.where(w, T_NVM_WRITE, T_NVM_READ),
+            ).sum())
+        return stall
+
+    def price_txn(self, touches: list, heap_region, index_region,
+                  cpu_ns_per_tx: float = 20_000.0,
+                  access_overhead_ns: float = 0.0,
+                  mlp: float = 2.0) -> float:
+        """Modeled latency (seconds) of one transaction's touch list."""
+        regions = {HEAP_ARENA: heap_region, INDEX_ARENA: index_region}
+        return (cpu_ns_per_tx * 1e-9
+                + len(touches) * access_overhead_ns * 1e-9
+                + self._touch_stall(touches, regions) / mlp)
+
+    def txn_latency_percentiles(
+        self,
+        heap_region,
+        index_region,
+        rng: np.random.Generator,
+        cpu_ns_per_tx: float = 20_000.0,
+        access_overhead_ns: float = 0.0,
+        mlp: float = 2.0,
+        load: float = 0.7,
+        n_samples: int = 20_000,
+        percentiles=(50, 90, 99),
+    ) -> Dict[float, float]:
+        """Monte-Carlo per-transaction latency against current placement.
+
+        Each retained template is priced touch-by-touch: DRAM or NVM
+        stall depending on where its page sits *right now*, overlapped
+        by ``mlp``, plus fixed CPU work, plus the backend's per-touch
+        overhead (the buffer pool's latch/lookup tax), plus an M/M/1
+        queueing wait at ``load``.
+        """
+        regions = {HEAP_ARENA: heap_region, INDEX_ARENA: index_region}
+        costs = np.empty(len(self.templates))
+        for t, (_, touches) in enumerate(self.templates):
+            costs[t] = (cpu_ns_per_tx * 1e-9
+                        + len(touches) * access_overhead_ns * 1e-9
+                        + self._touch_stall(touches, regions) / mlp)
+        picks = rng.integers(0, len(self.templates), size=n_samples)
+        svc = costs[picks]
+        rho = min(max(load, 0.0), 0.95)
+        mean_wait = rho / (1.0 - rho) * float(svc.mean())
+        wait = rng.exponential(mean_wait, size=n_samples) if mean_wait > 0 else 0.0
+        lat = svc + wait
+        return {p: float(np.percentile(lat, p)) for p in percentiles}

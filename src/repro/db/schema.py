@@ -1,0 +1,84 @@
+"""TPC-C schema shapes: row sizes, cardinalities, and the transaction mix.
+
+Row widths follow the TPC-C specification (clause 1.3); cardinalities
+are per-warehouse.  :class:`DbScale` shrinks the per-warehouse row
+counts the same way the Silo sample driver does, keeping the *shape*
+(relative table sizes, index fanout pressure) while the functional
+database stays small enough to run in-process — the adapter's expansion
+factor stretches it back to a paper-scale footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One TPC-C table: row width and rows per warehouse at full scale."""
+
+    name: str
+    row_bytes: int
+    rows_per_wh: int
+    #: populated by the loader (vs. grown by the transaction mix)
+    preloaded: bool = True
+
+
+#: TPC-C tables, spec row widths, spec per-warehouse cardinalities.
+TABLES: Dict[str, TableSpec] = {t.name: t for t in [
+    TableSpec("warehouse", 89, 1),
+    TableSpec("district", 95, 10),
+    TableSpec("customer", 655, 30_000),
+    TableSpec("history", 46, 30_000, preloaded=False),
+    TableSpec("new_order", 8, 9_000, preloaded=False),
+    TableSpec("order", 24, 30_000, preloaded=False),
+    TableSpec("order_line", 54, 300_000, preloaded=False),
+    TableSpec("item", 82, 100_000),  # shared, not per-warehouse
+    TableSpec("stock", 306, 100_000),
+]}
+
+#: standard mix for the three transactions we model, normalized from the
+#: spec's 45/43/4 weights (StockLevel/OrderStatus, 4% each, are read-only
+#: probes the NewOrder index traffic already dominates).
+MIX_WEIGHTS: Dict[str, float] = {
+    "new_order": 45 / 92,
+    "payment": 43 / 92,
+    "delivery": 4 / 92,
+}
+
+#: NURand constants from TPC-C clause 2.1.6
+NURAND_C_LAST = 123
+NURAND_C_ID = 259
+NURAND_OL_I_ID = 7911
+
+
+@dataclass(frozen=True)
+class DbScale:
+    """Functional database sizing: warehouses plus a row-count shrink.
+
+    ``rows_scale`` divides the spec per-warehouse cardinalities (the
+    warehouse/district counts are structural and never shrink).
+    """
+
+    warehouses: int = 2
+    rows_scale: int = 100
+
+    def __post_init__(self):
+        if self.warehouses <= 0 or self.rows_scale <= 0:
+            raise ValueError("warehouses and rows_scale must be positive")
+
+    def rows(self, table: str) -> int:
+        spec = TABLES[table]
+        if table in ("warehouse", "district"):
+            per_wh = spec.rows_per_wh
+        else:
+            per_wh = max(spec.rows_per_wh // self.rows_scale, 10)
+        if table == "item":
+            return per_wh  # items are shared across warehouses
+        return per_wh * self.warehouses
+
+    def capacity(self, table: str) -> int:
+        """Row capacity including growth room for mix-grown tables."""
+        n = self.rows(table)
+        return n if TABLES[table].preloaded else max(4 * n, 64)

@@ -276,6 +276,24 @@ class ControllerAction(NamedTuple):
     severity: str = ""
 
 
+class TxnCommitted(NamedTuple):
+    """A database transaction committed (TPC-C workload family).
+
+    Emitted for the paced sample of *live* functional transactions the
+    workload executes during the run (not for every modeled commit —
+    the modeled rate is in the throughput series).  ``latency`` is the
+    modeled transaction latency in seconds, priced against the page
+    placement at commit time; ``touches`` is the number of logical-page
+    touches the transaction made.
+    """
+
+    t: float
+    workload: str
+    txn: str
+    latency: float
+    touches: int
+
+
 class PolicySelected(NamedTuple):
     """A manager bound its placement policy at attach time.
 
@@ -312,6 +330,7 @@ EVENT_KINDS: Dict[Type, str] = {
     ShadowDropped: "shadow_dropped",
     PolicySelected: "policy_selected",
     ControllerAction: "controller_action",
+    TxnCommitted: "txn_committed",
 }
 
 KIND_TO_EVENT: Dict[str, Type] = {kind: cls for cls, kind in EVENT_KINDS.items()}

@@ -9,6 +9,7 @@ structures (table sizes, key popularity, vertex degrees, ...).
 """
 
 from repro.workloads.base import Workload
+from repro.workloads.driver import WorkloadDriver
 from repro.workloads.ephemeral import EphemeralConfig, EphemeralWorkload
 from repro.workloads.gups import GupsConfig, GupsWorkload
 from repro.workloads.multi import MultiWorkload
@@ -20,4 +21,5 @@ __all__ = [
     "GupsWorkload",
     "MultiWorkload",
     "Workload",
+    "WorkloadDriver",
 ]

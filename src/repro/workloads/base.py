@@ -1,4 +1,10 @@
-"""Workload protocol: what the engine needs from an application."""
+"""Reference implementation of the :class:`WorkloadDriver` protocol.
+
+The full driver contract — lifecycle ordering, backend-swap rules,
+self-termination — is documented on :mod:`repro.workloads.driver`;
+``Workload`` is the ABC most adapters subclass for the shared
+bookkeeping (warmup window, op counting, measured rates).
+"""
 
 from __future__ import annotations
 
@@ -53,8 +59,16 @@ class Workload(ABC):
         return {"total_ops": self.total_ops, "measured_ops": self.measured_ops}
 
     def measured_rate(self, now: float) -> float:
-        """Operations/second over the post-warmup window."""
+        """Operations/second over the post-warmup window.
+
+        A self-terminating workload (``finished`` returned True) may end
+        before the measured window ever opens; its lifetime rate is still
+        meaningful, so fall back to it rather than reporting zero.  For
+        fixed-duration workloads mid-warmup the rate stays 0.0.
+        """
         window = now - self.measure_start
         if window <= 0:
+            if self.finished(now) and now > 0:
+                return self.total_ops / now
             return 0.0
         return self.measured_ops / window

@@ -1,0 +1,75 @@
+"""The ``WorkloadDriver`` protocol: one driver surface for every workload.
+
+Modeled on py-tpcc's driver split (one benchmark, swappable backends):
+the *driver* owns application logic and describes its memory traffic;
+the *backend* — the tiered memory manager under test — owns placement.
+Because the surface is structural (a :class:`typing.Protocol`), anything
+implementing these methods can drive the engine: the GUPS/Silo/KVS/GAP
+adapters (all subclasses of :class:`repro.workloads.base.Workload`, the
+reference implementation), the colocation composite, and the TPC-C
+database workload (:mod:`repro.db`), which swaps memory backends the way
+py-tpcc swaps database drivers.
+
+Lifecycle contract (what :class:`repro.sim.engine.Engine` relies on):
+
+1. ``setup(manager, machine, rng)`` — allocate regions *through the
+   manager under test* and prefill them.  This is the only point a
+   driver may call ``manager.mmap``/``prefault``; app-directed backends
+   additionally accept placement hints here (``manager.advise``, duck
+   typed — transparent backends simply lack the attribute).
+2. per tick: ``access_mix(now, dt)`` describes the traffic; after the
+   machine resolves it, ``on_progress(stream, result, now, dt)`` feeds
+   achieved throughput back, once per stream.
+3. ``finished(now)`` — checked after every tick; a driver returning
+   ``True`` self-terminates the run (fixed-duration drivers always
+   return ``False``).
+4. ``result()`` — application-level metrics once the run ends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.mem.access import AccessStream, StreamResult
+
+
+@runtime_checkable
+class WorkloadDriver(Protocol):
+    """Structural type of anything the engine can drive.
+
+    ``Workload`` (:mod:`repro.workloads.base`) is the ABC reference
+    implementation; drivers are free to implement the surface directly.
+    """
+
+    #: label used in experiment tables
+    name: str
+    #: virtual time at which the measured window opens (ops before it
+    #: count toward ``total_ops`` only)
+    measure_start: float
+
+    def setup(self, manager, machine, rng: np.random.Generator) -> None:
+        """Allocate memory through ``manager`` and prefill."""
+        ...
+
+    def access_mix(self, now: float, dt: float) -> List[AccessStream]:
+        """The application's memory traffic for this tick."""
+        ...
+
+    def on_progress(self, stream: AccessStream, result: StreamResult,
+                    now: float, dt: float) -> None:
+        """Feedback of achieved throughput for one stream."""
+        ...
+
+    def finished(self, now: float) -> bool:
+        """True once the driver has done its work (self-terminating runs)."""
+        ...
+
+    def result(self) -> Dict:
+        """Application-level metrics once the run ends."""
+        ...
+
+    def measured_rate(self, now: float) -> float:
+        """Operations/second over the post-warmup window."""
+        ...

@@ -12,7 +12,7 @@ EXPECTED_EXPERIMENTS = {
     "fig9", "fig10", "fig11", "fig12", "table2", "fig13", "table3",
     "table4", "fig14", "fig15", "fig16", "ablations", "dma",
     "colo_matrix", "colo_table4", "colo_sharded", "fleet_diurnal",
-    "policy_matrix",
+    "policy_matrix", "tpcc_buffer",
 }
 
 
@@ -35,7 +35,7 @@ class TestManagerRegistry:
     def test_expected_managers(self):
         assert set(MANAGERS) == {
             "hemem", "hemem-threads", "hemem-pt-async", "hemem-pt-sync",
-            "mm", "nimble", "xmem", "dram", "nvm",
+            "mm", "nimble", "xmem", "dram", "nvm", "bufferpool",
         }
 
     def test_factories_produce_fresh_instances(self):
@@ -47,3 +47,24 @@ class TestManagerRegistry:
 
     def test_names_sorted(self):
         assert manager_names() == sorted(manager_names())
+
+
+class TestListFlag:
+    def test_list_prints_every_experiment_with_a_summary(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) == len(EXPECTED_EXPERIMENTS)
+        for line in lines:
+            name, _, summary = line.partition(" ")
+            assert name in EXPECTED_EXPERIMENTS
+            assert summary.strip(), f"no description for {name}"
+
+    def test_no_experiments_and_no_list_errors(self, capsys):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+        assert "--list" in capsys.readouterr().err

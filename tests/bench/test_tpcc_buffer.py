@@ -1,0 +1,69 @@
+"""Tests for the tpcc_buffer experiment: determinism and the crossover.
+
+The determinism test drives the real experiment module through the case
+runner serially and with a process pool and requires byte-identical
+rendered tables (the ``-j`` path must not perturb results).  The
+crossover test reads the *committed golden table* — no simulation — and
+asserts the directions the experiment exists to show.
+"""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import tpcc_buffer
+from repro.bench.runner import ResultCache, run_experiment
+from repro.bench.scenario import Scenario
+
+GOLDEN = Path(__file__).resolve().parents[1] / "golden" / "tpcc_buffer.csv"
+
+
+@pytest.mark.slow
+def test_serial_and_parallel_runs_byte_identical(tmp_path):
+    # Shorter than the fast preset: determinism does not need the golden
+    # durations, only identical inputs on both execution paths.
+    scenario = Scenario(scale=64.0, duration=6.0, warmup=2.0)
+    serial = run_experiment(tpcc_buffer, "tpcc_buffer", scenario, jobs=1,
+                            cache=ResultCache(tmp_path / "serial"))
+    parallel = run_experiment(tpcc_buffer, "tpcc_buffer", scenario, jobs=4,
+                              cache=ResultCache(tmp_path / "parallel"))
+    assert parallel.render() == serial.render()
+
+
+def _golden_txn_rates():
+    rows = list(csv.DictReader(GOLDEN.open()))
+    return {
+        (r["dram/footprint"], r["system"]): float(r["txn/s"]) for r in rows
+    }
+
+
+class TestGoldenCrossover:
+    """The committed table must actually show the claimed crossover."""
+
+    def test_bufferpool_wins_mid_dram(self):
+        rates = _golden_txn_rates()
+        for frac in ("0.3", "0.6"):
+            assert rates[(frac, "bufferpool")] > rates[(frac, "hemem")], (
+                f"at DRAM fraction {frac} the pinned-index pool should "
+                "beat transparent paging"
+            )
+
+    def test_hemem_wins_when_footprint_fits_dram(self):
+        rates = _golden_txn_rates()
+        assert rates[("1.2", "hemem")] > rates[("1.2", "bufferpool")], (
+            "with the footprint resident the pool only pays its "
+            "per-touch tax; hemem should win"
+        )
+
+    def test_hemem_wins_when_dram_is_scarce(self):
+        rates = _golden_txn_rates()
+        assert rates[("0.1", "hemem")] > rates[("0.1", "bufferpool")], (
+            "pinning the whole index at 0.1x DRAM starves the heap; "
+            "transparent hotness-balancing should win"
+        )
+
+    def test_priority_arbiter_protects_the_colo_tenant(self):
+        rates = _golden_txn_rates()
+        assert rates[("colo-priority", "hemem")] > rates[
+            ("colo-none", "hemem")]

@@ -1,0 +1,47 @@
+"""The TPC-C workload as a colocation tenant (repro.colo.tenants)."""
+
+import pytest
+
+from repro.api import run_colocation
+from repro.colo import TenantSpec, tpcc_tenant
+from repro.db.schema import DbScale
+from repro.db.workload import TpccBufferConfig
+from repro.sim.units import MB
+from repro.workloads.gups import GupsConfig, GupsWorkload
+
+
+def tiny_tpcc(**spec_kwargs):
+    return tpcc_tenant(
+        config=TpccBufferConfig(
+            heap_bytes=96 * MB,
+            index_bytes=32 * MB,
+            scale=DbScale(warehouses=2, rows_scale=1000),
+            profile_txns=120,
+            latency_samples=2000,
+        ),
+        warmup=0.5,
+        **spec_kwargs,
+    )
+
+
+def test_tpcc_tenant_runs_beside_a_scan_neighbour():
+    scan = TenantSpec("scan", GupsWorkload(
+        GupsConfig(working_set=128 * MB), warmup=0.5))
+    result = run_colocation(
+        [scan, tiny_tpcc(priority=1)],
+        duration=2.0, policy="priority", scale=256.0, seed=9, tick=0.01,
+    )
+    slo = result["tenants_slo"]
+    assert slo["tpcc"]["ops_per_sec"] > 0
+    assert slo["scan"]["gups"] >= 0
+    # The SLO summary picks up the database tenant's latency model.
+    lat = slo["tpcc"]["txn_latency_us"]
+    assert 0 < lat["p50"] <= lat["p99"] <= lat["p99.9"]
+
+
+def test_default_backend_is_transparent():
+    spec = tiny_tpcc()
+    assert spec.manager_factory is None  # colo default: per-tenant HeMem
+    assert spec.name == "tpcc"
+    with pytest.raises(ValueError):
+        tpcc_tenant(name="")

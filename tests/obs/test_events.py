@@ -27,6 +27,7 @@ from repro.obs.events import (
     TenantArrived,
     TenantDeparted,
     TenantEvicted,
+    TxnCommitted,
     event_from_dict,
     event_to_dict,
 )
@@ -55,6 +56,7 @@ SAMPLES = [
     ShadowCreated(0.52, "heap", 3, 2 << 20, "promote"),
     ShadowDropped(0.9, "heap", 3, 2 << 20, "dirty"),
     ControllerAction(6.0, "kvs-prio", "boost", 1.25, 0, "warning"),
+    TxnCommitted(7.0, "tpcc", "new_order", 4.2e-5, 56),
 ]
 
 

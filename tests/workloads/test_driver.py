@@ -1,0 +1,76 @@
+"""Tests for the WorkloadDriver protocol surface."""
+
+import numpy as np
+
+from repro.workloads import Workload, WorkloadDriver
+from repro.workloads.gups import GupsConfig, GupsWorkload
+from repro.workloads.kvs import KvsConfig, KvsWorkload
+from repro.sim.units import MB
+
+
+class TestProtocol:
+    def test_every_workload_family_satisfies_the_protocol(self):
+        from repro.db.workload import TpccBufferConfig, TpccBufferWorkload
+
+        drivers = [
+            GupsWorkload(GupsConfig(working_set=64 * MB)),
+            KvsWorkload(KvsConfig(working_set=64 * MB)),
+            TpccBufferWorkload(TpccBufferConfig()),
+        ]
+        for driver in drivers:
+            assert isinstance(driver, WorkloadDriver)
+
+    def test_colo_composite_satisfies_the_protocol(self):
+        from repro.colo import ColoWorkload
+
+        assert isinstance(ColoWorkload(), WorkloadDriver)
+
+    def test_a_structural_driver_needs_no_base_class(self):
+        class Bare:
+            name = "bare"
+            measure_start = 0.0
+
+            def setup(self, manager, machine, rng):
+                pass
+
+            def access_mix(self, now, dt):
+                return []
+
+            def on_progress(self, stream, result, now, dt):
+                pass
+
+            def finished(self, now):
+                return False
+
+            def result(self):
+                return {}
+
+            def measured_rate(self, now):
+                return 0.0
+
+        assert not isinstance(Bare(), Workload)
+        assert isinstance(Bare(), WorkloadDriver)
+
+
+class TestMeasuredRate:
+    def _workload(self, warmup=8.0):
+        w = GupsWorkload(GupsConfig(working_set=64 * MB), warmup=warmup)
+        return w
+
+    def test_normal_window(self):
+        w = self._workload(warmup=8.0)
+        w.total_ops = 1000.0
+        w.measured_ops = 600.0
+        assert w.measured_rate(18.0) == 60.0
+
+    def test_early_finish_falls_back_to_whole_run_average(self):
+        # A self-terminating run that ends before the measured window
+        # opens used to divide by (now - measure_start) <= 0.
+        w = self._workload(warmup=8.0)
+        w.total_ops = 1000.0
+        w.finished = lambda now: True
+        assert w.measured_rate(4.0) == 1000.0 / 4.0
+
+    def test_zero_time_is_zero(self):
+        w = self._workload()
+        assert w.measured_rate(0.0) == 0.0
