@@ -27,6 +27,18 @@ tables but records wall time and events/sec per experiment (the
 ``BENCH_*.json`` perf trajectory; compare runs with
 ``python -m repro.bench.perf``).
 
+Live telemetry: ``--telemetry-out FILE`` spools in-run metric snapshots
+(tier occupancy, migration/eviction counters, PEBS loss, per-tenant SLO
+series) from every worker to per-case JSONL channels under ``FILE.live/``
+and writes the collector-merged fleet-wide series to ``FILE`` at the end;
+``--telemetry-port N`` additionally serves the merged view as Prometheus
+text format at ``/metrics`` while the run progresses, and
+``python -m repro.bench watch FILE.live`` renders a live terminal
+dashboard over the same channels.  ``--profile-out FILE`` collects the
+structured per-subsystem profile (engine tick sections, pagestore
+drain/cool/classify phases) of every run into one merged JSON with
+collapsed-stack lines for flamegraph tooling.
+
 ``--update-golden`` refreshes the committed golden tables
 (``tests/golden/<experiment>.csv``) that the regression suite compares
 against; run it after any intentional behaviour change, with the fast
@@ -70,6 +82,10 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "diagnose":
         return diagnose_main(argv[1:])
+    if argv and argv[0] == "watch":
+        from repro.bench.watch import watch_main
+
+        return watch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.bench",
         description="Regenerate HeMem (SOSP'21) evaluation tables and figures.",
@@ -118,6 +134,21 @@ def main(argv=None) -> int:
     parser.add_argument("--health-out", default=None, metavar="FILE",
                         help="run the anomaly detectors over captured traces "
                              "and write the findings (implies trace capture)")
+    parser.add_argument("--telemetry-out", default=None, metavar="FILE",
+                        help="spool live telemetry snapshots per case "
+                             "(window cadence) and write the collector-"
+                             "merged fleet-wide series to FILE; channels "
+                             "land under FILE.live/ for 'bench watch'")
+    parser.add_argument("--telemetry-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve the live telemetry as Prometheus text "
+                             "format at http://localhost:PORT/metrics "
+                             "while the run progresses (0 = ephemeral)")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="collect structured per-subsystem profiling "
+                             "(engine tick sections + pagestore phases) "
+                             "from every run and write one merged JSON "
+                             "with collapsed-stack lines to FILE")
     parser.add_argument("--perf-record", default=None, metavar="FILE",
                         help="write wall time and events/sec per experiment "
                              "(the BENCH_*.json perf trajectory)")
@@ -191,6 +222,29 @@ def main(argv=None) -> int:
     # Perf records want a non-null events/sec even without tracing: counter
     # capture reads the end-of-run tracker counters (no per-tick cost).
     counters = args.perf_record is not None
+    # Live telemetry: per-case JSONL channels spool under a `.live` root
+    # that the parent-side collector, the /metrics exporter, and `bench
+    # watch` all read while the run progresses.  Snapshot publishing rides
+    # the metric sampler, so the telemetry flags imply metric capture;
+    # --profile-out alone stays unsampled (profiling wants clean timings)
+    # but still spools its structured records through the same channels.
+    telemetry_on = (args.telemetry_out is not None
+                    or args.telemetry_port is not None)
+    profiling = args.profile_out is not None
+    telemetry_root = None
+    if telemetry_on or profiling:
+        base = (args.telemetry_out or args.profile_out
+                or f"telemetry-{args.telemetry_port}")
+        telemetry_root = f"{base}.live"
+    if telemetry_on:
+        metrics = True
+    server = None
+    if args.telemetry_port is not None:
+        from repro.obs.telemetry import serve_metrics
+
+        server = serve_metrics(telemetry_root, args.telemetry_port)
+        print(f"[telemetry: serving Prometheus text format on "
+              f"http://localhost:{server.server_port}/metrics]")
 
     all_stats = []
     observed: dict = {}
@@ -208,7 +262,12 @@ def main(argv=None) -> int:
                                stream_dir=(
                                    os.path.join(stream_root, name)
                                    if stream_root is not None else None
-                               ))
+                               ),
+                               telemetry_dir=(
+                                   os.path.join(telemetry_root, name)
+                                   if telemetry_root is not None else None
+                               ),
+                               profile=profiling)
         stats.wall_seconds = time.time() - start
         all_stats.append(stats)
         observed[name] = observations
@@ -238,6 +297,29 @@ def main(argv=None) -> int:
             report = write_health(traces, args.health_out)
             print(f"[health report written: {args.health_out}]")
             print(health_summary(report))
+    if telemetry_root is not None:
+        from repro.obs.telemetry import Collector, merge_profiles
+
+        collected = Collector(telemetry_root).collect()
+        if args.telemetry_out:
+            with open(args.telemetry_out, "w") as fh:
+                json.dump(collected, fh, indent=1)
+            n_series = sum(
+                len(exp["series"])
+                for exp in collected["experiments"].values()
+            )
+            print(f"[telemetry written: {args.telemetry_out} "
+                  f"({n_series} merged series; live channels under "
+                  f"{telemetry_root}/)]")
+        if args.profile_out:
+            merged = merge_profiles(collected.get("profiles", []))
+            with open(args.profile_out, "w") as fh:
+                json.dump(merged, fh, indent=1)
+            print(f"[profile written: {args.profile_out} "
+                  f"({merged['aggregate']['runs']} runs, "
+                  f"{merged['aggregate']['ticks']} ticks)]")
+    if server is not None:
+        server.shutdown()
     if args.perf_record:
         record = {
             "kind": "perf",

@@ -30,12 +30,20 @@ time, so the fastest observation is the closest to the code's true cost.
 Without ``--gate`` the comparison is advisory (``::warning``, always
 exit 0) with a looser default threshold — useful for tracking experiments
 that are not part of the committed gate.
+
+The perf history itself renders as a table with::
+
+    python -m repro.bench.perf trend BENCH_5.json BENCH_6.json fresh.json
+
+— one row per experiment, wall time and events/sec per record (oldest
+first), and the end-to-end speed-up factor.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List
 
@@ -125,6 +133,76 @@ def merge_min(records: List[dict]) -> dict:
     return merged
 
 
+def trend_table(records: List[tuple]) -> str:
+    """Render the perf trajectory across records as a plain-text table.
+
+    ``records`` is ``[(label, record), ...]`` in trajectory order
+    (oldest first).  One row per experiment seen anywhere; per record a
+    ``wall_seconds / events-per-sec`` cell, plus a final speed-up column
+    (first wall / last wall) for experiments present at both ends.
+    """
+    names: List[str] = []
+    for _label, record in records:
+        for name in record.get("experiments", {}):
+            if name not in names:
+                names.append(name)
+    labels = [label for label, _record in records]
+    width = max([len("experiment")] + [len(n) for n in names])
+    cols = [max(len(label), 16) for label in labels]
+    header = f"{'experiment':<{width}}"
+    for label, col in zip(labels, cols):
+        header += f"  {label:>{col}}"
+    header += "  speedup"
+    lines = [header, "-" * len(header)]
+    for name in sorted(names):
+        row = f"{name:<{width}}"
+        walls: List[float] = []
+        for (_label, record), col in zip(records, cols):
+            stats = record.get("experiments", {}).get(name)
+            wall = (stats or {}).get("wall_seconds")
+            eps = (stats or {}).get("events_per_sec")
+            if wall is None:
+                cell = "-"
+            else:
+                walls.append(wall)
+                cell = f"{wall:.2f}s"
+                if eps:
+                    cell += f" {eps / 1e6:.2f}Me/s" if eps >= 1e6 \
+                        else f" {eps / 1e3:.0f}ke/s"
+            row += f"  {cell:>{col}}"
+        first = (records[0][1].get("experiments", {}).get(name)
+                 or {}).get("wall_seconds")
+        last = (records[-1][1].get("experiments", {}).get(name)
+                or {}).get("wall_seconds")
+        if first and last and len(records) > 1:
+            row += f"  {first / last:.2f}x"
+        else:
+            row += "  -"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _trend_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf trend",
+        description="Render the BENCH_N.json perf trajectory as a table "
+                    "(oldest record first).",
+    )
+    parser.add_argument("records", nargs="+",
+                        help="--perf-record files in trajectory order, "
+                             "e.g. BENCH_5.json BENCH_6.json fresh.json")
+    args = parser.parse_args(argv)
+    try:
+        loaded = [(path, _load_record(path)) for path in args.records]
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(trend_table([
+        (os.path.basename(path), record) for path, record in loaded
+    ]))
+    return 0
+
+
 def _load_record(path: str) -> dict:
     with open(path) as fh:
         record = json.load(fh)
@@ -178,6 +256,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "min":
         return _min_main(argv[1:])
+    if argv and argv[0] == "trend":
+        return _trend_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.bench.perf",
         description="Compare two --perf-record files; warn by default, "

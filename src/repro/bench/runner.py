@@ -208,7 +208,10 @@ class ResultCache:
 def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any],
                   trace: bool = False, metrics: bool = False,
                   counters: bool = False,
-                  stream_dir: Optional[str] = None) -> Any:
+                  stream_dir: Optional[str] = None,
+                  telemetry_path: Optional[str] = None,
+                  telemetry_labels: Optional[Dict[str, str]] = None,
+                  profile: bool = False) -> Any:
     """Run one case, optionally inside an observability capture.
 
     Runs in the worker process under a pool, so the capture scope is opened
@@ -220,11 +223,25 @@ def _execute_case(fn: Callable, scenario: Scenario, kwargs: Dict[str, Any],
     cost, used by ``--perf-record`` when tracing is off.  ``stream_dir``
     switches trace capture to rotating on-disk segments (O(window) memory);
     the trace payload is then a segment manifest dict instead of an event
-    list.
+    list.  ``telemetry_path`` opens a live telemetry session spooling
+    window snapshots (and, with ``profile=True``, structured profiling
+    records) to that JSONL channel — again per worker process, so every
+    pool worker writes its own channel for the parent-side collector.
     """
-    if not trace and not metrics and not counters:
-        return fn(scenario, **kwargs), None
+    if telemetry_path is None:
+        if not trace and not metrics and not counters:
+            return fn(scenario, **kwargs), None
     from repro.obs.runtime import capture
+
+    if telemetry_path is not None:
+        from repro.obs import telemetry as _telemetry
+
+        sink = _telemetry.JsonlSink(telemetry_path, labels=telemetry_labels)
+        with _telemetry.session(sink, profile=profile):
+            with capture(trace=trace, metrics=metrics, counters=counters,
+                         stream_dir=stream_dir) as cap:
+                result = fn(scenario, **kwargs)
+        return result, cap.payloads()
 
     with capture(trace=trace, metrics=metrics, counters=counters,
                  stream_dir=stream_dir) as cap:
@@ -239,13 +256,26 @@ def _trace_event_count(payload) -> int:
     return len(payload)
 
 
+def _safe_key(key: str) -> str:
+    """Case keys can hold path-hostile characters; keep them readable but
+    filesystem-safe."""
+    return "".join(
+        c if c.isalnum() or c in "-_.=" else "_" for c in key
+    ) or "case"
+
+
 def _case_stream_dir(stream_dir: Optional[str], key: str) -> Optional[str]:
-    """Per-case segment directory under the stream root (keys can hold
-    path-hostile characters; keep the mapping readable but safe)."""
+    """Per-case segment directory under the stream root."""
     if stream_dir is None:
         return None
-    safe = "".join(c if c.isalnum() or c in "-_.=" else "_" for c in key)
-    return os.path.join(stream_dir, safe or "case")
+    return os.path.join(stream_dir, _safe_key(key))
+
+
+def _case_channel(telemetry_dir: Optional[str], key: str) -> Optional[str]:
+    """Per-case telemetry JSONL channel under the experiment's spool dir."""
+    if telemetry_dir is None:
+        return None
+    return os.path.join(telemetry_dir, f"{_safe_key(key)}.jsonl")
 
 
 def _normalize(result: Any) -> Any:
@@ -265,6 +295,9 @@ def run_cases(
     observations: Optional[Dict[str, Any]] = None,
     counters: bool = False,
     stream_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+    profile: bool = False,
+    telemetry_sum: bool = False,
 ) -> Dict[str, Any]:
     """Execute ``cases``, via cache/pool, returning ``{case.key: result}``.
 
@@ -275,7 +308,18 @@ def run_cases(
     since tracing cannot change them.  ``counters=True`` (the
     ``--perf-record`` path) accounts each case's event-counter totals into
     ``stats.events``; totals are cached alongside results, and an entry
-    without them is a miss for a counters run.
+    without them is a miss for a counters run.  ``telemetry_dir`` gives
+    every case a live telemetry channel (``<dir>/<key>.jsonl``) — like
+    traces this forces a live run (cache loads are bypassed: a cached
+    result has no in-run snapshots to spool), but results still get
+    stored since telemetry only observes.  ``profile=True`` additionally
+    spools a structured profiling record per engine run.
+    ``telemetry_sum=True`` marks every channel sum-merged (``merge:
+    "sum"``): the collector folds same-key series across channels by
+    pointwise sum instead of labelling them per case — correct exactly
+    when the cases are disjoint shards of one fleet, which is why
+    :func:`run_experiment` sets it from the module's ``shardable`` flag
+    (for sharded *and* unsharded runs, so both merge to identical keys).
     """
     keys = [c.key for c in cases]
     if len(set(keys)) != len(keys):
@@ -288,10 +332,11 @@ def run_cases(
     digests: Dict[str, str] = {}
     if cache is not None:
         code = code_digest()
+        live_only = trace or telemetry_dir is not None
         for case in cases:
             digest = case_digest(experiment, case, scenario, code)
             digests[case.key] = digest
-            entry = None if trace else cache.load_entry(digest)
+            entry = None if live_only else cache.load_entry(digest)
             if entry is not None and metrics and "metrics" not in entry:
                 entry = None  # pre-metrics entry; re-run to capture them
             if entry is not None and counters and "events" not in entry:
@@ -312,6 +357,12 @@ def run_cases(
         misses = list(cases)
     stats.cache_misses += len(misses)
 
+    def channel_labels(key):
+        labels = {"case": key}
+        if telemetry_sum:
+            labels["merge"] = "sum"
+        return labels
+
     if misses:
         if jobs > 1 and len(misses) > 1:
             with ProcessPoolExecutor(max_workers=jobs,
@@ -319,7 +370,9 @@ def run_cases(
                 futures = [
                     pool.submit(_execute_case, case.fn, scenario, case.kwargs,
                                 trace, metrics, counters,
-                                _case_stream_dir(stream_dir, case.key))
+                                _case_stream_dir(stream_dir, case.key),
+                                _case_channel(telemetry_dir, case.key),
+                                channel_labels(case.key), profile)
                     for case in misses
                 ]
                 fresh = [f.result() for f in futures]
@@ -327,7 +380,9 @@ def run_cases(
             fresh = [
                 _execute_case(case.fn, scenario, case.kwargs, trace, metrics,
                               counters,
-                              _case_stream_dir(stream_dir, case.key))
+                              _case_stream_dir(stream_dir, case.key),
+                              _case_channel(telemetry_dir, case.key),
+                              channel_labels(case.key), profile)
                 for case in misses
             ]
         for case, (result, payloads) in zip(misses, fresh):
@@ -372,6 +427,8 @@ def run_experiment(
     shards: int = 1,
     counters: bool = False,
     stream_dir: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+    profile: bool = False,
 ) -> Table:
     """Run one experiment module through the case runner.
 
@@ -384,12 +441,14 @@ def run_experiment(
     """
     stats = stats if stats is not None else RunStats()
     stats.experiment = experiment
-    if shards > 1 and getattr(module, "shardable", False):
+    shardable = getattr(module, "shardable", False)
+    if shards > 1 and shardable:
         cases = module.cases(scenario, shards=shards)
     else:
         cases = module.cases(scenario)
     results = run_cases(experiment, cases, scenario, jobs=jobs, cache=cache,
                         stats=stats, trace=trace, metrics=metrics,
                         observations=observations, counters=counters,
-                        stream_dir=stream_dir)
+                        stream_dir=stream_dir, telemetry_dir=telemetry_dir,
+                        profile=profile, telemetry_sum=shardable)
     return module.assemble(scenario, results)

@@ -42,7 +42,7 @@ from repro.mem.page import Tier
 from repro.mem.pebs import PebsEventKind
 from repro.mem.region import Region
 from repro.obs.events import CoolingPass, PageClassified
-from repro.sim.profiling import profiler_enabled
+from repro.sim.profiling import profiling_active
 
 _STORE_KIND = PebsEventKind.STORE
 
@@ -86,7 +86,7 @@ class HotColdTracker:
         self.profile: Optional[Dict[str, int]] = (
             {"drain_ns": 0, "cool_ns": 0, "classify_ns": 0,
              "samples": 0, "batches": 0}
-            if profiler_enabled() else None
+            if profiling_active() else None
         )
         #: batched-event buffer; non-None only inside ``record_samples``,
         #: which flushes it to the tracer in one ``extend`` (same order).

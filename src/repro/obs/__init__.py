@@ -18,6 +18,12 @@ Three ways in:
 Traces round-trip through :mod:`repro.obs.replay`, which computes derived
 views (migration latencies, migration-rate time series, tier byte deltas).
 
+:mod:`repro.obs.telemetry` is the *in-run* counterpart: a live metric
+registry that samplers and serving services publish into at window
+boundaries, spooled per worker and merged fleet-wide by a parent-side
+collector, with Prometheus export and the ``bench watch`` dashboard on
+top (DESIGN.md §15).
+
 On top of the event stream sits the diagnosis layer:
 :mod:`repro.obs.diagnose` folds a trace into per-page placement
 provenance (``explain(region, page)``), :mod:`repro.obs.perfetto`
@@ -48,6 +54,7 @@ from repro.obs.health import (
     HealthReport,
     run_health,
 )
+from repro.obs import telemetry
 from repro.obs.metrics import MetricsSampler, metrics_summary
 from repro.obs.perfetto import (
     export_traces,
@@ -101,6 +108,7 @@ __all__ = [
     "load_segment_trace",
     "metrics_summary",
     "perfetto_document",
+    "telemetry",
     "run_health",
     "validate_chrome_trace",
 ]

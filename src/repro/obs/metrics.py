@@ -30,6 +30,8 @@ from __future__ import annotations
 # repro.obs sits below both in the import graph (the engine and the machine
 # import it), so a top-level import would be circular.
 
+from repro.obs import telemetry
+
 
 class MetricsSampler:
     """Records per-tick observability series into the machine's stats."""
@@ -56,6 +58,11 @@ class MetricsSampler:
         self._colo = None
         self._tenant_series = {}
         self._tenant_last = {}
+        # live telemetry: a registry is created lazily the first tick a
+        # session is installed; with no session the publish path is the
+        # single module-attribute test in sample() below
+        self.telemetry = None
+        self._next_pub = 0.0
 
     def sample(self, now: float, dt: float) -> None:
         """Record one tick's worth of samples (engine bookkeeping step)."""
@@ -87,6 +94,16 @@ class MetricsSampler:
         if tenants:
             self._sample_tenants(tenants, now)
 
+        # Live telemetry: publish a snapshot at each aligned window boundary.
+        # With no session installed this is one module-attribute test; the
+        # grid alignment means sharded and unsharded runs snapshot at the
+        # same virtual instants, so their merged series line up pointwise.
+        session = telemetry._session
+        if session is not None and now + 1e-9 >= self._next_pub:
+            self._publish(session, now, dram, nvm, sampled, dropped,
+                          queued, tenants)
+            self._next_pub = session.next_boundary(now)
+
     def tenant_departed(self, name: str) -> None:
         """Finalize a departed tenant's bookkeeping (colo churn hook).
 
@@ -99,6 +116,48 @@ class MetricsSampler:
         appends to the same named series, which is what the exporters want.
         """
         self._tenant_last.pop(name, None)
+
+    def _publish(self, session, now, dram, nvm, sampled, dropped,
+                 queued, tenants) -> None:
+        """Mirror the current machine state into the telemetry registry.
+
+        Everything machine-global is *extensive* (bytes, cumulative
+        counts): when a colo fleet is sharded across processes, each
+        shard's machine holds a disjoint subset of the tenants, so the
+        collector's pointwise sum over shard channels reproduces the
+        unsharded machine's values exactly.  Ratio-shaped quantities
+        (PEBS loss rate) are published only as their cumulative
+        numerator/denominator counters — the frontends derive rates from
+        window deltas.
+        """
+        registry = self.telemetry
+        if registry is None:
+            registry = self.telemetry = session.make_registry()
+        registry.gauge_set("dram_bytes", dram)
+        registry.gauge_set("nvm_bytes", nvm)
+        registry.gauge_set("migration_queue_bytes", queued)
+        registry.counter_set("pebs_sampled_total", sampled)
+        registry.counter_set("pebs_dropped_total", dropped)
+        stats = self.machine.stats
+        telemetry.publish_stats_counters(registry, stats.counters())
+        telemetry.publish_stats_histograms(registry, stats.histograms())
+        if tenants:
+            for tenant in tenants:
+                name = tenant.name
+                t_dram, t_nvm = self._split(tenant.manager.managed_regions())
+                registry.gauge_set("dram_bytes", t_dram, tenant=name)
+                registry.gauge_set("nvm_bytes", t_nvm, tenant=name)
+                registry.gauge_set("hot_bytes", float(tenant.hot_bytes()),
+                                   tenant=name)
+                registry.counter_set("evicted_pages_total",
+                                     float(tenant.evicted_pages), tenant=name)
+                last = self._tenant_last.get(name)
+                if last is not None:
+                    registry.counter_set("pebs_sampled_total", last[0],
+                                         tenant=name)
+                    registry.counter_set("pebs_dropped_total", last[1],
+                                         tenant=name)
+        session.emit(registry, now)
 
     # -- helpers ---------------------------------------------------------------
     def _split(self, regions):

@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.mem.page import Tier
+from repro.obs import telemetry
 from repro.obs.events import ControllerAction, TenantEvicted
 from repro.obs.health import HealthContext, SloBurn
 from repro.obs.replay import Trace
@@ -98,11 +99,20 @@ class SloController(Service):
         self._clean_streak: Dict[str, int] = {}
         self.actions = 0
         self._counter = None
+        self._telemetry = None
 
     def run(self, engine, now: float, dt: float) -> float:
         if self._counter is None:
             scoped = self.colo.machine.stats.scoped("serve")
             self._counter = scoped.counter("controller_actions")
+        # Live telemetry: bind the machine's shared registry once per
+        # window (one active() test when disabled); _record then counts
+        # each adjustment under its action label.
+        session = telemetry.active()
+        if session is not None:
+            from repro.serve.monitor import FleetMonitor
+
+            self._telemetry = FleetMonitor._telemetry_registry(engine, session)
         self.control(now)
         return 0.0
 
@@ -241,6 +251,9 @@ class SloController(Service):
         self.actions += 1
         if self._counter is not None:
             self._counter.add(1)
+        if self._telemetry is not None:
+            self._telemetry.counter_add("controller_actions_total",
+                                        action=action)
         tracer = self.colo.machine.tracer
         if tracer is not None:
             tracer.emit(ControllerAction(

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.obs import telemetry
 from repro.obs.stream import WindowRollup
 from repro.sim.service import Service
 
@@ -74,6 +75,15 @@ class FleetMonitor(Service):
         colo = self.colo
         measuring = now > self.warmup + 1e-9
         phase = self._phase(now)
+        # Live telemetry: the monitor writes into the machine's shared
+        # registry (the sampler publishes it at the same window boundary,
+        # services running before bookkeeping).  One active() test per
+        # window when disabled.
+        session = telemetry.active()
+        registry = (
+            self._telemetry_registry(engine, session)
+            if session is not None else None
+        )
         active_names = set()
         for tenant in colo.active_tenants():
             name = tenant.name
@@ -81,6 +91,8 @@ class FleetMonitor(Service):
             ops = tenant.workload.total_ops
             prev = self._last_ops.get(name)
             self._last_ops[name] = ops
+            if registry is not None:
+                registry.counter_set("ops_total", float(ops), tenant=name)
             slo = tenant.spec.slo_ops_per_sec
             if not measuring or slo is None or prev is None:
                 continue
@@ -91,6 +103,11 @@ class FleetMonitor(Service):
                 slowdown = min(slo / rate, self.slowdown_cap)
             else:
                 slowdown = self.slowdown_cap
+            if registry is not None:
+                registry.gauge_set("slo_slowdown", slowdown, tenant=name)
+                registry.gauge_set("slo_attained",
+                                   1.0 if slowdown <= 1.0 else 0.0,
+                                   tenant=name)
             for key in ("", phase):
                 bucket = self._slowdowns.setdefault(key, [])
                 bucket.append(slowdown)
@@ -107,7 +124,32 @@ class FleetMonitor(Service):
         if measuring:
             self._windows += 1
             self.evictions.add(now, delta)
+        if registry is not None:
+            registry.counter_set("slo_tenant_windows_total",
+                                 float(self._samples.get("", 0)))
+            registry.counter_set("slo_attained_windows_total",
+                                 float(self._attained.get("", 0)))
+            registry.counter_set("arbiter_evicted_pages_total", evicted)
+            attainment = self._ratio("")
+            if attainment is not None:
+                registry.gauge_set("slo_attainment", attainment)
         return 0.0
+
+    @staticmethod
+    def _telemetry_registry(engine, session):
+        """The machine's shared telemetry registry (created on first use).
+
+        Shared with :class:`~repro.obs.metrics.MetricsSampler` so monitor
+        metrics ride the sampler's window-boundary snapshots; ``None``
+        when metric capture is off (telemetry-enabled runs turn it on).
+        """
+        sampler = getattr(engine, "metrics", None)
+        if sampler is None:
+            return None
+        registry = sampler.telemetry
+        if registry is None:
+            registry = sampler.telemetry = session.make_registry()
+        return registry
 
     # -- reduction ------------------------------------------------------------
     def fleet_summary(self, day_seconds: Optional[float] = None) -> dict:

@@ -25,7 +25,12 @@ from typing import Dict, List, Optional
 
 from repro.obs.events import ServiceRun
 from repro.sim.clock import VirtualClock
-from repro.sim.profiling import TickProfiler, profiler_enabled
+from repro.sim.profiling import (
+    TickProfiler,
+    profile_payload,
+    profiler_enabled,
+    profiling_active,
+)
 from repro.sim.rng import make_rng
 from repro.sim.service import Service
 from repro.sim.stats import StatsRegistry
@@ -69,7 +74,7 @@ class Engine:
         self.rng = make_rng(self.config.seed, "engine")
         self.last_app_threads = 0.0
         self.profiler: Optional[TickProfiler] = (
-            TickProfiler() if profiler_enabled() else None
+            TickProfiler() if profiling_active() else None
         )
         # Observability hooks (repro.obs).  Both stay None unless a capture
         # installed them on the machine before the engine was built, so the
@@ -133,7 +138,15 @@ class Engine:
         if self.stats.histograms():
             result["histograms"] = self.stats.histograms()
         if self.profiler is not None:
-            self.profiler.emit(self)
+            # stderr report only under the env flag; telemetry sessions get
+            # the structured record instead of interleaved prints
+            if profiler_enabled():
+                self.profiler.emit(self)
+            from repro.obs import telemetry
+
+            session = telemetry.active()
+            if session is not None and session.profile:
+                session.add_profile(profile_payload(self))
         return result
 
     def step(self) -> None:

@@ -28,9 +28,29 @@ SECTIONS = (
 
 
 def profiler_enabled() -> bool:
-    """True when the ``REPRO_PROFILE`` environment flag is set (non-empty, not 0)."""
+    """True when the ``REPRO_PROFILE`` environment flag is set (non-empty, not 0).
+
+    Parsing is case- and whitespace-insensitive: ``"False"``, ``" 0 "``,
+    ``"NO"`` all disable, matching how the values read.
+    """
     value = os.environ.get("REPRO_PROFILE", "")
-    return value not in ("", "0", "false", "no")
+    return value.strip().lower() not in ("", "0", "false", "no")
+
+
+def profiling_active() -> bool:
+    """True when any profiling consumer wants tick attribution collected.
+
+    Either the ``REPRO_PROFILE`` environment flag (stderr report) or an
+    installed telemetry session opened with ``profile=True`` (structured
+    ``--profile-out`` records).  Engines and trackers consult this once at
+    construction, so the per-tick fast path still carries only ``is None``
+    checks when nothing asked for profiling.
+    """
+    if profiler_enabled():
+        return True
+    from repro.obs import telemetry
+
+    return telemetry.profiling_active()
 
 
 def iter_trackers(manager):
@@ -132,3 +152,29 @@ class TickProfiler:
             profile = getattr(tracker, "profile", None)
             if profile is not None and profile["batches"]:
                 print(pagestore_report(name, profile), file=sys.stderr)
+
+
+def profile_payload(engine) -> dict:
+    """Structured profiling record for one finished engine run.
+
+    The JSON counterpart of :meth:`TickProfiler.emit`: engine sections in
+    seconds plus the pagestore drain/cool/classify phase counters of every
+    tracker under the manager, labelled ``workload/manager``.  Telemetry
+    sessions opened with ``profile=True`` spool one of these per engine
+    run; :func:`repro.obs.telemetry.merge_profiles` folds them fleet-wide.
+    """
+    profiler = engine.profiler
+    payload = {
+        "label": (
+            f"{getattr(engine.workload, 'name', '?')}"
+            f"/{getattr(engine.manager, 'name', '?')}"
+        ),
+        "ticks": profiler.ticks if profiler is not None else 0,
+        "sections": dict(profiler.seconds) if profiler is not None else {},
+        "pagestore": {},
+    }
+    for name, tracker in iter_trackers(engine.manager):
+        profile = getattr(tracker, "profile", None)
+        if profile is not None and profile["batches"]:
+            payload["pagestore"][name] = dict(profile)
+    return payload

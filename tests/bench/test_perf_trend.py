@@ -1,0 +1,77 @@
+"""``repro.bench.perf trend``: perf-trajectory table rendering and CLI."""
+
+import json
+
+from repro.bench.perf import main as perf_main, trend_table
+
+
+def record(events=1_000_000, **walls):
+    return {
+        "kind": "perf",
+        "experiments": {
+            name: {"wall_seconds": wall, "cases": 3, "events": events,
+                   "events_per_sec": events / wall}
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestTrendTable:
+    def test_rows_oldest_first_with_speedup(self):
+        table = trend_table([
+            ("BENCH_5.json", record(fig9=10.0, colo=40.0)),
+            ("BENCH_6.json", record(fig9=4.0, colo=40.0)),
+        ])
+        lines = table.splitlines()
+        assert lines[0].split() == ["experiment", "BENCH_5.json",
+                                    "BENCH_6.json", "speedup"]
+        rows = {line.split()[0]: line for line in lines[2:]}
+        assert sorted(rows) == ["colo", "fig9"]
+        assert "10.00s" in rows["fig9"] and "4.00s" in rows["fig9"]
+        assert rows["fig9"].rstrip().endswith("2.50x")
+        assert rows["colo"].rstrip().endswith("1.00x")
+
+    def test_events_per_sec_units(self):
+        table = trend_table([
+            ("a.json", record(events=5_000_000, fig9=2.0)),   # 2.5 Me/s
+            ("b.json", record(events=100_000, colo=2.0)),     # 50 ke/s
+        ])
+        assert "2.50Me/s" in table
+        assert "50ke/s" in table
+
+    def test_missing_experiment_cell_is_dash(self):
+        table = trend_table([
+            ("old.json", record(fig9=10.0)),
+            ("new.json", record(fig9=8.0, colo=3.0)),
+        ])
+        rows = {line.split()[0]: line for line in table.splitlines()[2:]}
+        assert " - " in rows["colo"] or rows["colo"].split()[1] == "-"
+        # colo has no first-record wall -> no speedup factor
+        assert rows["colo"].rstrip().endswith("-")
+
+    def test_single_record_has_no_speedup(self):
+        table = trend_table([("only.json", record(fig9=10.0))])
+        rows = [line for line in table.splitlines()[2:]]
+        assert rows[0].rstrip().endswith("-")
+
+
+class TestTrendCli:
+    def test_prints_table(self, tmp_path, capsys):
+        paths = []
+        for name, wall in (("BENCH_5.json", 10.0), ("BENCH_6.json", 5.0)):
+            path = tmp_path / name
+            path.write_text(json.dumps(record(fig9=wall)))
+            paths.append(str(path))
+        assert perf_main(["trend"] + paths) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_5.json" in out and "BENCH_6.json" in out
+        assert "2.00x" in out
+
+    def test_rejects_non_perf_file(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "telemetry"}))
+        assert perf_main(["trend", str(path)]) == 2
+        assert "not a --perf-record" in capsys.readouterr().err
+
+    def test_rejects_missing_file(self, tmp_path, capsys):
+        assert perf_main(["trend", str(tmp_path / "nope.json")]) == 2

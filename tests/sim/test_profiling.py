@@ -1,0 +1,91 @@
+"""Profiling plumbing: env-flag parsing, activity predicate, payloads."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.telemetry import MemorySink
+from repro.sim.profiling import (
+    SECTIONS,
+    TickProfiler,
+    profile_payload,
+    profiler_enabled,
+    profiling_active,
+)
+
+
+class TestProfilerEnabled:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "TRUE",
+                                       " 1 ", "anything"])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert profiler_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "False",
+                                       "FALSE", "NO", " 0 ", "  false  ",
+                                       "\t0\n"])
+    def test_falsy_values_case_and_whitespace_insensitive(
+            self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert not profiler_enabled()
+
+    def test_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profiler_enabled()
+
+
+class TestProfilingActive:
+    def test_env_flag_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert profiling_active()
+
+    def test_profile_session_activates(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profiling_active()
+        with telemetry.session(MemorySink(), profile=True):
+            assert profiling_active()
+        assert not profiling_active()
+
+    def test_plain_session_does_not(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        with telemetry.session(MemorySink()):
+            assert not profiling_active()
+
+
+class TestProfilePayload:
+    def _engine(self, profiler, tracker=None):
+        manager = SimpleNamespace(name="hemem", tracker=tracker)
+        return SimpleNamespace(
+            workload=SimpleNamespace(name="gups"),
+            manager=manager,
+            profiler=profiler,
+        )
+
+    def test_sections_and_pagestore(self):
+        profiler = TickProfiler()
+        profiler.seconds["movers"] = 0.25
+        profiler.ticks = 42
+        tracker = SimpleNamespace(profile={
+            "drain_ns": 100, "cool_ns": 0, "classify_ns": 50,
+            "samples": 7, "batches": 2,
+        })
+        payload = profile_payload(self._engine(profiler, tracker))
+        assert payload["label"] == "gups/hemem"
+        assert payload["ticks"] == 42
+        assert payload["sections"]["movers"] == 0.25
+        assert set(payload["sections"]) == set(SECTIONS)
+        assert payload["pagestore"]["hemem"]["samples"] == 7
+
+    def test_batchless_tracker_omitted(self):
+        tracker = SimpleNamespace(profile={
+            "drain_ns": 0, "cool_ns": 0, "classify_ns": 0,
+            "samples": 0, "batches": 0,
+        })
+        payload = profile_payload(self._engine(TickProfiler(), tracker))
+        assert payload["pagestore"] == {}
+
+    def test_no_profiler(self):
+        payload = profile_payload(self._engine(None))
+        assert payload["ticks"] == 0
+        assert payload["sections"] == {}
